@@ -1,0 +1,98 @@
+#pragma once
+
+// Shared helpers for the experiment-reproduction binaries. Each bench
+// regenerates one table or figure from the paper. By default campaign sizes
+// are scaled down so every binary finishes in seconds to a couple of
+// minutes; set PARASTACK_BENCH_SCALE=full for paper-sized campaigns.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/campaign.hpp"
+#include "harness/runner.hpp"
+
+namespace parastack::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("PARASTACK_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+/// Campaign size: `quick` by default, `full` under PARASTACK_BENCH_SCALE=full.
+inline int runs(int quick, int full) { return full_scale() ? full : quick; }
+
+inline void header(const char* experiment, const char* paper_ref) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("mode: %s (set PARASTACK_BENCH_SCALE=full for paper-sized "
+              "campaigns)\n",
+              full_scale() ? "full" : "quick");
+  std::printf("=============================================================\n");
+}
+
+inline sim::Platform platform_by_name(const std::string& name) {
+  if (name == "Tardis") return sim::Platform::tardis();
+  if (name == "Tianhe-2") return sim::Platform::tianhe2();
+  return sim::Platform::stampede();
+}
+
+/// Base erroneous-run configuration shared by the accuracy-style benches.
+inline harness::RunConfig erroneous_config(workloads::Bench bench,
+                                           const std::string& input,
+                                           int nranks,
+                                           const sim::Platform& platform) {
+  harness::RunConfig config;
+  config.bench = bench;
+  config.input = input;
+  config.nranks = nranks;
+  config.platform = platform;
+  config.fault = faults::FaultType::kComputeHang;
+  return config;
+}
+
+/// One performance measurement series for the overhead experiments
+/// (Table 4, Figures 7-8, Table 5): the per-run metric is wall-clock
+/// seconds, or delivered GFLOPS for HPCG.
+struct OverheadSeries {
+  util::Summary metric;          ///< across runs
+  std::vector<double> per_run;   ///< individual runs (Figs 7-8 plot these)
+  bool is_gflops = false;
+};
+
+/// Run `nruns` clean jobs of `bench` at `nranks` on `platform`, either
+/// without monitoring or with ParaStack at a FIXED interval (the overhead
+/// study disables auto-tuning, §7.1-I: "Note I does not change in this
+/// study").
+inline OverheadSeries measure_performance(workloads::Bench bench, int nranks,
+                                          const sim::Platform& platform,
+                                          int nruns, std::uint64_t seed0,
+                                          double fixed_interval_ms /*0=clean*/) {
+  OverheadSeries series;
+  for (int i = 0; i < nruns; ++i) {
+    harness::RunConfig config;
+    config.bench = bench;
+    config.nranks = nranks;
+    config.platform = platform;
+    config.seed = seed0 + static_cast<std::uint64_t>(i) * 7919;
+    config.with_parastack = fixed_interval_ms > 0.0;
+    if (config.with_parastack) {
+      config.detector.initial_interval = sim::from_millis(fixed_interval_ms);
+      config.detector.enable_interval_tuning = false;
+    }
+    const auto result = harness::run_one(config);
+    if (!result.completed) continue;  // walltime expiry would skew the mean
+    double value = sim::to_seconds(result.finish_time);
+    if (result.gflops > 0.0) {
+      value = result.gflops;
+      series.is_gflops = true;
+    }
+    series.metric.add(value);
+    series.per_run.push_back(value);
+  }
+  return series;
+}
+
+}  // namespace parastack::bench

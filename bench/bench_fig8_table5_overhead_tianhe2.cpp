@@ -1,0 +1,48 @@
+// Figure 8 + Table 5: per-run performance and overhead percentages on
+// Tianhe-2 at scale 1024. Tianhe-2's low noise floor makes it the machine
+// that best resolves ParaStack's true overhead (paper: <= 1.14% at 400 ms).
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace parastack;
+
+int main() {
+  bench::header("Figure 8 / Table 5 — overhead at scale 1024 (Tianhe-2)",
+                "ParaStack SC'17, Figure 8 and Table 5");
+  const int nruns = bench::runs(3, 5);
+  const workloads::Bench benches[] = {
+      workloads::Bench::kBT, workloads::Bench::kCG,  workloads::Bench::kLU,
+      workloads::Bench::kSP, workloads::Bench::kHPL, workloads::Bench::kHPCG,
+  };
+  const auto platform = sim::Platform::tianhe2();
+
+  std::printf("%-8s | %10s | %10s %9s | %10s %9s\n", "bench", "clean",
+              "I=100", "ovh%", "I=400", "ovh%");
+  for (const auto bench : benches) {
+    const auto clean =
+        bench::measure_performance(bench, 1024, platform, nruns, 71000, 0.0);
+    const auto i100 =
+        bench::measure_performance(bench, 1024, platform, nruns, 72000, 100.0);
+    const auto i400 =
+        bench::measure_performance(bench, 1024, platform, nruns, 73000, 400.0);
+    // Overhead sign convention: for seconds, slower is positive overhead;
+    // for GFLOPS, lower throughput is positive overhead.
+    const auto overhead_pct = [&](const bench::OverheadSeries& series) {
+      if (clean.metric.empty() || series.metric.empty()) return 0.0;
+      const double delta = series.metric.mean() - clean.metric.mean();
+      const double pct = 100.0 * delta / clean.metric.mean();
+      return clean.is_gflops ? -pct : pct;
+    };
+    std::printf("%-8s | %10.1f | %10.1f %8.2f%% | %10.1f %8.2f%%\n",
+                workloads::bench_name(bench).data(), clean.metric.mean(),
+                i100.metric.mean(), overhead_pct(i100), i400.metric.mean(),
+                overhead_pct(i400));
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape (paper Table 5): I=400ms overhead stays "
+              "within ~1%% (at most 1.14%% in the paper) and is consistently "
+              "below the I=100ms overhead (up to ~7.6%% for CG).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Scalability accounting (paper §3.3 "Lightweight Design"): the tool's
+// per-sample cost is O(C) and independent of the job size — at most C
+// processes traced, at most C monitors active, at most C-1 tool messages —
+// while the job grows from 256 to 16384 ranks.
+
+#include "bench_common.hpp"
+#include "core/monitor_network.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace parastack;
+
+int main() {
+  bench::header("Scalability — monitor activity vs job size",
+                "ParaStack SC'17 §3.3 (C processes, <= C active monitors)");
+  std::printf("%-8s %8s %10s %12s %14s %14s\n", "ranks", "nodes",
+              "monitors", "traced/sample", "active/sample",
+              "msgs/sample");
+  for (const int nranks : {256, 1024, 4096, 16384}) {
+    const auto profile = workloads::make_profile(
+        workloads::Bench::kCG, workloads::default_input(workloads::Bench::kCG,
+                                                        nranks),
+        nranks);
+    simmpi::WorldConfig config;
+    config.nranks = nranks;
+    config.platform = sim::Platform::stampede();
+    config.seed = 4242;
+    config.background_slowdowns = false;
+    simmpi::World world(config, workloads::make_factory(profile));
+    trace::StackInspector inspector(world);
+    core::MonitorNetwork network(world, inspector);
+    core::DetectorConfig det_config;
+    core::HangDetector detector(world, inspector, det_config);
+    detector.use_monitor_network(&network);
+    world.start();
+    detector.start();
+    world.engine().run_until(40 * sim::kSecond);
+    detector.stop();
+    const double samples = static_cast<double>(network.samples());
+    std::printf("%-8d %8d %10d %12.1f %14.1f %14.2f\n", nranks,
+                world.nnodes(), network.monitor_count(),
+                static_cast<double>(network.ranks_traced_total()) / samples,
+                /*active*/ static_cast<double>(
+                    network.active_monitors_for(detector.monitor_set(0))),
+                static_cast<double>(network.messages_sent()) / samples);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: traced processes per sample stay at C = 10 "
+              "and tool messages stay below C at every scale — the "
+              "negligible-overhead claim is structural, not incidental.\n");
+  return 0;
+}

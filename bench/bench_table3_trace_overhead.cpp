@@ -1,0 +1,97 @@
+// Table 3: the cumulative stack-trace overhead O_t and trace count n for a
+// single compute-intensive HPL process under tracing intervals of 10 ms and
+// 100 ms, against a ~185 s clean run.
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "trace/inspector.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace parastack;
+
+namespace {
+
+/// A compute-dominated, HPL-like single-process workload: ~185 s of
+/// factorization work (matching the paper's 15000x15000 matrix run).
+std::shared_ptr<const workloads::BenchmarkProfile> hpl_single() {
+  auto profile = std::make_shared<workloads::BenchmarkProfile>();
+  profile->name = "HPL-1proc";
+  profile->iterations = 60;
+  profile->reference_ranks = 2;
+  profile->setup_time = sim::kSecond;
+  profile->phases = {
+      {"hpl_update_dgemm", sim::from_millis(9200), 0.03,
+       workloads::CommPattern::kNone, 0, 1, 2, false, /*decays=*/true},
+  };
+  return profile;
+}
+
+struct Row {
+  double clean_s = 0.0;
+  double traced_s = 0.0;
+  double overhead_s = 0.0;
+  std::uint64_t traces = 0;
+};
+
+Row run_with_interval(sim::Time interval, std::uint64_t seed) {
+  // Clean reference.
+  simmpi::WorldConfig config;
+  config.nranks = 2;
+  config.platform = sim::Platform::tianhe2();
+  config.seed = seed;
+  config.background_slowdowns = false;
+  Row row;
+  {
+    simmpi::World world(config, workloads::make_factory(hpl_single()));
+    world.start();
+    world.run_until_done(sim::kHour);
+    row.clean_s = sim::to_seconds(world.rank(0).finished_at());
+  }
+  // Traced run: tick a stack trace of rank 0 at the fixed interval.
+  {
+    simmpi::World world(config, workloads::make_factory(hpl_single()));
+    trace::StackInspector inspector(world);
+    world.start();
+    std::function<void()> tick = [&] {
+      if (world.rank(0).finished()) return;
+      inspector.trace(0);
+      world.engine().schedule_after(interval, tick);
+    };
+    world.engine().schedule_after(interval, tick);
+    world.run_until_done(sim::kHour);
+    row.traced_s = sim::to_seconds(world.rank(0).finished_at());
+    row.traces = inspector.traces();
+  }
+  row.overhead_s = row.traced_s - row.clean_s;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 3 — single-process stack-trace overhead (HPL-like)",
+                "ParaStack SC'17, Table 3 (clean run ~185.05 s; O_t 50.88 s "
+                "@10 ms with n=18220; O_t 7.52 s @100 ms with n=1870)");
+  const int reps = bench::runs(2, 5);
+  std::printf("%-12s %10s %10s %10s %10s\n", "interval", "clean(s)",
+              "traced(s)", "O_t(s)", "n");
+  for (const double interval_ms : {10.0, 100.0}) {
+    Row mean;
+    for (int r = 0; r < reps; ++r) {
+      const Row row = run_with_interval(sim::from_millis(interval_ms),
+                                        1000 + static_cast<std::uint64_t>(r));
+      mean.clean_s += row.clean_s / reps;
+      mean.traced_s += row.traced_s / reps;
+      mean.overhead_s += row.overhead_s / reps;
+      mean.traces += row.traces / static_cast<std::uint64_t>(reps);
+    }
+    std::printf("%-12.0fms %9.2f %10.2f %10.2f %10llu\n", interval_ms,
+                mean.clean_s, mean.traced_s, mean.overhead_s,
+                static_cast<unsigned long long>(mean.traces));
+  }
+  std::printf("\nExpected shape (paper): ~7x more traces and ~7x more "
+              "overhead at 10 ms than at 100 ms; 100 ms is cheap enough for "
+              "production monitoring.\n");
+  return 0;
+}

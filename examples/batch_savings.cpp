@@ -1,0 +1,68 @@
+// Batch-scheduler integration: submit an HPL job through the (simulated)
+// Slurm front end with ParaStack attached, hit a mid-run hang, and see the
+// job killed early — with the Service-Unit bill showing what the user saved
+// compared to burning the whole allocation (paper §2 and §7.1-V).
+//
+// Build & run:  ./build/examples/batch_savings
+
+#include <cstdio>
+
+#include "harness/runner.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace parastack;
+
+int main() {
+  sched::JobTicket ticket;
+  ticket.nodes = 8;
+  ticket.cores_per_node = 32;        // a Tardis allocation
+  ticket.walltime = 15 * sim::kMinute;  // user over-requests, as users do
+  ticket.job_name = "xhpl";
+
+  std::printf("submitting via Slurm integration:\n  %s\n\n",
+              sched::submission_command(sched::BatchSystem::kSlurm, ticket,
+                                        "./xhpl -n 80000")
+                  .c_str());
+
+  harness::RunConfig config;
+  config.bench = workloads::Bench::kHPL;
+  config.input = "80000";
+  config.nranks = 256;
+  config.platform = sim::Platform::tardis();
+  config.seed = 1717;
+  config.fault = faults::FaultType::kComputeHang;
+  config.walltime_override = ticket.walltime;
+  const auto result = harness::run_one(config);
+
+  std::printf("job status: fault (%s) on rank %d at t=%.0fs\n",
+              faults::fault_type_name(result.fault.type).data(),
+              result.fault.victim, sim::to_seconds(result.fault.activated_at));
+
+  const auto detection = result.first_parastack_detection();
+  const auto charge = sched::settle(
+      ticket,
+      result.completed ? std::optional<sim::Time>(result.finish_time)
+                       : std::nullopt,
+      detection);
+  const auto no_monitor_charge =
+      sched::settle(ticket,
+                    result.completed
+                        ? std::optional<sim::Time>(result.finish_time)
+                        : std::nullopt,
+                    std::nullopt);
+
+  if (detection) {
+    std::printf("ParaStack: %s\n", result.hangs.front().to_string().c_str());
+  }
+  std::printf("\n%-28s %12s %12s\n", "", "with ParaStack", "without");
+  std::printf("%-28s %11.0fs %11.0fs\n", "billed wall-clock",
+              sim::to_seconds(charge.elapsed),
+              sim::to_seconds(no_monitor_charge.elapsed));
+  std::printf("%-28s %12.1f %12.1f\n", "Service Units billed",
+              charge.service_units, no_monitor_charge.service_units);
+  std::printf("%-28s %11.1f%% %12s\n", "slot saved",
+              100.0 * charge.savings_fraction, "0%");
+  std::printf("\n(The paper measures an average 35.5%% slot saving over 10 "
+              "erroneous HPL runs, approaching 50%% asymptotically.)\n");
+  return 0;
+}

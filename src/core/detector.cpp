@@ -1,0 +1,268 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/faulty_id.hpp"
+#include "core/slowdown_filter.hpp"
+#include "stats/runs_test.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace parastack::core {
+
+HangDetector::HangDetector(simmpi::World& world,
+                           trace::StackInspector& inspector,
+                           DetectorConfig config)
+    : world_(world), inspector_(inspector), config_(config),
+      rng_(config.seed), interval_(config.initial_interval) {
+  PS_CHECK(config_.monitored_count >= 1, "C must be >= 1");
+  PS_CHECK(config_.initial_interval > 0, "I must be positive");
+  PS_CHECK(config_.alpha > 0.0 && config_.alpha < 1.0, "alpha in (0,1)");
+  choose_monitor_sets();
+}
+
+void HangDetector::choose_monitor_sets() {
+  // Two disjoint random process sets (§3.3 corner-case defence). If the job
+  // is smaller than 2C, split what is available.
+  const int nranks = world_.nranks();
+  std::vector<simmpi::Rank> all(static_cast<std::size_t>(nranks));
+  std::iota(all.begin(), all.end(), 0);
+  // Fisher-Yates with our deterministic RNG.
+  for (std::size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng_.uniform_int(i)]);
+  }
+  const int per_set =
+      std::max(1, std::min(config_.monitored_count, nranks / 2));
+  sets_[0].assign(all.begin(), all.begin() + per_set);
+  sets_[1].assign(all.begin() + per_set, all.begin() + 2 * per_set);
+}
+
+const std::vector<simmpi::Rank>& HangDetector::monitor_set(int index) const {
+  PS_CHECK(index == 0 || index == 1, "two monitor sets exist");
+  return sets_[index];
+}
+
+void HangDetector::notify_phase_change(int phase_id) {
+  if (phase_id == current_phase_ || state_ == State::kDone) return;
+  // Save the learned state of the outgoing phase.
+  PhaseState outgoing;
+  outgoing.model = std::move(model_);
+  outgoing.interval = interval_;
+  outgoing.randomness_confirmed = randomness_confirmed_;
+  outgoing.doublings = doublings_;
+  outgoing.samples_since_runs_test = samples_since_runs_test_;
+  phase_stash_[current_phase_] = std::move(outgoing);
+  current_phase_ = phase_id;
+
+  // Restore (or initialize) the incoming phase's state.
+  if (const auto it = phase_stash_.find(phase_id); it != phase_stash_.end()) {
+    model_ = std::move(it->second.model);
+    interval_ = it->second.interval;
+    randomness_confirmed_ = it->second.randomness_confirmed;
+    doublings_ = it->second.doublings;
+    samples_since_runs_test_ = it->second.samples_since_runs_test;
+    phase_stash_.erase(it);
+  } else {
+    model_.clear();
+    interval_ = config_.initial_interval;
+    randomness_confirmed_ = false;
+    doublings_ = 0;
+    samples_since_runs_test_ = 0;
+  }
+  streak_ = 0;  // samples across a phase boundary do not form one streak
+
+  // A phase change is progress: abandon any in-flight hang verification.
+  if (state_ == State::kVerifying) {
+    state_ = State::kSampling;
+    schedule_next_sample();
+  }
+}
+
+void HangDetector::start() {
+  PS_CHECK(state_ == State::kIdle, "detector started twice");
+  state_ = State::kSampling;
+  schedule_next_sample();
+}
+
+void HangDetector::schedule_next_sample() {
+  // r_step = rand(I) + I/2: uniform over [I/2, 3I/2], mean I (§3.1).
+  const double step = rng_.uniform(0.5, 1.5) * static_cast<double>(interval_);
+  world_.engine().schedule_after(static_cast<sim::Time>(step),
+                                 [this] { take_sample(); });
+}
+
+double HangDetector::measure_scrout() {
+  const auto& set = sets_[active_set_];
+  if (monitors_ != nullptr) return monitors_->measure(set).scrout;
+  int out = 0;
+  for (const simmpi::Rank r : set) {
+    const auto snapshot = inspector_.trace(r);
+    if (!snapshot.in_mpi) ++out;
+  }
+  return static_cast<double>(out) / static_cast<double>(set.size());
+}
+
+void HangDetector::run_runs_test_if_due() {
+  if (randomness_confirmed_ || !config_.enable_interval_tuning) return;
+  ++samples_since_runs_test_;
+  if (samples_since_runs_test_ <
+      static_cast<std::size_t>(config_.runs_test_batch)) {
+    return;
+  }
+  samples_since_runs_test_ = 0;
+  const auto result = stats::runs_test(model_.ecdf().samples());
+  if (result.random) {
+    randomness_confirmed_ = true;
+    return;
+  }
+  if (interval_ * 2 > config_.max_interval) {
+    // The paper does not bound the doubling; we cap it so a pathologically
+    // regular waveform cannot disable detection outright.
+    util::log(util::LogLevel::kWarn, "parastack",
+              "interval cap reached; proceeding without confirmed randomness");
+    randomness_confirmed_ = true;
+    return;
+  }
+  interval_ *= 2;
+  ++doublings_;
+  model_.thin_half();  // history now approximates samples at the doubled I
+}
+
+void HangDetector::take_sample() {
+  if (stopped_ || state_ != State::kSampling) return;
+  const double sample = measure_scrout();
+  ++observations_;
+  ++observations_since_switch_;
+  // §3.3: alternate between the two disjoint sets, staying on each long
+  // enough to complete a verification streak. The paper's fixed 30 relies
+  // on q <= 0.77 (k <= 27); with heavily zero-massed distributions (e.g.
+  // wait-dominated apps) q — and hence k — can exceed that, so the dwell
+  // time adapts to the current k.
+  const std::size_t required_dwell = std::max<std::size_t>(
+      static_cast<std::size_t>(config_.set_switch_period),
+      model_.decision(config_.alpha).k + 3);
+  if (config_.enable_set_alternation &&
+      observations_since_switch_ >= required_dwell) {
+    active_set_ ^= 1;
+    observations_since_switch_ = 0;
+    streak_ = 0;  // suspicions must be observed on a single set
+  }
+
+  const bool freeze = (config_.freeze_model_during_streak && streak_ > 0) ||
+                      streak_ >= config_.model_freeze_streak;
+  if (!freeze) {
+    model_.add_sample(sample);
+    run_runs_test_if_due();
+  }
+
+  // Detection waits for BOTH readiness gates (paper §3.2: "ParaStack needs
+  // to accumulate at least n_m',0.3 *random* samples"): the sample-size
+  // ladder must be justified and the runs test must have accepted the
+  // sampling as random — q^k bounds the false-alarm probability only under
+  // independent sampling.
+  const auto decision = model_.decision(config_.alpha);
+  if (decision.ready && randomness_confirmed_) {
+    if (sample <= decision.threshold + 1e-12) {
+      ++streak_;
+      if (streak_ >= decision.k) {
+        begin_verification();
+        return;
+      }
+    } else {
+      streak_ = 0;
+    }
+  }
+  schedule_next_sample();
+}
+
+sim::Time HangDetector::verification_gap() const {
+  // Wide enough that a healthy app crossing a long collective (FT's
+  // transposes) shows movement between the two rounds; a real hang is
+  // static at any gap.
+  return std::clamp(interval_, config_.slowdown_recheck_gap,
+                    4 * sim::kSecond);
+}
+
+std::vector<trace::StackSnapshot> HangDetector::sweep_all_ranks() {
+  std::vector<trace::StackSnapshot> snapshots;
+  snapshots.reserve(static_cast<std::size_t>(world_.nranks()));
+  for (simmpi::Rank r = 0; r < world_.nranks(); ++r) {
+    snapshots.push_back(inspector_.trace(r));
+  }
+  return snapshots;
+}
+
+void HangDetector::begin_verification() {
+  state_ = State::kVerifying;
+  if (!config_.enable_slowdown_filter) {
+    faulty_sweeps_.clear();
+    faulty_sweep_round();
+    return;
+  }
+  filter_rounds_done_ = 1;
+  filter_round1_ = sweep_all_ranks();
+  world_.engine().schedule_after(verification_gap(),
+                                 [this] { continue_filter(); });
+}
+
+void HangDetector::continue_filter() {
+  if (stopped_ || state_ != State::kVerifying) return;
+  const auto round = sweep_all_ranks();
+  if (is_transient_slowdown(filter_round1_, round)) {
+    conclude_slowdown();
+    return;
+  }
+  ++filter_rounds_done_;
+  if (filter_rounds_done_ >= config_.slowdown_filter_rounds) {
+    faulty_sweeps_.clear();
+    faulty_sweep_round();
+    return;
+  }
+  // No movement yet; look again after a longer gap (a transient that is
+  // merely *slow* needs a wider observation window than a frozen hang).
+  filter_round1_ = round;
+  const sim::Time gap = std::min<sim::Time>(
+      verification_gap() << (filter_rounds_done_ - 1), 4 * sim::kSecond);
+  world_.engine().schedule_after(gap, [this] { continue_filter(); });
+}
+
+void HangDetector::conclude_slowdown() {
+  SlowdownReport report;
+  report.detected_at = world_.engine().now();
+  slowdown_reports_.push_back(report);
+  streak_ = 0;
+  state_ = State::kSampling;
+  if (on_slowdown) on_slowdown(report);
+  schedule_next_sample();
+}
+
+void HangDetector::faulty_sweep_round() {
+  if (stopped_ || state_ != State::kVerifying) return;
+  faulty_sweeps_.push_back(sweep_all_ranks());
+  if (faulty_sweeps_.size() <
+      static_cast<std::size_t>(config_.faulty_checks)) {
+    world_.engine().schedule_after(config_.faulty_check_gap,
+                                   [this] { faulty_sweep_round(); });
+    return;
+  }
+  report_hang();
+}
+
+void HangDetector::report_hang() {
+  const auto decision = model_.decision(config_.alpha);
+  HangReport report;
+  report.detected_at = world_.engine().now();
+  report.faulty_ranks = identify_faulty_ranks(faulty_sweeps_);
+  report.kind = report.faulty_ranks.empty() ? HangKind::kCommunicationError
+                                            : HangKind::kComputationError;
+  report.suspicion_streak = streak_;
+  report.q = decision.q;
+  report.required_streak = decision.k;
+  report.interval = interval_;
+  hang_reports_.push_back(report);
+  state_ = State::kDone;
+  if (on_hang) on_hang(hang_reports_.back());
+}
+
+}  // namespace parastack::core

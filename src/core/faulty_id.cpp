@@ -1,0 +1,30 @@
+#include "core/faulty_id.hpp"
+
+#include "util/check.hpp"
+
+namespace parastack::core {
+
+std::vector<simmpi::Rank> identify_faulty_ranks(
+    std::span<const std::vector<trace::StackSnapshot>> rounds) {
+  std::vector<simmpi::Rank> faulty;
+  if (rounds.empty()) return faulty;
+  const std::size_t nranks = rounds.front().size();
+  for (const auto& round : rounds) {
+    PS_CHECK(round.size() == nranks, "faulty-id rounds must align");
+  }
+  for (std::size_t i = 0; i < nranks; ++i) {
+    bool persistent_out = true;
+    for (const auto& round : rounds) {
+      PS_CHECK(round[i].rank == rounds.front()[i].rank,
+               "faulty-id rounds must align by rank");
+      if (round[i].in_mpi) {
+        persistent_out = false;
+        break;
+      }
+    }
+    if (persistent_out) faulty.push_back(rounds.front()[i].rank);
+  }
+  return faulty;
+}
+
+}  // namespace parastack::core

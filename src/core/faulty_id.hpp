@@ -1,0 +1,18 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "simmpi/types.hpp"
+#include "trace/inspector.hpp"
+
+namespace parastack::core {
+
+/// Faulty-process identification (paper §4): given several full-sweep
+/// trace rounds (one snapshot per rank per round, rank-aligned), report the
+/// ranks that were OUT_MPI in *every* round. Persistence excludes busy-wait
+/// processes, which flip in and out of MPI_Test between rounds.
+std::vector<simmpi::Rank> identify_faulty_ranks(
+    std::span<const std::vector<trace::StackSnapshot>> rounds);
+
+}  // namespace parastack::core

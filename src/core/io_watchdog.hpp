@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "simmpi/world.hpp"
+
+namespace parastack::core {
+
+/// The IO-Watchdog baseline the paper's introduction argues against
+/// (reference [2]): watch the job's write activity and declare a hang when
+/// no output has appeared for a user-specified timeout (default one hour).
+///
+/// Its two problems, both reproduced here: (1) the timeout is a guess — too
+/// small and quiet-but-healthy phases false-alarm, too large and every hang
+/// burns up to the full timeout before detection; (2) it cannot say
+/// anything about *where* the hang is.
+class IoWatchdog {
+ public:
+  struct Config {
+    /// IO-Watchdog ships with a 1-hour default (paper §1).
+    sim::Time timeout = sim::kHour;
+    sim::Time poll_interval = 10 * sim::kSecond;
+  };
+
+  struct Report {
+    sim::Time detected_at = 0;
+    sim::Time silence = 0;  ///< how long output had been quiet
+  };
+
+  IoWatchdog(simmpi::World& world, Config config);
+
+  void start();
+  void stop() noexcept { stopped_ = true; }
+
+  std::function<void(const Report&)> on_hang;
+
+  bool hang_reported() const noexcept { return !reports_.empty(); }
+  const std::vector<Report>& reports() const noexcept { return reports_; }
+
+ private:
+  void poll();
+
+  simmpi::World& world_;
+  Config config_;
+  bool stopped_ = false;
+  bool done_ = false;
+  std::vector<Report> reports_;
+};
+
+}  // namespace parastack::core

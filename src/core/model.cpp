@@ -1,0 +1,62 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/binomial.hpp"
+#include "stats/geometric.hpp"
+
+namespace parastack::core {
+
+std::optional<ScroutModel::Level> ScroutModel::discretize(double e) const {
+  const auto& support = ecdf_.support();
+  if (support.empty()) return std::nullopt;
+  const double p_m = stats::optimal_suspicion_point(e).p_m;
+
+  // t1 = max{X : F_n(X) < p_m}, t2 = min{X : F_n(X) >= p_m} (paper §3.2).
+  std::optional<stats::EmpiricalCdf::Point> t1;
+  std::optional<stats::EmpiricalCdf::Point> t2;
+  for (const auto& point : support) {
+    if (point.cum_prob < p_m) {
+      t1 = point;
+    } else if (!t2) {
+      t2 = point;
+    }
+  }
+
+  std::optional<Level> best;
+  for (const auto& candidate : {t1, t2}) {
+    if (!candidate) continue;
+    const double p = candidate->cum_prob;
+    if (p <= 0.0 || p >= 0.995) continue;  // f_max undefined at the edges
+    const double n = stats::min_samples_for(p, e);
+    if (!best || n < best->min_n) {
+      best = Level{candidate->value, p, n};
+    }
+  }
+  return best;
+}
+
+ScroutModel::Decision ScroutModel::decision(double alpha) const {
+  Decision decision;
+  decision.sample_size = ecdf_.size();
+  if (ecdf_.empty()) return decision;
+
+  // Prefer the tightest tolerance the current sample size justifies
+  // (paper: e steps 0.3 -> 0.2 -> 0.1 -> 0.05 as n reaches each n_m').
+  for (const double e : {0.05, 0.1, 0.2, 0.3}) {
+    const auto level = discretize(e);
+    if (!level) continue;
+    if (static_cast<double>(ecdf_.size()) + 1e-9 < level->min_n) continue;
+    decision.ready = true;
+    decision.threshold = level->threshold;
+    decision.p_m_prime = level->p;
+    decision.tolerance = e;
+    decision.q = std::min(level->p + e, kMaxQ);
+    decision.k = stats::consecutive_suspicions_required(decision.q, alpha);
+    return decision;
+  }
+  return decision;
+}
+
+}  // namespace parastack::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+
+#include "stats/ecdf.hpp"
+
+namespace parastack::core {
+
+/// The robust S_crout model of paper §3.2.
+///
+/// Randomly sampled S_crout values build an empirical CDF F_n. A suspicion
+/// is "S_crout <= t" for t = F_n^{-1}(p); the model keeps p near the value
+/// p_m that minimizes the sample size needed to justify it at the current
+/// tolerance level e in {0.3, 0.2, 0.1, 0.05}, discretized onto the ECDF's
+/// support (the paper's p_m'). The suspicion-probability estimate used in
+/// the significance test is q = p_m' + e, an upper bound on the true p with
+/// >= 97.5% confidence.
+class ScroutModel {
+ public:
+  /// Everything the detector needs at one sample size level.
+  struct Decision {
+    bool ready = false;        ///< enough samples for the coarsest tolerance
+    double threshold = 0.0;    ///< t: suspicion iff sample <= t
+    double p_m_prime = 0.0;    ///< F_n(t)
+    double tolerance = 0.0;    ///< e level in use
+    double q = 0.0;            ///< min(p_m' + e, q_max)
+    std::size_t k = 0;         ///< ceil(log_q alpha): streak verifying a hang
+    std::size_t sample_size = 0;
+  };
+
+  void add_sample(double s) { ecdf_.add(s); }
+  /// Halve the history when the sampling interval doubles (§3.1).
+  void thin_half() { ecdf_.thin_half(); }
+  void clear() { ecdf_.clear(); }
+
+  std::size_t size() const noexcept { return ecdf_.size(); }
+  const stats::EmpiricalCdf& ecdf() const noexcept { return ecdf_; }
+
+  /// Evaluate the ladder at the current sample size. `alpha` is the user's
+  /// significance level.
+  Decision decision(double alpha) const;
+
+  /// q values above this are clamped: with a virtually-always-suspicious
+  /// model the geometric test would need an absurd streak; clamping keeps k
+  /// bounded while staying conservative.
+  static constexpr double kMaxQ = 0.95;
+
+ private:
+  /// One ladder level discretized onto the ECDF support: the sub-optimal
+  /// (p_m', n_m') around the ideal p_m for tolerance e.
+  struct Level {
+    double threshold;  ///< t (support value)
+    double p;          ///< p_m' = F_n(t)
+    double min_n;      ///< n_m'
+  };
+  std::optional<Level> discretize(double e) const;
+
+  stats::EmpiricalCdf ecdf_;
+};
+
+}  // namespace parastack::core

@@ -1,0 +1,53 @@
+#include "core/monitor_network.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace parastack::core {
+
+MonitorNetwork::MonitorNetwork(simmpi::World& world,
+                               trace::StackInspector& inspector)
+    : world_(world), inspector_(inspector) {}
+
+int MonitorNetwork::active_monitors_for(
+    const std::vector<simmpi::Rank>& set) const {
+  std::vector<int> nodes;
+  nodes.reserve(set.size());
+  for (const auto rank : set) nodes.push_back(world_.node_of(rank));
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return static_cast<int>(nodes.size());
+}
+
+MonitorNetwork::Measurement MonitorNetwork::measure(
+    const std::vector<simmpi::Rank>& set) {
+  PS_CHECK(!set.empty(), "cannot measure an empty monitor set");
+  Measurement measurement;
+  int out = 0;
+  for (const auto rank : set) {
+    const auto snapshot = inspector_.trace(rank);
+    if (!snapshot.in_mpi) ++out;
+    ++measurement.ranks_traced;
+  }
+  measurement.scrout =
+      static_cast<double>(out) / static_cast<double>(set.size());
+  measurement.active_monitors = active_monitors_for(set);
+
+  // Each active monitor (except the lead) sends one 8-byte partial count;
+  // a binomial-tree gather bounds the latency.
+  const auto partials =
+      static_cast<std::uint64_t>(std::max(measurement.active_monitors - 1, 0));
+  messages_ += partials;
+  bytes_ += partials * 8;
+  const int depth = std::bit_width(
+      static_cast<unsigned>(std::max(measurement.active_monitors - 1, 1)));
+  measurement.aggregation_latency =
+      static_cast<sim::Time>(depth) * world_.platform().network_latency;
+  traced_ += static_cast<std::uint64_t>(measurement.ranks_traced);
+  ++samples_;
+  return measurement;
+}
+
+}  // namespace parastack::core

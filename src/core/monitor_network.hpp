@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/types.hpp"
+#include "simmpi/world.hpp"
+#include "trace/inspector.hpp"
+
+namespace parastack::core {
+
+/// The distributed tool topology of paper §3.3/§5: ParaStack launches one
+/// monitor per node. At any moment only the monitors hosting currently
+/// monitored ranks are ACTIVE — they ptrace their local targets and send
+/// one partial count to the lead monitor, which aggregates S_crout. All
+/// other monitors idle in a sleep + nonblocking-probe loop. This is what
+/// makes the tool's cost O(C), independent of the job size:
+///   - at most C processes are traced per sample,
+///   - at most C monitor messages cross the network per sample,
+///   - idle monitors consume (simulated) nothing.
+class MonitorNetwork {
+ public:
+  explicit MonitorNetwork(simmpi::World& world,
+                          trace::StackInspector& inspector);
+
+  struct Measurement {
+    double scrout = 0.0;
+    int ranks_traced = 0;
+    int active_monitors = 0;
+    /// Tool-internal latency to gather the partial counts at the lead
+    /// monitor (tree over the active monitors).
+    sim::Time aggregation_latency = 0;
+  };
+
+  /// One S_crout sample of `set`, performed the way the real tool does it:
+  /// per-node tracing by the owning (active) monitors plus a count
+  /// aggregation. Charges the traced ranks their ptrace stops via the
+  /// inspector.
+  Measurement measure(const std::vector<simmpi::Rank>& set);
+
+  int monitor_count() const noexcept { return world_.nnodes(); }
+  /// Monitors that would be active for `set` (distinct hosting nodes).
+  int active_monitors_for(const std::vector<simmpi::Rank>& set) const;
+
+  /// Cumulative tool-internal traffic (for the scalability accounting).
+  std::uint64_t messages_sent() const noexcept { return messages_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_; }
+  std::uint64_t samples() const noexcept { return samples_; }
+  /// Ranks traced through the network (sampling only; detection-time full
+  /// sweeps go directly through the inspector and are one-off O(P)).
+  std::uint64_t ranks_traced_total() const noexcept { return traced_; }
+
+ private:
+  simmpi::World& world_;
+  trace::StackInspector& inspector_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t traced_ = 0;
+};
+
+}  // namespace parastack::core

@@ -1,0 +1,28 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+namespace parastack::core {
+
+std::string HangReport::to_string() const {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "hang detected at t=%.2fs (%s, streak %zu/%zu, q=%.3f, "
+                "I=%.0fms)",
+                sim::to_seconds(detected_at),
+                kind == HangKind::kComputationError ? "computation error"
+                                                    : "communication error",
+                suspicion_streak, required_streak, q,
+                sim::to_millis(interval));
+  std::string out = head;
+  if (!faulty_ranks.empty()) {
+    out += "; faulty ranks:";
+    for (const auto r : faulty_ranks) {
+      out += ' ';
+      out += std::to_string(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace parastack::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "simmpi/types.hpp"
+
+namespace parastack::core {
+
+/// Hang classification (paper §4): if any process rests OUT_MPI the hang is
+/// blamed on a computation error in those processes; otherwise everyone is
+/// stuck inside MPI and the hang is a communication error.
+enum class HangKind { kComputationError, kCommunicationError };
+
+struct HangReport {
+  sim::Time detected_at = 0;
+  HangKind kind = HangKind::kCommunicationError;
+  std::vector<simmpi::Rank> faulty_ranks;  ///< empty for communication errors
+  /// Detector state at verification time, for diagnostics.
+  std::size_t suspicion_streak = 0;
+  double q = 0.0;
+  std::size_t required_streak = 0;
+  sim::Time interval = 0;
+
+  std::string to_string() const;
+};
+
+/// Emitted when the §3.3 filter decides a suspicion streak was a transient
+/// slowdown, not a hang; monitoring resumes afterwards.
+struct SlowdownReport {
+  sim::Time detected_at = 0;
+};
+
+}  // namespace parastack::core

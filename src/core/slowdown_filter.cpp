@@ -1,0 +1,45 @@
+#include "core/slowdown_filter.hpp"
+
+#include "util/check.hpp"
+
+namespace parastack::core {
+
+namespace {
+/// Collapsed state for condition (2): busy-wait Test probes count as MPI.
+enum class EffectiveState { kOutMpi, kInTestFamily, kInOtherMpi };
+
+EffectiveState effective_state(const trace::StackSnapshot& snapshot) {
+  if (!snapshot.in_mpi) return EffectiveState::kOutMpi;
+  return snapshot.in_test_family() ? EffectiveState::kInTestFamily
+                                   : EffectiveState::kInOtherMpi;
+}
+}  // namespace
+
+bool is_transient_slowdown(std::span<const trace::StackSnapshot> round1,
+                           std::span<const trace::StackSnapshot> round2) {
+  PS_CHECK(round1.size() == round2.size(),
+           "slowdown filter needs matched rounds");
+  for (std::size_t i = 0; i < round1.size(); ++i) {
+    const auto& a = round1[i];
+    const auto& b = round2[i];
+    PS_CHECK(a.rank == b.rank, "slowdown filter rounds must align by rank");
+
+    // (1) Different MPI functions across the two rounds.
+    if (!a.innermost_mpi.empty() && !b.innermost_mpi.empty() &&
+        a.innermost_mpi != b.innermost_mpi) {
+      return true;
+    }
+
+    // (2) Stepped in/out of a non-Test MPI function. OUT <-> Test-family
+    // flips are ordinary busy-waiting and do not count.
+    const EffectiveState sa = effective_state(a);
+    const EffectiveState sb = effective_state(b);
+    const bool crossed_non_test =
+        (sa == EffectiveState::kOutMpi && sb == EffectiveState::kInOtherMpi) ||
+        (sa == EffectiveState::kInOtherMpi && sb == EffectiveState::kOutMpi);
+    if (crossed_non_test) return true;
+  }
+  return false;
+}
+
+}  // namespace parastack::core

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+
+#include "trace/inspector.hpp"
+
+namespace parastack::core {
+
+/// Transient-slowdown identification (paper §3.3).
+///
+/// Given two stack-trace rounds of the same processes (same order), decide
+/// whether the apparent hang is actually a transient slowdown: true when
+///   (1) some process passed through *different* MPI functions between the
+///       rounds, or
+///   (2) some process stepped in or out of MPI functions other than the
+///       Test family (busy-wait flipping between loop code and MPI_Test is
+///       treated as staying inside MPI and is NOT slowdown evidence).
+/// A genuinely hung application shows neither: every stack is frozen (or
+/// flips only within a busy-wait loop).
+bool is_transient_slowdown(std::span<const trace::StackSnapshot> round1,
+                           std::span<const trace::StackSnapshot> round2);
+
+}  // namespace parastack::core

@@ -1,0 +1,53 @@
+#include "core/timeout_detector.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace parastack::core {
+
+TimeoutDetector::TimeoutDetector(simmpi::World& world,
+                                 trace::StackInspector& inspector,
+                                 Config config)
+    : world_(world), inspector_(inspector), config_(config),
+      rng_(config.seed) {
+  PS_CHECK(config_.monitored_count >= 1, "C must be >= 1");
+  PS_CHECK(config_.k >= 1, "K must be >= 1");
+  std::vector<simmpi::Rank> all(static_cast<std::size_t>(world_.nranks()));
+  std::iota(all.begin(), all.end(), 0);
+  for (std::size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng_.uniform_int(i)]);
+  }
+  const auto count = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.monitored_count), all.size());
+  monitored_.assign(all.begin(), all.begin() + static_cast<long>(count));
+}
+
+void TimeoutDetector::start() {
+  world_.engine().schedule_after(config_.interval, [this] { tick(); });
+}
+
+void TimeoutDetector::tick() {
+  if (stopped_ || done_) return;
+  int out = 0;
+  for (const simmpi::Rank r : monitored_) {
+    if (!inspector_.trace(r).in_mpi) ++out;
+  }
+  const double scrout =
+      static_cast<double>(out) / static_cast<double>(monitored_.size());
+  if (scrout <= config_.low_threshold) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+  }
+  if (streak_ >= config_.k) {
+    done_ = true;
+    Report report{world_.engine().now()};
+    reports_.push_back(report);
+    if (on_hang) on_hang(report);
+    return;
+  }
+  world_.engine().schedule_after(config_.interval, [this] { tick(); });
+}
+
+}  // namespace parastack::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "simmpi/world.hpp"
+#include "trace/inspector.hpp"
+#include "util/rng.hpp"
+
+namespace parastack::core {
+
+/// The fixed-(I, K) baseline of paper §3 / Table 1: check S_crout of C
+/// monitored ranks every I; report a hang after K consecutive "low"
+/// observations. No model, no tuning — the strawman ParaStack replaces.
+class TimeoutDetector {
+ public:
+  struct Config {
+    int monitored_count = 10;
+    sim::Time interval = sim::from_millis(400);  ///< I
+    int k = 5;                                   ///< K
+    /// "Persistently low": S_crout <= this counts toward the streak.
+    double low_threshold = 0.1001;
+    std::uint64_t seed = 0x71e0;
+  };
+
+  struct Report {
+    sim::Time detected_at = 0;
+  };
+
+  TimeoutDetector(simmpi::World& world, trace::StackInspector& inspector,
+                  Config config);
+
+  void start();
+  void stop() noexcept { stopped_ = true; }
+
+  std::function<void(const Report&)> on_hang;
+
+  bool hang_reported() const noexcept { return !reports_.empty(); }
+  const std::vector<Report>& reports() const noexcept { return reports_; }
+  /// The fixed monitored subset (the baseline has no set alternation —
+  /// one of its weaknesses).
+  const std::vector<simmpi::Rank>& monitored() const noexcept {
+    return monitored_;
+  }
+
+ private:
+  void tick();
+
+  simmpi::World& world_;
+  trace::StackInspector& inspector_;
+  Config config_;
+  util::Rng rng_;
+  std::vector<simmpi::Rank> monitored_;
+  int streak_ = 0;
+  bool stopped_ = false;
+  bool done_ = false;
+  std::vector<Report> reports_;
+};
+
+}  // namespace parastack::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "simmpi/types.hpp"
+
+namespace parastack::faults {
+
+/// The fault taxonomy of paper §1: computation-phase errors (infinite loop /
+/// stuck process, frozen node) and communication-phase errors (deadlock,
+/// lost message). Transient slowdowns are not faults but are injected with
+/// the same machinery to exercise the detector's §3.3 filter.
+enum class FaultType : std::uint8_t {
+  kNone,
+  kComputeHang,        ///< victim sticks in user code (paper's injected sleep)
+  kCommDeadlock,       ///< victim sticks inside an MPI call, never completes
+  kTransientSlowdown,  ///< victim's whole node computes slower for a while
+  kNodeFreeze,         ///< victim's whole node stops making progress
+};
+
+std::string_view fault_type_name(FaultType type) noexcept;
+
+struct FaultPlan {
+  FaultType type = FaultType::kNone;
+  simmpi::Rank victim = -1;      ///< victim rank (its node for node faults)
+  sim::Time trigger_time = 0;    ///< earliest activation instant
+  // kTransientSlowdown only:
+  sim::Time slowdown_duration = 10 * sim::kSecond;
+  double slowdown_factor = 12.0;
+};
+
+/// What actually happened during the run (activation may lag the trigger:
+/// program-driven hangs wait for the next eligible action).
+struct FaultRecord {
+  FaultType type = FaultType::kNone;
+  simmpi::Rank victim = -1;
+  sim::Time planned_trigger = 0;
+  sim::Time activated_at = -1;
+
+  bool activated() const noexcept { return activated_at >= 0; }
+};
+
+}  // namespace parastack::faults

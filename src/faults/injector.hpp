@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "faults/fault.hpp"
+#include "simmpi/world.hpp"
+
+namespace parastack::faults {
+
+/// Injects one fault into a simulated job.
+///
+/// Program-driven faults (compute hang, comm deadlock) are injected by
+/// wrapping the victim rank's Program: from the trigger time onwards, the
+/// next eligible action is replaced by a never-completing one — the paper's
+/// "long sleep in a random invocation of a random user function" /
+/// "randomly selected iteration" (§7, Fault injection).
+/// Node-level faults (transient slowdown, freeze) are armed as engine
+/// events.
+///
+/// Usage: wrap the factory, build the World from it, then arm(world) before
+/// world.start().
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Wrap a program factory so the victim's stream carries the fault.
+  simmpi::ProgramFactory wrap(simmpi::ProgramFactory inner) const;
+
+  /// Bind the world: arms node-level faults and gives program-driven faults
+  /// access to the virtual clock.
+  void arm(simmpi::World& world) const;
+
+  const FaultRecord& record() const noexcept { return *record_; }
+
+ private:
+  FaultPlan plan_;
+  std::shared_ptr<FaultRecord> record_;
+  /// Set by arm(); read by the wrapped program on every action.
+  std::shared_ptr<std::function<sim::Time()>> clock_;
+};
+
+}  // namespace parastack::faults

@@ -1,0 +1,124 @@
+#include "harness/campaign.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parastack::harness {
+
+double ErroneousCampaignResult::accuracy() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(detected) / static_cast<double>(runs);
+}
+
+double ErroneousCampaignResult::false_positive_rate() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(false_positives) /
+                         static_cast<double>(runs);
+}
+
+double ErroneousCampaignResult::acf() const {
+  return detected == 0 ? 0.0
+                       : static_cast<double>(victim_identified) /
+                             static_cast<double>(detected);
+}
+
+double ErroneousCampaignResult::prf() const {
+  return detected == 0 ? 0.0 : precision_sum / static_cast<double>(detected);
+}
+
+ErroneousCampaignResult run_erroneous_campaign(const CampaignConfig& config) {
+  PS_CHECK(config.base.fault != faults::FaultType::kNone,
+           "erroneous campaign needs a fault type");
+  ErroneousCampaignResult out;
+  for (int i = 0; i < config.runs; ++i) {
+    RunConfig run_config = config.base;
+    run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
+    RunResult result = run_one(run_config);
+    ++out.runs;
+
+    const auto detection = result.first_parastack_detection();
+    if (detection && result.detection_before_fault(*detection)) {
+      ++out.false_positives;
+    } else if (detection && result.fault.activated()) {
+      ++out.detected;
+      const double delay = result.response_delay_seconds();
+      out.delay_seconds.add(delay);
+      out.delays.push_back(delay);
+      const auto& report = result.hangs.front();
+      if (report.kind == core::HangKind::kComputationError) {
+        ++out.computation_verdicts;
+      } else {
+        ++out.communication_verdicts;
+      }
+      const auto& faulty = report.faulty_ranks;
+      const bool found = std::find(faulty.begin(), faulty.end(),
+                                   result.fault.victim) != faulty.end();
+      if (found) {
+        ++out.victim_identified;
+        out.precision_sum += 1.0 / static_cast<double>(faulty.size());
+      }
+    } else {
+      ++out.missed;
+    }
+    out.results.push_back(std::move(result));
+  }
+  return out;
+}
+
+CleanCampaignResult run_clean_campaign(const CampaignConfig& config) {
+  PS_CHECK(config.base.fault == faults::FaultType::kNone ||
+               config.base.fault == faults::FaultType::kTransientSlowdown,
+           "clean campaign must not inject hangs");
+  CleanCampaignResult out;
+  for (int i = 0; i < config.runs; ++i) {
+    RunConfig run_config = config.base;
+    run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
+    RunResult result = run_one(run_config);
+    ++out.runs;
+    if (result.parastack_detected()) ++out.false_positives;
+    if (result.completed) {
+      out.runtime_seconds.add(sim::to_seconds(result.finish_time));
+      if (result.gflops > 0.0) out.gflops.add(result.gflops);
+      out.total_hours += sim::to_seconds(result.finish_time) / 3600.0;
+    }
+    out.results.push_back(std::move(result));
+  }
+  return out;
+}
+
+double TimeoutCampaignResult::accuracy() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(detected) / static_cast<double>(runs);
+}
+
+double TimeoutCampaignResult::false_positive_rate() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(false_positives) /
+                         static_cast<double>(runs);
+}
+
+TimeoutCampaignResult run_timeout_campaign(const CampaignConfig& config) {
+  PS_CHECK(config.base.with_timeout_baseline,
+           "timeout campaign needs the baseline enabled");
+  TimeoutCampaignResult out;
+  for (int i = 0; i < config.runs; ++i) {
+    RunConfig run_config = config.base;
+    run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
+    const RunResult result = run_one(run_config);
+    ++out.runs;
+    const auto detection = result.first_timeout_detection();
+    if (detection && result.detection_before_fault(*detection)) {
+      ++out.false_positives;
+    } else if (detection && result.fault.activated()) {
+      ++out.detected;
+      out.delay_seconds.add(
+          sim::to_seconds(*detection - result.fault.activated_at));
+    } else {
+      ++out.missed;
+    }
+  }
+  return out;
+}
+
+}  // namespace parastack::harness

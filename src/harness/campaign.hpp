@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "util/summary.hpp"
+
+namespace parastack::harness {
+
+/// A batch of runs sharing one configuration, differing only by seed.
+struct CampaignConfig {
+  RunConfig base;
+  int runs = 10;
+  std::uint64_t seed0 = 42;
+};
+
+/// Metrics over erroneous runs (paper §7.1-III/IV and §7.2):
+///   AC   = Th / T         (hang detected after the fault, before walltime)
+///   FP   = runs with a detection firing before the fault was active
+///   D    = response delay in seconds over correctly detected runs
+///   AC_f = Tf / Th        (victim present in the reported faulty set)
+///   PR_f = mean over detected runs of 1/x_i (0 if the victim is missing)
+struct ErroneousCampaignResult {
+  int runs = 0;
+  int detected = 0;
+  int missed = 0;
+  int false_positives = 0;
+  util::Summary delay_seconds;
+  std::vector<double> delays;  ///< per detected run, for histograms (Fig 9)
+  int computation_verdicts = 0;
+  int communication_verdicts = 0;
+  int victim_identified = 0;
+  double precision_sum = 0.0;
+  std::vector<RunResult> results;
+
+  double accuracy() const;
+  double false_positive_rate() const;
+  double acf() const;  ///< faulty-process identification accuracy
+  double prf() const;  ///< faulty-process identification precision
+};
+
+ErroneousCampaignResult run_erroneous_campaign(const CampaignConfig& config);
+
+/// Metrics over clean runs: false positives and performance (§7.1-I/II).
+struct CleanCampaignResult {
+  int runs = 0;
+  int false_positives = 0;
+  util::Summary runtime_seconds;
+  util::Summary gflops;
+  double total_hours = 0.0;
+  std::vector<RunResult> results;
+};
+
+CleanCampaignResult run_clean_campaign(const CampaignConfig& config);
+
+/// Metrics for the fixed-timeout baseline over erroneous runs (Table 1).
+struct TimeoutCampaignResult {
+  int runs = 0;
+  int detected = 0;          ///< detection after the fault activated
+  int false_positives = 0;   ///< detection during the correct phase
+  int missed = 0;
+  util::Summary delay_seconds;
+
+  double accuracy() const;
+  double false_positive_rate() const;
+};
+
+TimeoutCampaignResult run_timeout_campaign(const CampaignConfig& config);
+
+}  // namespace parastack::harness

@@ -1,0 +1,195 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "faults/injector.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace parastack::harness {
+
+std::optional<sim::Time> RunResult::first_parastack_detection() const {
+  if (hangs.empty()) return std::nullopt;
+  return hangs.front().detected_at;
+}
+
+std::optional<sim::Time> RunResult::first_timeout_detection() const {
+  if (timeout_reports.empty()) return std::nullopt;
+  return timeout_reports.front().detected_at;
+}
+
+bool RunResult::detection_before_fault(sim::Time detection) const {
+  if (fault.type == faults::FaultType::kNone) return true;
+  if (fault.type == faults::FaultType::kTransientSlowdown) return true;
+  return !fault.activated() || detection < fault.activated_at;
+}
+
+double RunResult::response_delay_seconds() const {
+  PS_CHECK(!hangs.empty() && fault.activated(),
+           "response delay needs a detected, activated fault");
+  return sim::to_seconds(hangs.front().detected_at - fault.activated_at);
+}
+
+sim::Time estimate_clean_runtime(const workloads::BenchmarkProfile& profile,
+                                 const sim::Platform& platform, int nranks) {
+  const double ratio = static_cast<double>(profile.reference_ranks) /
+                       static_cast<double>(nranks);
+  const double compute_factor =
+      std::pow(ratio, profile.compute_scaling_exp) * platform.compute_scale;
+  const int pipeline_stride = std::max(1, nranks / profile.reference_ranks);
+  const int pipeline_hops = nranks / pipeline_stride;
+  double per_iter = 0.0;
+  for (const auto& phase : profile.phases) {
+    double mean = static_cast<double>(phase.compute_mean);
+    if (phase.decays) mean /= 2.5;  // floored quadratic decay average
+    const double scaled =
+        mean * (phase.class_invariant
+                    ? std::pow(ratio, profile.compute_scaling_exp) *
+                          platform.compute_scale
+                    : compute_factor);
+    per_iter += scaled;
+    // Pipeline sweeps serialize a whole chain of stages per iteration.
+    if (phase.comm == workloads::CommPattern::kPipelineSend ||
+        phase.comm == workloads::CommPattern::kPipelineSendBack) {
+      per_iter += static_cast<double>(pipeline_hops - 1) *
+                  (scaled + 1.0e4 /*per-hop message+call overhead, ns*/);
+    }
+    // Big synchronizing transposes are runtime, not slack.
+    if (phase.comm == workloads::CommPattern::kAlltoall &&
+        phase.every == 1) {
+      const double bytes = static_cast<double>(phase.bytes) *
+                           std::min(std::pow(ratio, 2.0), 8.0);
+      const double gbytes_per_s = platform.network_bandwidth_gbps * 0.125;
+      per_iter += bytes * static_cast<double>(nranks - 1) / gbytes_per_s;
+    }
+  }
+  const double total = static_cast<double>(profile.setup_time) +
+                       per_iter * static_cast<double>(profile.iterations);
+  // Residual communication / straggler margin.
+  return static_cast<sim::Time>(total * 1.15);
+}
+
+RunResult run_one(const RunConfig& config) {
+  util::Rng rng(config.seed);
+
+  const std::string input =
+      config.input.empty()
+          ? workloads::default_input(config.bench, config.nranks)
+          : config.input;
+  const auto profile = workloads::make_profile(config.bench, input,
+                                               config.nranks);
+
+  RunResult result;
+  result.estimated_clean =
+      estimate_clean_runtime(*profile, config.platform, config.nranks);
+  result.walltime = config.walltime_override.value_or(static_cast<sim::Time>(
+      static_cast<double>(result.estimated_clean) * config.walltime_factor));
+
+  // Fault plan.
+  faults::FaultPlan plan;
+  plan.type = config.fault;
+  if (plan.type != faults::FaultType::kNone) {
+    plan.victim =
+        static_cast<simmpi::Rank>(rng.uniform_int(
+            static_cast<std::uint64_t>(config.nranks)));
+    const double lo = std::max(
+        static_cast<double>(config.min_fault_time),
+        config.fault_window_lo * static_cast<double>(result.estimated_clean));
+    const double hi = std::max(
+        lo + 1e9,
+        config.fault_window_hi * static_cast<double>(result.estimated_clean));
+    plan.trigger_time = static_cast<sim::Time>(rng.uniform(lo, hi));
+  }
+  faults::FaultInjector injector(plan);
+
+  simmpi::WorldConfig world_config;
+  world_config.nranks = config.nranks;
+  world_config.platform = config.platform;
+  world_config.seed = rng.next();
+  world_config.background_slowdowns = config.background_slowdowns;
+  simmpi::World world(world_config,
+                      injector.wrap(workloads::make_factory(profile)));
+  injector.arm(world);
+
+  trace::StackInspector::Config inspector_config;
+  inspector_config.seed = rng.next();
+  if (config.trace_cost_override) {
+    inspector_config.trace_cost_mean = *config.trace_cost_override;
+  }
+  trace::StackInspector inspector(world, inspector_config);
+
+  bool killed = false;
+  sim::Time kill_time = 0;
+
+  std::unique_ptr<core::HangDetector> detector;
+  if (config.with_parastack) {
+    auto det_config = config.detector;
+    det_config.seed = rng.next();
+    detector = std::make_unique<core::HangDetector>(world, inspector,
+                                                    det_config);
+    if (config.kill_on_detection) {
+      detector->on_hang = [&](const core::HangReport& report) {
+        killed = true;
+        kill_time = report.detected_at;
+      };
+    }
+  }
+
+  std::unique_ptr<core::TimeoutDetector> baseline;
+  if (config.with_timeout_baseline) {
+    auto base_config = config.timeout;
+    base_config.seed = rng.next();
+    baseline = std::make_unique<core::TimeoutDetector>(world, inspector,
+                                                       base_config);
+    if (config.kill_on_detection && !config.with_parastack) {
+      baseline->on_hang = [&](const core::TimeoutDetector::Report& report) {
+        killed = true;
+        kill_time = report.detected_at;
+      };
+    }
+  }
+
+  world.start();
+  if (detector) detector->start();
+  if (baseline) baseline->start();
+
+  auto& engine = world.engine();
+  while (!world.all_finished() && !killed && engine.now() <= result.walltime) {
+    if (!engine.step()) break;
+  }
+
+  if (detector) detector->stop();
+  if (baseline) baseline->stop();
+
+  result.completed = world.all_finished();
+  result.finish_time = world.finish_time();
+  // A job that neither finished nor got killed sits hung until its slot
+  // expires — the whole allocation is billed (paper §2).
+  result.end_time = result.completed ? result.finish_time
+                    : killed         ? kill_time
+                                     : result.walltime;
+  result.fault = injector.record();
+  if (detector) {
+    result.hangs = detector->hang_reports();
+    result.slowdowns = detector->slowdown_reports();
+    result.final_interval = detector->interval();
+    result.interval_doublings = detector->interval_doublings();
+    result.model_samples = detector->model().size();
+  }
+  if (baseline) result.timeout_reports = baseline->reports();
+  result.traces = inspector.traces();
+  result.trace_cost = inspector.total_cost_charged();
+
+  if (profile->flops_per_iteration > 0.0 && result.completed) {
+    const double flops = profile->flops_per_iteration *
+                         static_cast<double>(profile->iterations) *
+                         static_cast<double>(config.nranks);
+    result.gflops = flops / sim::to_seconds(result.finish_time) / 1e9;
+  }
+  return result;
+}
+
+}  // namespace parastack::harness

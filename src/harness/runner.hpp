@@ -1,0 +1,87 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/detector.hpp"
+#include "core/timeout_detector.hpp"
+#include "faults/fault.hpp"
+#include "sim/platform.hpp"
+#include "workloads/catalog.hpp"
+
+namespace parastack::harness {
+
+/// One simulated batch job: a benchmark at a scale on a platform, optionally
+/// monitored by ParaStack and/or the fixed-timeout baseline, optionally with
+/// one injected fault.
+struct RunConfig {
+  workloads::Bench bench = workloads::Bench::kLU;
+  std::string input;  ///< empty = paper default for the scale (Table 2)
+  int nranks = 256;
+  sim::Platform platform = sim::Platform::tardis();
+  std::uint64_t seed = 1;
+
+  bool with_parastack = true;
+  core::DetectorConfig detector;
+
+  bool with_timeout_baseline = false;
+  core::TimeoutDetector::Config timeout;
+
+  faults::FaultType fault = faults::FaultType::kNone;
+  /// Fault trigger drawn uniformly in [lo, hi] x estimated clean runtime,
+  /// but never before `min_fault_time` (the paper discards faults in the
+  /// first ~20 s: the model is still building and real hangs strike the
+  /// long solver phase, §7).
+  double fault_window_lo = 0.15;
+  double fault_window_hi = 0.75;
+  sim::Time min_fault_time = 25 * sim::kSecond;
+
+  /// Requested slot = walltime_factor x estimated runtime (users
+  /// over-request, §2), unless overridden.
+  double walltime_factor = 2.0;
+  std::optional<sim::Time> walltime_override;
+
+  bool background_slowdowns = true;
+  bool kill_on_detection = true;
+
+  /// Override the simulated per-trace ptrace cost (ablation studies).
+  std::optional<sim::Time> trace_cost_override;
+};
+
+struct RunResult {
+  bool completed = false;
+  sim::Time finish_time = -1;
+  sim::Time end_time = 0;  ///< kill / completion / walltime expiry
+  sim::Time estimated_clean = 0;
+  sim::Time walltime = 0;
+  faults::FaultRecord fault;
+  std::vector<core::HangReport> hangs;
+  std::vector<core::SlowdownReport> slowdowns;
+  std::vector<core::TimeoutDetector::Report> timeout_reports;
+  double gflops = 0.0;  ///< HPCG-style metric when the profile defines FLOPs
+  std::uint64_t traces = 0;
+  sim::Time trace_cost = 0;
+  sim::Time final_interval = 0;
+  std::size_t interval_doublings = 0;
+  std::size_t model_samples = 0;
+
+  bool parastack_detected() const noexcept { return !hangs.empty(); }
+  std::optional<sim::Time> first_parastack_detection() const;
+  std::optional<sim::Time> first_timeout_detection() const;
+  /// A detection that fired although no hang was active at that instant.
+  bool detection_before_fault(sim::Time detection) const;
+  /// Seconds from fault activation to ParaStack's report (detected runs).
+  double response_delay_seconds() const;
+};
+
+/// Compute-only runtime estimate used for fault windows and walltime
+/// requests (communication adds a margin on top).
+sim::Time estimate_clean_runtime(const workloads::BenchmarkProfile& profile,
+                                 const sim::Platform& platform, int nranks);
+
+/// Execute one simulated job to its end condition.
+RunResult run_one(const RunConfig& config);
+
+}  // namespace parastack::harness

@@ -1,0 +1,59 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace parastack::sched {
+
+double service_units(const JobTicket& ticket, sim::Time elapsed) {
+  PS_CHECK(elapsed >= 0, "negative elapsed time");
+  const double hours = sim::to_seconds(elapsed) / 3600.0;
+  return static_cast<double>(ticket.nodes) *
+         static_cast<double>(ticket.cores_per_node) * hours;
+}
+
+JobCharge settle(const JobTicket& ticket, std::optional<sim::Time> finish,
+                 std::optional<sim::Time> detection) {
+  JobCharge charge;
+  if (finish && (!detection || *finish <= *detection)) {
+    charge.end = JobEnd::kCompleted;
+    charge.elapsed = std::min(*finish, ticket.walltime);
+  } else if (detection && *detection < ticket.walltime) {
+    charge.end = JobEnd::kKilledOnHangDetection;
+    charge.elapsed = *detection;
+    charge.savings_fraction =
+        1.0 - static_cast<double>(*detection) /
+                  static_cast<double>(ticket.walltime);
+  } else {
+    charge.end = JobEnd::kWalltimeExpired;
+    charge.elapsed = ticket.walltime;
+  }
+  charge.service_units = service_units(ticket, charge.elapsed);
+  return charge;
+}
+
+std::string submission_command(BatchSystem system, const JobTicket& ticket,
+                               const std::string& app_command) {
+  const double hours = sim::to_seconds(ticket.walltime) / 3600.0;
+  const int hh = static_cast<int>(hours);
+  const int mm = static_cast<int>((hours - hh) * 60.0);
+  char buffer[512];
+  if (system == BatchSystem::kSlurm) {
+    std::snprintf(buffer, sizeof buffer,
+                  "psrun-slurm --nodes=%d --ntasks-per-node=%d "
+                  "--time=%02d:%02d:00 --job-name=%s --monitor-per-node -- %s",
+                  ticket.nodes, ticket.cores_per_node, hh, mm,
+                  ticket.job_name.c_str(), app_command.c_str());
+  } else {
+    std::snprintf(buffer, sizeof buffer,
+                  "psrun-torque -l nodes=%d:ppn=%d,walltime=%02d:%02d:00 "
+                  "-N %s --monitor-per-node -- %s",
+                  ticket.nodes, ticket.cores_per_node, hh, mm,
+                  ticket.job_name.c_str(), app_command.c_str());
+  }
+  return buffer;
+}
+
+}  // namespace parastack::sched

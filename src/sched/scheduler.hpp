@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace parastack::sched {
+
+/// Which batch system the job script targets (the paper integrates with
+/// both Torque and Slurm, §5).
+enum class BatchSystem { kSlurm, kTorque };
+
+/// A batch allocation request: nodes x cores for a wall-clock slot.
+struct JobTicket {
+  int nodes = 1;
+  int cores_per_node = 16;
+  sim::Time walltime = sim::kHour;
+  std::string job_name = "mpi_job";
+};
+
+enum class JobEnd {
+  kCompleted,             ///< application finished inside the slot
+  kKilledOnHangDetection, ///< ParaStack terminated it early
+  kWalltimeExpired,       ///< hung (or slow) job burned the whole slot
+};
+
+/// What the machine bills for the job. Supercomputers charge Service Units
+/// = nodes x cores x elapsed hours (paper §7.1-V, [9,10]); a hung batch job
+/// is billed until its slot expires.
+struct JobCharge {
+  JobEnd end = JobEnd::kCompleted;
+  sim::Time elapsed = 0;        ///< billed wall-clock time
+  double service_units = 0.0;
+  /// Fraction of the allocated slot ParaStack saved vs. burning it fully
+  /// (0 unless end == kKilledOnHangDetection).
+  double savings_fraction = 0.0;
+};
+
+/// SUs billed for `elapsed` on this allocation.
+double service_units(const JobTicket& ticket, sim::Time elapsed);
+
+/// Settle the bill: `finish` is the app's completion time (if it finished),
+/// `detection` the hang-detection time (if a detector fired). Without
+/// either, the job burns its slot.
+JobCharge settle(const JobTicket& ticket, std::optional<sim::Time> finish,
+                 std::optional<sim::Time> detection);
+
+/// The submission command the integration would generate (paper §5
+/// "Job submission": one ParaStack monitor per node, launched alongside the
+/// application). Purely informational here.
+std::string submission_command(BatchSystem system, const JobTicket& ticket,
+                               const std::string& app_command);
+
+}  // namespace parastack::sched

@@ -1,0 +1,57 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace parastack::sim {
+
+Engine::EventId Engine::schedule_at(Time t, Callback cb) {
+  PS_CHECK(t >= now_, "cannot schedule events in the past");
+  PS_CHECK(static_cast<bool>(cb), "null event callback");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+Engine::EventId Engine::schedule_after(Time dt, Callback cb) {
+  PS_CHECK(dt >= 0, "negative delay");
+  return schedule_at(now_ + dt, std::move(cb));
+}
+
+void Engine::cancel(EventId id) { callbacks_.erase(id); }
+
+bool Engine::step() {
+  if (stopped_) return false;
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    PS_CHECK(ev.time >= now_, "event queue time went backwards");
+    now_ = ev.time;
+    ++fired_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time t) {
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Engine::run_until_idle() {
+  while (step()) {
+  }
+}
+
+std::size_t Engine::events_pending() const { return callbacks_.size(); }
+
+}  // namespace parastack::sim

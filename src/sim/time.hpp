@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace parastack::sim {
+
+/// Virtual simulation time in nanoseconds. 64 bits cover ~292 years, far
+/// beyond any job; arithmetic stays exact (no floating-point clock drift).
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+inline constexpr Time kMinute = 60 * kSecond;
+inline constexpr Time kHour = 60 * kMinute;
+
+/// Sentinel for "never" (events that must not fire; frozen processes).
+inline constexpr Time kNever = INT64_MAX / 4;
+
+constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+constexpr double to_millis(Time t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+constexpr Time from_seconds(double s) noexcept {
+  return static_cast<Time>(s * 1e9);
+}
+constexpr Time from_millis(double ms) noexcept {
+  return static_cast<Time>(ms * 1e6);
+}
+constexpr Time from_micros(double us) noexcept {
+  return static_cast<Time>(us * 1e3);
+}
+
+}  // namespace parastack::sim

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "simmpi/types.hpp"
+
+namespace parastack::simmpi {
+
+/// One step of a simulated MPI program, produced by a Program and executed
+/// by a RankProcess. The three communication styles of paper §3 map to:
+///   blocking       -> kSend/kRecv/kSendrecv/collectives
+///   half-blocking  -> kIsend/kIrecv followed by kWaitAll
+///   busy-wait      -> kIsend/kIrecv followed by kTestLoop
+struct Action {
+  enum class Kind : std::uint8_t {
+    kCompute,      ///< user code for ~compute_mean (OUT_MPI)
+    kSend,         ///< blocking MPI_Send to `peer`
+    kRecv,         ///< blocking MPI_Recv from `peer`
+    kSendrecv,     ///< blocking exchange with `peer`
+    kIsend,        ///< nonblocking send; request added to the outstanding set
+    kIrecv,        ///< nonblocking recv; request added to the outstanding set
+    kWaitAll,      ///< block in MPI_Waitall until the outstanding set drains
+    kTestLoop,     ///< busy-wait: user loop body + MPI_Test until drained
+    kBarrier,
+    kBcast,
+    kReduce,
+    kAllreduce,
+    kGather,
+    kAllgather,
+    kAlltoall,
+    kWriteOutput,  ///< write a result/log record (IO-watchdog style signal)
+    kHangCompute,  ///< injected fault: user code that never returns (OUT_MPI)
+    kHangInMpi,    ///< injected fault: MPI call that never completes (IN_MPI)
+    kFinish,       ///< MPI_Finalize; the rank is done
+  };
+
+  Kind kind = Kind::kFinish;
+
+  // kCompute / kTestLoop body / kHangCompute
+  sim::Time compute_mean = 0;
+  double compute_cv = 0.0;
+  std::string_view user_func = {};  ///< frame name for the user code
+
+  // point-to-point
+  Rank peer = -1;       ///< destination (sends) / source (receives)
+  Rank recv_peer = -1;  ///< kSendrecv only: source of the receive half
+  int tag = 0;
+  std::size_t bytes = 0;
+
+  // rooted collectives
+  Rank root = 0;
+
+  // kHangInMpi: which MPI function the victim appears stuck in
+  MpiFunc hang_func = MpiFunc::kRecv;
+
+  static Action compute(sim::Time mean, double cv, std::string_view func) {
+    Action a;
+    a.kind = Kind::kCompute;
+    a.compute_mean = mean;
+    a.compute_cv = cv;
+    a.user_func = func;
+    return a;
+  }
+  static Action send(Rank peer, int tag, std::size_t bytes) {
+    Action a;
+    a.kind = Kind::kSend;
+    a.peer = peer;
+    a.tag = tag;
+    a.bytes = bytes;
+    return a;
+  }
+  static Action recv(Rank peer, int tag, std::size_t bytes) {
+    Action a;
+    a.kind = Kind::kRecv;
+    a.peer = peer;
+    a.tag = tag;
+    a.bytes = bytes;
+    return a;
+  }
+  /// Exchange with one partner (send to and receive from `peer`).
+  static Action sendrecv(Rank peer, int tag, std::size_t bytes) {
+    return sendrecv_shift(peer, peer, tag, bytes);
+  }
+  /// Shift-style exchange (send to `send_peer`, receive from `recv_peer`) —
+  /// the deadlock-free halo schedule real codes use.
+  static Action sendrecv_shift(Rank send_peer, Rank recv_peer, int tag,
+                               std::size_t bytes) {
+    Action a;
+    a.kind = Kind::kSendrecv;
+    a.peer = send_peer;
+    a.recv_peer = recv_peer;
+    a.tag = tag;
+    a.bytes = bytes;
+    return a;
+  }
+  static Action isend(Rank peer, int tag, std::size_t bytes) {
+    Action a;
+    a.kind = Kind::kIsend;
+    a.peer = peer;
+    a.tag = tag;
+    a.bytes = bytes;
+    return a;
+  }
+  static Action irecv(Rank peer, int tag, std::size_t bytes) {
+    Action a;
+    a.kind = Kind::kIrecv;
+    a.peer = peer;
+    a.tag = tag;
+    a.bytes = bytes;
+    return a;
+  }
+  static Action wait_all() {
+    Action a;
+    a.kind = Kind::kWaitAll;
+    return a;
+  }
+  static Action test_loop(std::string_view busy_func) {
+    Action a;
+    a.kind = Kind::kTestLoop;
+    a.user_func = busy_func;
+    return a;
+  }
+  static Action collective(Kind kind, std::size_t bytes, Rank root = 0) {
+    Action a;
+    a.kind = kind;
+    a.bytes = bytes;
+    a.root = root;
+    return a;
+  }
+  static Action write_output(std::size_t bytes = 4096) {
+    Action a;
+    a.kind = Kind::kWriteOutput;
+    a.bytes = bytes;
+    return a;
+  }
+  static Action hang_compute(std::string_view func) {
+    Action a;
+    a.kind = Kind::kHangCompute;
+    a.user_func = func;
+    return a;
+  }
+  static Action hang_in_mpi(MpiFunc func) {
+    Action a;
+    a.kind = Kind::kHangInMpi;
+    a.hang_func = func;
+    return a;
+  }
+  static Action finish() { return Action{}; }
+};
+
+/// A per-rank instruction stream. One instance per rank; the RankProcess
+/// pulls the next action each time the previous one completes.
+class Program {
+ public:
+  virtual ~Program() = default;
+  virtual Action next() = 0;
+};
+
+}  // namespace parastack::simmpi

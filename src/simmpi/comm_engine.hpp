@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/platform.hpp"
+#include "simmpi/request.hpp"
+#include "simmpi/types.hpp"
+
+namespace parastack::simmpi {
+
+/// The simulated MPI runtime's communication core: point-to-point matching
+/// with eager/rendezvous protocols, and collectives with per-kind completion
+/// semantics (synchronizing vs rooted-early-exit). All completion instants
+/// come from the platform's alpha-beta network model.
+///
+/// Hang semantics fall out naturally: an op whose match never arrives simply
+/// never completes, and its poster stays blocked forever — exactly how real
+/// MPI deadlocks behave from ParaStack's point of view.
+class CommEngine {
+ public:
+  CommEngine(sim::Engine& engine, const sim::Platform& platform, int nranks);
+
+  CommEngine(const CommEngine&) = delete;
+  CommEngine& operator=(const CommEngine&) = delete;
+
+  /// Post a send src -> dst. The returned request completes when the sender
+  /// may proceed (eager: after the local injection cost, regardless of the
+  /// receiver; rendezvous: after the matched transfer finishes).
+  RequestHandle post_send(Rank src, Rank dst, int tag, std::size_t bytes);
+
+  /// Post a receive of a message src -> dst. Completes when the matched
+  /// message has fully arrived.
+  RequestHandle post_recv(Rank dst, Rank src, int tag, std::size_t bytes);
+
+  /// Enter a collective. `done` fires when this rank may leave the call.
+  /// Ranks must enter collectives in a globally consistent order; a
+  /// kind/root mismatch at the same instance is recorded (mismatch_count)
+  /// and the offending rank never completes — a deadlock, as in real MPI.
+  void enter_collective(MpiFunc kind, Rank rank, Rank root, std::size_t bytes,
+                        std::function<void()> done);
+
+  int nranks() const noexcept { return nranks_; }
+  std::uint64_t mismatch_count() const noexcept { return mismatches_; }
+
+  /// Messages matched so far (diagnostics / tests).
+  std::uint64_t matches() const noexcept { return matched_; }
+
+ private:
+  struct PendingSend {
+    sim::Time post_time;
+    std::size_t bytes;
+    RequestHandle req;
+    bool eager;
+    sim::Time arrival_time;  ///< eager only: when payload reaches dst
+  };
+  struct PendingRecv {
+    sim::Time post_time;
+    std::size_t bytes;
+    RequestHandle req;
+  };
+  struct ChannelKey {
+    Rank src;
+    Rank dst;
+    int tag;
+    bool operator==(const ChannelKey&) const = default;
+  };
+  struct ChannelKeyHash {
+    std::size_t operator()(const ChannelKey& k) const noexcept {
+      auto h = static_cast<std::uint64_t>(k.src) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<std::uint64_t>(k.dst) + 0x7f4a7c15ULL + (h << 6);
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tag)) +
+           (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Channel {
+    std::deque<PendingSend> sends;
+    std::deque<PendingRecv> recvs;
+  };
+
+  struct CollectiveInstance {
+    MpiFunc kind{};
+    Rank root = 0;
+    std::size_t bytes = 0;
+    int arrived = 0;
+    int completed = 0;
+    sim::Time root_arrival = -1;
+    struct Waiter {
+      Rank rank;
+      sim::Time arrival;
+      std::function<void()> done;
+      bool released = false;
+    };
+    std::vector<Waiter> waiters;
+  };
+
+  void complete_at(const RequestHandle& req, sim::Time t);
+  void match(const ChannelKey& key, Channel& channel);
+  sim::Time tree_latency(std::size_t bytes, int ranks_involved) const;
+  sim::Time alltoall_latency(std::size_t bytes) const;
+  void release_waiter(CollectiveInstance& inst,
+                      CollectiveInstance::Waiter& waiter, sim::Time when);
+  void try_release_bcast(CollectiveInstance& inst);
+  void finalize_collective(std::uint64_t id, CollectiveInstance& inst);
+
+  sim::Engine& engine_;
+  const sim::Platform& platform_;
+  int nranks_;
+  std::unordered_map<ChannelKey, Channel, ChannelKeyHash> channels_;
+  std::vector<std::uint64_t> next_collective_seq_;  // per rank
+  std::unordered_map<std::uint64_t, CollectiveInstance> collectives_;
+  std::uint64_t mismatches_ = 0;
+  std::uint64_t matched_ = 0;
+};
+
+}  // namespace parastack::simmpi

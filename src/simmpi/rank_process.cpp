@@ -1,0 +1,412 @@
+#include "simmpi/rank_process.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace parastack::simmpi {
+
+namespace {
+// Busy-wait loop granularity: a short user-code body and an MPI_Test probe.
+// Busy-waiting ranks flip state every couple hundred microseconds, as the
+// paper describes for HPL's hand-rolled collectives; most of each cycle sits
+// inside MPI_Test (the loop body is just loop control), which keeps the
+// persistence check of §4 effective at excluding flippers.
+constexpr sim::Time kBusyBodyMean = sim::from_micros(60);
+constexpr sim::Time kBusyTestMean = sim::from_micros(110);
+// Simulation-granularity backoff limit for busy-wait slices (~80x, i.e.
+// ~5 ms body / ~9 ms probe at the cap).
+constexpr double kBusyBackoffCap = 80.0;
+// Cost of posting a nonblocking op / finishing a completed wait.
+constexpr sim::Time kCallOverhead = sim::from_micros(2);
+constexpr std::string_view kProgressFrame = "pmpi_progress_wait";
+}  // namespace
+
+RankProcess::RankProcess(sim::Engine& engine, CommEngine& comm,
+                         const sim::Platform& platform, Rank rank, int node,
+                         std::unique_ptr<Program> program, util::Rng rng,
+                         Hooks hooks)
+    : engine_(engine), comm_(comm), platform_(platform), rank_(rank),
+      node_(node), program_(std::move(program)), rng_(rng),
+      hooks_(std::move(hooks)) {
+  PS_CHECK(program_ != nullptr, "rank needs a program");
+  stack_.push("main");
+  stack_.push("solver_driver");
+}
+
+void RankProcess::configure_threads(int threads, bool multiple) {
+  PS_CHECK(status_ == RankStatus::kNotStarted,
+           "configure_threads before start()");
+  PS_CHECK(threads >= 1, "at least the master thread");
+  thread_multiple_ = multiple;
+  worker_stacks_.assign(static_cast<std::size_t>(threads - 1), CallStack{});
+  for (auto& stack : worker_stacks_) {
+    stack.push("omp_worker_entry");
+    stack.push("omp_idle_spin");
+  }
+}
+
+const CallStack& RankProcess::worker_stack(int worker) const {
+  PS_CHECK(worker >= 0 &&
+               worker < static_cast<int>(worker_stacks_.size()),
+           "worker index out of range");
+  return worker_stacks_[static_cast<std::size_t>(worker)];
+}
+
+bool RankProcess::in_mpi() const noexcept {
+  if (stack_.in_mpi()) return true;
+  for (const auto& stack : worker_stacks_) {
+    if (stack.in_mpi()) return true;
+  }
+  return false;
+}
+
+void RankProcess::set_worker_frames(std::string_view leaf) {
+  for (auto& stack : worker_stacks_) {
+    stack.clear();
+    stack.push("omp_worker_entry");
+    stack.push(leaf);
+  }
+}
+
+void RankProcess::start() {
+  PS_CHECK(status_ == RankStatus::kNotStarted, "rank started twice");
+  status_ = RankStatus::kComputing;
+  // Stagger startup slightly so ranks do not move in artificial lockstep.
+  engine_.schedule_after(
+      sim::from_micros(rng_.uniform(0.0, 200.0)), guarded([this] { advance(); }));
+}
+
+std::function<void()> RankProcess::guarded(std::function<void()> fn) {
+  const Gen expected = gen_;
+  return [this, expected, fn = std::move(fn)] {
+    if (gen_ != expected || frozen_) return;
+    fn();
+  };
+}
+
+bool RankProcess::pay_suspension(std::function<void()> retry) {
+  if (suspend_debt_ <= 0) return false;
+  const sim::Time debt = suspend_debt_;
+  suspend_debt_ = 0;
+  engine_.schedule_after(debt, guarded(std::move(retry)));
+  return true;
+}
+
+void RankProcess::add_suspension(sim::Time dt) {
+  switch (status_) {
+    case RankStatus::kComputing:
+    case RankStatus::kBusyWaitOut:
+    case RankStatus::kBusyWaitIn:
+      suspend_debt_ += dt;
+      break;
+    default:
+      break;  // blocked / hung / finished ranks lose nothing
+  }
+}
+
+void RankProcess::freeze() {
+  frozen_ = true;
+  ++gen_;  // orphan all pending events and comm callbacks
+}
+
+void RankProcess::advance() {
+  PS_CHECK(!frozen_, "frozen rank advanced");
+  ++actions_;
+  dispatch(program_->next());
+}
+
+sim::Time RankProcess::sample_compute(sim::Time mean, double cv) {
+  const double combined_cv =
+      std::sqrt(cv * cv + platform_.noise_cv * platform_.noise_cv);
+  const double scaled = static_cast<double>(mean) * platform_.compute_scale *
+                        compute_factor_;
+  const double sampled = rng_.lognormal_mean_cv(scaled, combined_cv);
+  return std::max<sim::Time>(static_cast<sim::Time>(sampled), 100);
+}
+
+void RankProcess::begin_compute(const Action& action) {
+  status_ = RankStatus::kComputing;
+  const std::string_view func =
+      action.user_func.empty() ? "user_compute" : action.user_func;
+  stack_.push(func);
+  // Workers join the parallel region (all threads OUT_MPI).
+  if (!worker_stacks_.empty()) set_worker_frames(func);
+  const sim::Time dur = sample_compute(action.compute_mean, action.compute_cv);
+  engine_.schedule_after(dur, guarded([this] { finish_compute(); }));
+}
+
+void RankProcess::finish_compute() {
+  // Inspector ptrace-stops accumulated while computing postpone completion.
+  if (pay_suspension([this] { finish_compute(); })) return;
+  stack_.pop();
+  advance();
+}
+
+void RankProcess::begin_blocking_mpi(MpiFunc func) {
+  status_ = RankStatus::kInMpiBlocked;
+  // Hybrid MULTIPLE mode: communication rotates across threads (§6); the
+  // non-communicating threads sit in worker code. Default single-threaded
+  // mode and FUNNELED mode communicate on the master.
+  mpi_stack_ = &stack_;
+  if (thread_multiple_ && !worker_stacks_.empty()) {
+    const int slot =
+        next_comm_thread_++ % (static_cast<int>(worker_stacks_.size()) + 1);
+    if (slot > 0) {
+      mpi_stack_ = &worker_stacks_[static_cast<std::size_t>(slot - 1)];
+      // Master overlaps computation while a worker communicates.
+      stack_.push("overlap_compute_tile");
+    }
+  }
+  if (!worker_stacks_.empty()) {
+    for (auto& stack : worker_stacks_) {
+      if (&stack == mpi_stack_) continue;
+      stack.clear();
+      stack.push("omp_worker_entry");
+      stack.push("omp_idle_spin");
+    }
+  }
+  mpi_stack_->push(mpi_func_name(func));
+  mpi_stack_->push(kProgressFrame);
+}
+
+void RankProcess::end_blocking_mpi() {
+  PS_CHECK(mpi_stack_ != nullptr, "no blocking MPI call in progress");
+  mpi_stack_->pop();  // progress frame
+  mpi_stack_->pop();  // MPI_x
+  if (mpi_stack_ != &stack_) stack_.pop();  // the master's overlap frame
+  mpi_stack_ = nullptr;
+}
+
+bool RankProcess::outstanding_complete() const {
+  for (const auto& req : outstanding_) {
+    if (!req->complete) return false;
+  }
+  return true;
+}
+
+void RankProcess::begin_test_loop(const Action& action) {
+  busy_func_ = action.user_func.empty() ? "user_busy_wait" : action.user_func;
+  status_ = RankStatus::kBusyWaitOut;
+  stack_.push(busy_func_);
+  busy_backoff_ = 1.0;
+  test_loop_body();
+}
+
+void RankProcess::test_loop_body() {
+  // Loop body: user code, OUT_MPI. The simulated slice length backs off
+  // exponentially (the real loop spins at microsecond granularity, but the
+  // observable quantity — the OUT/IN duty cycle — is preserved, so the
+  // detector's samples are unaffected while the event count per busy-wait
+  // stays bounded even for ranks that flip "forever" during a hang).
+  status_ = RankStatus::kBusyWaitOut;
+  const sim::Time body = sample_compute(
+      static_cast<sim::Time>(static_cast<double>(kBusyBodyMean) *
+                             busy_backoff_),
+      0.3);
+  engine_.schedule_after(body, guarded([this] {
+    if (pay_suspension([this] { test_loop_poll(); })) {
+      // Suspension already re-schedules the poll; nothing else to do.
+      return;
+    }
+    test_loop_poll();
+  }));
+}
+
+void RankProcess::test_loop_poll() {
+  // MPI_Test probe: IN_MPI briefly.
+  status_ = RankStatus::kBusyWaitIn;
+  stack_.push(mpi_func_name(MpiFunc::kTest));
+  const sim::Time probe = sample_compute(
+      static_cast<sim::Time>(static_cast<double>(kBusyTestMean) *
+                             busy_backoff_),
+      0.2);
+  engine_.schedule_after(probe, guarded([this] {
+    stack_.pop();  // MPI_Test
+    if (outstanding_complete()) {
+      stack_.pop();  // busy loop body frame
+      outstanding_.clear();
+      advance();
+      return;
+    }
+    busy_backoff_ = std::min(busy_backoff_ * 1.6, kBusyBackoffCap);
+    test_loop_body();
+  }));
+}
+
+void RankProcess::dispatch(const Action& action) {
+  using Kind = Action::Kind;
+  switch (action.kind) {
+    case Kind::kCompute:
+      begin_compute(action);
+      return;
+
+    case Kind::kSend: {
+      begin_blocking_mpi(MpiFunc::kSend);
+      auto req = comm_.post_send(rank_, action.peer, action.tag, action.bytes);
+      auto resume = guarded([this] {
+        end_blocking_mpi();
+        advance();
+      });
+      if (req->complete) {
+        engine_.schedule_after(kCallOverhead, std::move(resume));
+      } else {
+        req->on_complete = std::move(resume);
+      }
+      return;
+    }
+
+    case Kind::kRecv: {
+      begin_blocking_mpi(MpiFunc::kRecv);
+      auto req = comm_.post_recv(rank_, action.peer, action.tag, action.bytes);
+      auto resume = guarded([this] {
+        end_blocking_mpi();
+        advance();
+      });
+      if (req->complete) {
+        engine_.schedule_after(kCallOverhead, std::move(resume));
+      } else {
+        req->on_complete = std::move(resume);
+      }
+      return;
+    }
+
+    case Kind::kSendrecv: {
+      begin_blocking_mpi(MpiFunc::kSendrecv);
+      blocking_parts_pending_ = 2;
+      auto part_done = [this] {
+        if (--blocking_parts_pending_ > 0) return;
+        end_blocking_mpi();
+        advance();
+      };
+      const Rank recv_peer =
+          action.recv_peer >= 0 ? action.recv_peer : action.peer;
+      auto send_req =
+          comm_.post_send(rank_, action.peer, action.tag, action.bytes);
+      auto recv_req =
+          comm_.post_recv(rank_, recv_peer, action.tag, action.bytes);
+      for (auto& req : {send_req, recv_req}) {
+        auto resume = guarded(part_done);
+        if (req->complete) {
+          engine_.schedule_after(kCallOverhead, std::move(resume));
+        } else {
+          req->on_complete = std::move(resume);
+        }
+      }
+      return;
+    }
+
+    case Kind::kIsend:
+    case Kind::kIrecv: {
+      const MpiFunc func = action.kind == Kind::kIsend ? MpiFunc::kIsend
+                                                       : MpiFunc::kIrecv;
+      status_ = RankStatus::kInMpiBlocked;  // momentarily inside the call
+      stack_.push(mpi_func_name(func));
+      auto req = action.kind == Kind::kIsend
+                     ? comm_.post_send(rank_, action.peer, action.tag,
+                                       action.bytes)
+                     : comm_.post_recv(rank_, action.peer, action.tag,
+                                       action.bytes);
+      outstanding_.push_back(std::move(req));
+      engine_.schedule_after(kCallOverhead, guarded([this] {
+        stack_.pop();
+        advance();
+      }));
+      return;
+    }
+
+    case Kind::kWaitAll: {
+      begin_blocking_mpi(MpiFunc::kWaitall);
+      auto pending = std::make_shared<int>(0);
+      for (const auto& req : outstanding_) {
+        if (!req->complete) ++*pending;
+      }
+      auto resume = [this] {
+        end_blocking_mpi();
+        outstanding_.clear();
+        advance();
+      };
+      if (*pending == 0) {
+        engine_.schedule_after(kCallOverhead, guarded(resume));
+        return;
+      }
+      for (const auto& req : outstanding_) {
+        if (req->complete) continue;
+        req->on_complete = guarded([this, pending, resume] {
+          if (--*pending == 0) resume();
+        });
+      }
+      return;
+    }
+
+    case Kind::kTestLoop:
+      begin_test_loop(action);
+      return;
+
+    case Kind::kBarrier:
+    case Kind::kBcast:
+    case Kind::kReduce:
+    case Kind::kAllreduce:
+    case Kind::kGather:
+    case Kind::kAllgather:
+    case Kind::kAlltoall: {
+      MpiFunc func;
+      switch (action.kind) {
+        case Kind::kBarrier: func = MpiFunc::kBarrier; break;
+        case Kind::kBcast: func = MpiFunc::kBcast; break;
+        case Kind::kReduce: func = MpiFunc::kReduce; break;
+        case Kind::kAllreduce: func = MpiFunc::kAllreduce; break;
+        case Kind::kGather: func = MpiFunc::kGather; break;
+        case Kind::kAllgather: func = MpiFunc::kAllgather; break;
+        default: func = MpiFunc::kAlltoall; break;
+      }
+      begin_blocking_mpi(func);
+      comm_.enter_collective(func, rank_, action.root, action.bytes,
+                             guarded([this] {
+                               end_blocking_mpi();
+                               advance();
+                             }));
+      return;
+    }
+
+    case Kind::kWriteOutput: {
+      // A short I/O burst in user code; completion pings the watchdog hook.
+      status_ = RankStatus::kComputing;
+      stack_.push("io_write_results");
+      const auto bytes = action.bytes;
+      engine_.schedule_after(sample_compute(sim::from_millis(2), 0.3),
+                             guarded([this, bytes] {
+                               stack_.pop();
+                               if (hooks_.on_io_write) {
+                                 hooks_.on_io_write(rank_, bytes);
+                               }
+                               advance();
+                             }));
+      return;
+    }
+
+    case Kind::kHangCompute:
+      status_ = RankStatus::kHungCompute;
+      stack_.push(action.user_func.empty() ? "user_compute"
+                                           : action.user_func);
+      return;  // no completion event: the hang
+
+    case Kind::kHangInMpi:
+      begin_blocking_mpi(action.hang_func);
+      return;  // the comm engine never releases it
+
+    case Kind::kFinish:
+      status_ = RankStatus::kFinished;
+      finished_at_ = engine_.now();
+      stack_.clear();
+      stack_.push("main");
+      stack_.push(mpi_func_name(MpiFunc::kFinalize));
+      if (!worker_stacks_.empty()) set_worker_frames("omp_threads_joined");
+      if (hooks_.on_finished) hooks_.on_finished(rank_);
+      return;
+  }
+  PS_UNREACHABLE("unhandled action kind");
+}
+
+}  // namespace parastack::simmpi

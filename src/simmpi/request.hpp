@@ -1,0 +1,20 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace parastack::simmpi {
+
+/// A nonblocking-operation handle (the moral equivalent of MPI_Request).
+/// The CommEngine marks it complete at the modelled completion instant; an
+/// optional waiter callback (set by MPI_Waitall emulation) fires then.
+struct Request {
+  bool complete = false;
+  std::function<void()> on_complete;  ///< at most one waiter per request
+};
+
+using RequestHandle = std::shared_ptr<Request>;
+
+inline RequestHandle make_request() { return std::make_shared<Request>(); }
+
+}  // namespace parastack::simmpi

@@ -1,0 +1,37 @@
+#include "stats/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace parastack::stats {
+
+double ci_sample_bound(double p, double e) {
+  PS_CHECK(e > 0.0, "tolerance must be positive");
+  return kZ95Squared / (e * e) * p * (1.0 - p);
+}
+
+double min_samples_for(double p, double e) {
+  PS_CHECK(p > 0.0 && p < 1.0, "p must be in (0,1)");
+  return std::max({5.0 / p, 5.0 / (1.0 - p), ci_sample_bound(p, e)});
+}
+
+OptimalPoint optimal_suspicion_point(double e) {
+  // f_max is the max of a decreasing (5/p) and an increasing-then-decreasing
+  // (parabola) function on (0, 0.5]; scan a fine grid then polish around the
+  // best cell. A 1e-4 grid is exact to the paper's two reported decimals.
+  double best_p = 0.5;
+  double best_n = min_samples_for(0.5, e);
+  for (int i = 1; i <= 5000; ++i) {
+    const double p = static_cast<double>(i) / 10000.0;
+    const double n = min_samples_for(p, e);
+    if (n < best_n) {
+      best_n = n;
+      best_p = p;
+    }
+  }
+  return {best_p, static_cast<std::size_t>(std::ceil(best_n - 1e-9))};
+}
+
+}  // namespace parastack::stats

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace parastack::stats {
+
+/// Machinery behind the paper's robust-model sample-size ladder (§3.2).
+///
+/// Sampling suspicion-vs-non-suspicion is a Bernoulli process. The normal
+/// approximation to the binomial is credible (rule of thumb) when
+/// n*p > 5 and n*(1-p) > 5, and estimating p within +/- e at 95% confidence
+/// requires 1.96^2/e^2 * p(1-p) samples. The minimum sample size justifying
+/// an estimate p-hat is therefore
+///     f_max(p) = max{5/p, 5/(1-p), 3.8416/e^2 * p(1-p)}.
+
+/// 1.96^2, the paper's constant.
+inline constexpr double kZ95Squared = 3.8416;
+
+/// The paper's four tolerance levels, largest first.
+inline constexpr std::array<double, 4> kToleranceLadder = {0.3, 0.2, 0.1,
+                                                           0.05};
+
+/// n(p) = 3.8416/e^2 * p * (1 - p): CI-width term of the sample bound.
+double ci_sample_bound(double p, double e);
+
+/// f_max(p): minimum sample size at which an estimate p-hat = p is credible
+/// with tolerance e (see above). Requires p in (0, 1).
+double min_samples_for(double p, double e);
+
+/// The p in (0, 0.5] minimizing f_max(p) for tolerance e, found numerically.
+/// (At e = 0.3/0.2/0.1/0.05 this reproduces the paper's
+/// (0.47,11), (0.27,19), (0.12,42), (0.06,86).)
+struct OptimalPoint {
+  double p_m;        ///< suspicion probability minimizing the bound
+  std::size_t n_m;   ///< ceil of the minimized bound
+};
+OptimalPoint optimal_suspicion_point(double e);
+
+}  // namespace parastack::stats

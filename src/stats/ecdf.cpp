@@ -1,0 +1,82 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace parastack::stats {
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  dirty_ = true;
+}
+
+void EmpiricalCdf::clear() {
+  samples_.clear();
+  support_.clear();
+  dirty_ = false;
+}
+
+void EmpiricalCdf::refresh() const {
+  if (!dirty_) return;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  support_.clear();
+  const auto n = static_cast<double>(sorted.size());
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    support_.push_back({sorted[i], static_cast<double>(j) / n});
+    i = j;
+  }
+  dirty_ = false;
+}
+
+double EmpiricalCdf::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  refresh();
+  double result = 0.0;
+  for (const auto& pt : support_) {
+    if (pt.value <= x) {
+      result = pt.cum_prob;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  PS_CHECK(!samples_.empty(), "quantile of empty ECDF");
+  PS_CHECK(p > 0.0 && p <= 1.0, "quantile p must be in (0,1]");
+  refresh();
+  for (const auto& pt : support_) {
+    if (pt.cum_prob >= p - 1e-12) return pt.value;
+  }
+  return support_.back().value;
+}
+
+double EmpiricalCdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+const std::vector<EmpiricalCdf::Point>& EmpiricalCdf::support() const {
+  refresh();
+  return support_;
+}
+
+void EmpiricalCdf::thin_half() {
+  std::vector<double> kept;
+  kept.reserve((samples_.size() + 1) / 2);
+  for (std::size_t i = 0; i < samples_.size(); i += 2) {
+    kept.push_back(samples_[i]);
+  }
+  samples_ = std::move(kept);
+  dirty_ = true;
+}
+
+}  // namespace parastack::stats

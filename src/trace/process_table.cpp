@@ -1,0 +1,83 @@
+#include "trace/process_table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parastack::trace {
+
+namespace {
+/// Daemons that share the node with the job; the command-name filter must
+/// reject them (paper §5: match by the job's command name).
+constexpr const char* kSystemProcesses[] = {
+    "systemd", "sshd", "slurmstepd", "pbs_mom", "kworker/0:1", "nfsd",
+    "parastack_monitor",
+};
+}  // namespace
+
+ProcessTable::ProcessTable(const simmpi::World& world, std::string job_command,
+                           std::uint64_t seed)
+    : job_command_(std::move(job_command)),
+      ppn_(world.platform().cores_per_node) {
+  PS_CHECK(!job_command_.empty(), "job command must be non-empty");
+  util::Rng rng(seed);
+  rank_to_pid_.assign(static_cast<std::size_t>(world.nranks()), 0);
+  tables_.resize(static_cast<std::size_t>(world.nnodes()));
+  for (int node = 0; node < world.nnodes(); ++node) {
+    auto& table = tables_[static_cast<std::size_t>(node)];
+    // System daemons with low-ish PIDs.
+    for (const char* daemon : kSystemProcesses) {
+      table.push_back(
+          {static_cast<int>(1 + rng.uniform_int(3000)), daemon});
+    }
+    // The job's local processes: launched in rank order, so their PIDs
+    // ascend (rule 1). Start above the daemons.
+    int pid = static_cast<int>(4000 + rng.uniform_int(20000));
+    for (const simmpi::Rank r : world.ranks_on_node(node)) {
+      pid += static_cast<int>(1 + rng.uniform_int(7));  // fork/exec gaps
+      table.push_back({pid, job_command_});
+      rank_to_pid_[static_cast<std::size_t>(r)] = pid;
+    }
+    // `ps` sorts its own way; shuffle so the mapper cannot rely on order.
+    for (std::size_t i = table.size(); i > 1; --i) {
+      std::swap(table[i - 1], table[rng.uniform_int(i)]);
+    }
+  }
+}
+
+std::vector<PsEntry> ProcessTable::ps_on_node(int node) const {
+  PS_CHECK(node >= 0 && node < nodes(), "node out of range");
+  return tables_[static_cast<std::size_t>(node)];
+}
+
+std::vector<MappedRank> ProcessTable::map_ranks(
+    const std::vector<PsEntry>& ps, std::string_view job_command, int node,
+    int ppn) {
+  PS_CHECK(ppn >= 1, "ppn must be >= 1");
+  std::vector<MappedRank> mapped;
+  for (const auto& entry : ps) {
+    if (entry.command == job_command) {
+      mapped.push_back({entry.pid, -1});
+    }
+  }
+  // Rule 1: rank increases with PID on the node.
+  std::sort(mapped.begin(), mapped.end(),
+            [](const MappedRank& a, const MappedRank& b) {
+              return a.pid < b.pid;
+            });
+  // Rule 2: this node hosts ranks [node*ppn, node*ppn + count).
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    mapped[i].rank =
+        static_cast<simmpi::Rank>(node * ppn + static_cast<int>(i));
+  }
+  return mapped;
+}
+
+int ProcessTable::pid_of_rank(simmpi::Rank rank) const {
+  PS_CHECK(rank >= 0 &&
+               rank < static_cast<simmpi::Rank>(rank_to_pid_.size()),
+           "rank out of range");
+  return rank_to_pid_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace parastack::trace

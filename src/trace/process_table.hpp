@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simmpi/types.hpp"
+#include "simmpi/world.hpp"
+#include "util/rng.hpp"
+
+namespace parastack::trace {
+
+/// One line of (simulated) `ps` output on a node: what a ParaStack monitor
+/// actually sees — no MPI rank information whatsoever.
+struct PsEntry {
+  int pid = 0;
+  std::string command;
+};
+
+/// A rank the monitor inferred from the process table.
+struct MappedRank {
+  int pid = 0;
+  simmpi::Rank rank = -1;
+};
+
+/// Paper §5 "Mapping between MPI rank and process ID": ParaStack attaches
+/// from *outside* the application, so it must discover the job's processes
+/// with `ps` and recover their MPI ranks from the schedulers' deterministic
+/// assignment rules:
+///   (1) on one node, MPI rank increases with process id (launch order);
+///   (2) across nodes, rank increases with node id in the allocation list.
+/// Monitor i therefore owns ranks [i*ppn, (i+1)*ppn) and maps them by
+/// sorting the matching PIDs.
+///
+/// This class simulates the node process tables (job processes in launch
+/// order with ascending PIDs, interleaved with unrelated system daemons)
+/// and provides the monitor-side mapping algorithm.
+class ProcessTable {
+ public:
+  /// Build the tables for a running world. `job_command` is the
+  /// application's argv[0] as `ps` reports it (e.g. "./xhpl").
+  ProcessTable(const simmpi::World& world, std::string job_command,
+               std::uint64_t seed);
+
+  /// What `ps` returns on `node`: job processes and system daemons in an
+  /// arbitrary (but deterministic per seed) order.
+  std::vector<PsEntry> ps_on_node(int node) const;
+
+  /// The monitor-side algorithm: filter `ps` output by command name, sort
+  /// by PID, and assign ranks node*ppn + index (paper §5's two rules).
+  /// `ppn` is the user's processes-per-node request.
+  static std::vector<MappedRank> map_ranks(const std::vector<PsEntry>& ps,
+                                           std::string_view job_command,
+                                           int node, int ppn);
+
+  /// Ground truth (for validation): the PID hosting `rank`.
+  int pid_of_rank(simmpi::Rank rank) const;
+
+  const std::string& job_command() const noexcept { return job_command_; }
+  int ppn() const noexcept { return ppn_; }
+  int nodes() const noexcept { return static_cast<int>(tables_.size()); }
+
+ private:
+  std::string job_command_;
+  int ppn_ = 0;
+  std::vector<std::vector<PsEntry>> tables_;  // per node, shuffled
+  std::vector<int> rank_to_pid_;
+};
+
+}  // namespace parastack::trace

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parastack::util {
+
+/// Minimal GNU-style argument parser for the CLI tools:
+/// `--key value`, `--key=value`, bare `--flag`, and positionals.
+/// No external dependencies; order-independent lookup.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if `--name` appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of `--name`; `fallback` when absent. A bare flag yields "".
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+
+  /// Numeric accessors with fallbacks; die with a clear message on garbage.
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// Keys that were passed but never queried — typo detection for tools.
+  std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace parastack::util

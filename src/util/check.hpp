@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Lightweight invariant checking. PS_CHECK is active in all build types:
+/// the simulator's correctness arguments depend on these invariants and the
+/// cost is negligible relative to event dispatch.
+#define PS_CHECK(cond, msg)                                                   \
+  do {                                                                        \
+    if (!(cond)) [[unlikely]] {                                               \
+      std::fprintf(stderr, "PS_CHECK failed at %s:%d: %s\n  %s\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define PS_UNREACHABLE(msg)                                                   \
+  do {                                                                        \
+    std::fprintf(stderr, "PS_UNREACHABLE at %s:%d: %s\n", __FILE__, __LINE__, \
+                 msg);                                                        \
+    std::abort();                                                             \
+  } while (0)

@@ -1,0 +1,56 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace parastack::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  PS_CHECK(hi > lo, "histogram range must be non-empty");
+  PS_CHECK(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  PS_CHECK(bucket < counts_.size(), "histogram bucket out of range");
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  PS_CHECK(bucket < counts_.size(), "histogram bucket out of range");
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + width_;
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * max_width / peak;
+    std::snprintf(line, sizeof line, "[%8.2f, %8.2f) %6zu |", bucket_lo(b),
+                  bucket_hi(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace parastack::util

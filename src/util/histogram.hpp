@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace parastack::util {
+
+/// Fixed-width bucket histogram over [lo, hi); values outside the range are
+/// clamped into the first/last bucket. Used for the response-delay
+/// distribution plots (paper Figure 9) and S_out waveform summaries.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  std::size_t total() const noexcept { return total_; }
+  /// Inclusive lower edge of a bucket.
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Render as an ASCII bar chart, one line per bucket, for bench output.
+  std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace parastack::util

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string_view>
+
+namespace parastack::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold; defaults to kWarn so library users see
+/// problems but campaigns stay quiet. Not thread-safe by design: the
+/// simulator is single-threaded (determinism requirement).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line to stderr if `level` passes the threshold.
+void log(LogLevel level, std::string_view component, std::string_view message);
+
+}  // namespace parastack::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "workloads/profile.hpp"
+
+namespace parastack::workloads {
+
+/// The paper's evaluation applications: six NAS Parallel Benchmarks, High
+/// Performance Linpack, and HPCG (§7, Table 2).
+enum class Bench { kBT, kCG, kFT, kLU, kMG, kSP, kHPL, kHPCG };
+
+std::string_view bench_name(Bench bench) noexcept;
+
+/// All benchmarks, in the paper's table order.
+inline constexpr Bench kAllBenches[] = {Bench::kBT, Bench::kCG, Bench::kFT,
+                                        Bench::kLU, Bench::kMG, Bench::kSP,
+                                        Bench::kHPL, Bench::kHPCG};
+
+/// Build the calibrated profile for a benchmark at a given input size.
+/// `input` is an NPB class ("C"/"D"/"E"), an HPL matrix width ("80000"),
+/// or an HPCG local-domain edge ("64"). `nranks` is needed because HPL and
+/// HPCG bake their size-dependent scaling directly into the profile.
+std::shared_ptr<const BenchmarkProfile> make_profile(Bench bench,
+                                                     std::string_view input,
+                                                     int nranks);
+
+/// The paper's default input for a given running scale (Table 2).
+std::string default_input(Bench bench, int nranks);
+
+}  // namespace parastack::workloads

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace parastack::workloads {
+
+/// How a phase communicates after its compute part (if any).
+/// The paper's three communication styles (§3) map to the three halo kinds;
+/// kPipelineRecv/kPipelineSend build LU's wavefront.
+enum class CommPattern : std::uint8_t {
+  kNone,
+  kHaloBlocking,       ///< MPI_Sendrecv with each neighbor (blocking style)
+  kHaloHalfBlocking,   ///< Irecv/Isend all neighbors + Waitall
+  kHaloBusyWait,       ///< Irecv/Isend all neighbors + MPI_Test busy loop
+  kPipelineRecv,       ///< blocking Recv from rank-1 (none on rank 0)
+  kPipelineSend,       ///< blocking Send to rank+1 (none on the last rank)
+  kPipelineRecvBack,   ///< blocking Recv from rank+1 (none on the last rank)
+  kPipelineSendBack,   ///< blocking Send to rank-1 (none on rank 0)
+  kBarrier,
+  kBcast,              ///< rooted, non-synchronizing
+  kReduce,             ///< rooted, non-synchronizing for non-roots
+  kAllreduce,          ///< synchronizing
+  kGather,
+  kAllgather,          ///< synchronizing
+  kAlltoall,           ///< synchronizing; FT's transposes
+};
+
+/// One segment of a solver iteration: optional compute followed by optional
+/// communication. All magnitudes are given at `BenchmarkProfile::
+/// reference_ranks` and scaled by the program for other job sizes.
+struct Phase {
+  std::string user_func;          ///< stack-frame name of the compute code
+  sim::Time compute_mean = 0;     ///< 0 = no compute part
+  double compute_cv = 0.08;       ///< per-rank load imbalance within the phase
+  CommPattern comm = CommPattern::kNone;
+  std::size_t bytes = 0;          ///< per-message (halo/p2p) or payload size
+  int every = 1;                  ///< run the comm only when iter % every == 0
+  int halo_neighbors = 2;         ///< 2 = 1D ring, 4 = 2D grid
+  bool rotate_root = false;       ///< Bcast/Reduce root = iter % nranks (HPL)
+  bool decays = false;            ///< compute shrinks as the run progresses
+  /// Not scaled by the input-class factor (e.g. LU's wavefront pencil
+  /// stages, whose per-hop cost is tile-sized regardless of class).
+  bool class_invariant = false;
+};
+
+/// A synthetic iterative MPI benchmark: setup, then `iterations` passes over
+/// `phases`. Calibrated instances for NPB/HPL/HPCG live in catalog.cpp.
+struct BenchmarkProfile {
+  std::string name;               ///< "LU", "HPL", ...
+  std::string input;              ///< "D", "E", "80000", ...
+  std::vector<Phase> phases;
+  std::uint64_t iterations = 100;
+
+  /// Scale at which compute_mean/bytes are specified.
+  int reference_ranks = 256;
+  /// Per-rank compute multiplies by (reference_ranks / nranks)^exp.
+  double compute_scaling_exp = 1.0;
+  /// Per-message bytes multiply by (reference_ranks / nranks)^exp
+  /// (surface-to-volume: halos shrink slower than compute).
+  double bytes_scaling_exp = 0.67;
+  /// Alltoall per-pair payloads shrink as 1/P^2 under strong scaling.
+  double alltoall_scaling_exp = 2.0;
+
+  /// For profiles with `decays` phases: compute scale at iteration i is
+  /// (1 - i/iterations)^2, HPL's shrinking trailing matrix.
+  /// Setup compute executed once before the solver loop.
+  sim::Time setup_time = 2 * sim::kSecond;
+
+  /// Whole-job useful FLOP per solver iteration (HPCG's GFLOPS metric);
+  /// 0 when the benchmark reports wall-clock instead.
+  double flops_per_iteration = 0.0;
+
+  /// Static load imbalance (paper §6 limitation study): the first
+  /// `straggler_count` ranks run their compute `straggler_factor` times
+  /// longer than the rest. 0 stragglers = balanced (default).
+  int straggler_count = 0;
+  double straggler_factor = 1.0;
+
+  /// Rank 0 writes a progress/result record every this many iterations
+  /// (0 = never) — the activity an IO-watchdog observes.
+  int output_every = 10;
+};
+
+}  // namespace parastack::workloads

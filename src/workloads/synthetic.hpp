@@ -1,0 +1,48 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "simmpi/action.hpp"
+#include "simmpi/world.hpp"
+#include "util/rng.hpp"
+#include "workloads/profile.hpp"
+
+namespace parastack::workloads {
+
+/// Executes a BenchmarkProfile on one rank: emits setup, then per-iteration
+/// phase actions (compute + communication), then Finish. All sizing is
+/// rescaled from the profile's reference scale to the actual job size.
+class SyntheticProgram : public simmpi::Program {
+ public:
+  SyntheticProgram(std::shared_ptr<const BenchmarkProfile> profile,
+                   simmpi::Rank rank, int nranks, util::Rng rng);
+
+  simmpi::Action next() override;
+
+ private:
+  void enqueue_iteration();
+  void enqueue_phase(const Phase& phase);
+  void enqueue_halo(const Phase& phase, simmpi::Action::Kind wait_kind);
+  sim::Time scaled_compute(const Phase& phase) const;
+  std::size_t scaled_bytes(const Phase& phase) const;
+  simmpi::Rank neighbor(int index) const;
+
+  std::shared_ptr<const BenchmarkProfile> profile_;
+  simmpi::Rank rank_;
+  int nranks_;
+  util::Rng rng_;
+  double compute_factor_;
+  double bytes_factor_;
+  double alltoall_factor_;
+  int pipeline_stride_ = 1;
+  std::uint64_t iter_ = 0;
+  bool setup_done_ = false;
+  std::deque<simmpi::Action> queue_;
+};
+
+/// ProgramFactory adapter for World construction.
+simmpi::ProgramFactory make_factory(
+    std::shared_ptr<const BenchmarkProfile> profile);
+
+}  // namespace parastack::workloads

@@ -1,0 +1,65 @@
+#include "core/faulty_id.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::core {
+namespace {
+
+trace::StackSnapshot snap(simmpi::Rank rank, bool in_mpi) {
+  trace::StackSnapshot snapshot;
+  snapshot.rank = rank;
+  snapshot.in_mpi = in_mpi;
+  return snapshot;
+}
+
+TEST(FaultyId, EmptyRounds) {
+  EXPECT_TRUE(identify_faulty_ranks({}).empty());
+}
+
+TEST(FaultyId, PersistentlyOutIsFaulty) {
+  std::vector<std::vector<trace::StackSnapshot>> rounds(3);
+  for (auto& round : rounds) {
+    round = {snap(0, true), snap(1, false), snap(2, true)};
+  }
+  const auto faulty = identify_faulty_ranks(rounds);
+  ASSERT_EQ(faulty.size(), 1u);
+  EXPECT_EQ(faulty[0], 1);
+}
+
+TEST(FaultyId, FlippingBusyWaiterExcluded) {
+  // Rank 2 busy-waits: OUT in round 0, IN (MPI_Test) in round 1.
+  std::vector<std::vector<trace::StackSnapshot>> rounds(3);
+  rounds[0] = {snap(0, true), snap(1, false), snap(2, false)};
+  rounds[1] = {snap(0, true), snap(1, false), snap(2, true)};
+  rounds[2] = {snap(0, true), snap(1, false), snap(2, false)};
+  const auto faulty = identify_faulty_ranks(rounds);
+  ASSERT_EQ(faulty.size(), 1u);
+  EXPECT_EQ(faulty[0], 1);
+}
+
+TEST(FaultyId, AllInMpiMeansCommunicationError) {
+  std::vector<std::vector<trace::StackSnapshot>> rounds(3);
+  for (auto& round : rounds) {
+    round = {snap(0, true), snap(1, true), snap(2, true)};
+  }
+  EXPECT_TRUE(identify_faulty_ranks(rounds).empty());
+}
+
+TEST(FaultyId, MultipleFaultyProcesses) {
+  std::vector<std::vector<trace::StackSnapshot>> rounds(2);
+  for (auto& round : rounds) {
+    round = {snap(0, false), snap(1, true), snap(2, false), snap(3, true)};
+  }
+  const auto faulty = identify_faulty_ranks(rounds);
+  EXPECT_EQ(faulty, (std::vector<simmpi::Rank>{0, 2}));
+}
+
+TEST(FaultyIdDeath, MisalignedRounds) {
+  std::vector<std::vector<trace::StackSnapshot>> rounds(2);
+  rounds[0] = {snap(0, true)};
+  rounds[1] = {snap(0, true), snap(1, true)};
+  EXPECT_DEATH((void)identify_faulty_ranks(rounds), "align");
+}
+
+}  // namespace
+}  // namespace parastack::core

@@ -1,0 +1,130 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/binomial.hpp"
+#include "stats/geometric.hpp"
+#include "util/rng.hpp"
+
+namespace parastack::core {
+namespace {
+
+constexpr double kAlpha = 0.001;
+
+void add_many(ScroutModel& model, double value, int count) {
+  for (int i = 0; i < count; ++i) model.add_sample(value);
+}
+
+TEST(ScroutModel, NotReadyWhenEmptyOrTiny) {
+  ScroutModel model;
+  EXPECT_FALSE(model.decision(kAlpha).ready);
+  add_many(model, 0.9, 5);
+  add_many(model, 0.2, 2);
+  EXPECT_FALSE(model.decision(kAlpha).ready);
+}
+
+TEST(ScroutModel, DegenerateSingleValueNeverReady) {
+  // All samples identical: no usable suspicion quantile exists; detection
+  // must stay disabled rather than call everything (or nothing) a hang.
+  ScroutModel model;
+  add_many(model, 1.0, 500);
+  EXPECT_FALSE(model.decision(kAlpha).ready);
+}
+
+TEST(ScroutModel, CoarseToleranceAtSmallSampleSize) {
+  // ~15 samples with ~50/50 mass: the e=0.3 level (n_m ~ 11) applies.
+  ScroutModel model;
+  add_many(model, 0.3, 7);
+  add_many(model, 0.9, 8);
+  const auto decision = model.decision(kAlpha);
+  ASSERT_TRUE(decision.ready);
+  EXPECT_DOUBLE_EQ(decision.tolerance, 0.3);
+  EXPECT_DOUBLE_EQ(decision.threshold, 0.3);
+  EXPECT_NEAR(decision.p_m_prime, 7.0 / 15.0, 1e-9);
+  EXPECT_NEAR(decision.q, 7.0 / 15.0 + 0.3, 1e-9);
+}
+
+TEST(ScroutModel, TighterToleranceAsSamplesAccumulate) {
+  ScroutModel model;
+  util::Rng rng(5);
+  // 10% mass near zero, the rest high: a healthy solver distribution.
+  for (int i = 0; i < 300; ++i) {
+    model.add_sample(rng.uniform() < 0.10 ? 0.0 : 0.8 + 0.1 * (i % 3));
+  }
+  const auto decision = model.decision(kAlpha);
+  ASSERT_TRUE(decision.ready);
+  EXPECT_DOUBLE_EQ(decision.tolerance, 0.05);
+  EXPECT_DOUBLE_EQ(decision.threshold, 0.0);
+  EXPECT_NEAR(decision.p_m_prime, 0.10, 0.05);
+  EXPECT_LE(decision.q, 0.2);
+  // k = ceil(log_q alpha) stays small for a confident model.
+  EXPECT_LE(decision.k, 5u);
+  EXPECT_GE(decision.k, 3u);
+}
+
+TEST(ScroutModel, QNeverBelowPmPrimeAndCapped) {
+  ScroutModel model;
+  // Heavy mass at zero (an FT-like distribution).
+  add_many(model, 0.0, 60);
+  add_many(model, 1.0, 40);
+  const auto decision = model.decision(kAlpha);
+  ASSERT_TRUE(decision.ready);
+  EXPECT_GE(decision.q, decision.p_m_prime);
+  EXPECT_LE(decision.q, ScroutModel::kMaxQ);
+  // With F(0) = 0.6, suspicion prob is large -> long streak required.
+  EXPECT_GT(decision.k, 10u);
+}
+
+TEST(ScroutModel, ThresholdPicksDiscretePointNearOptimalP) {
+  ScroutModel model;
+  // Support {0.0: 4%, 0.1: 8%, 0.5: 50%, 1.0: 100%} with 200 samples.
+  add_many(model, 0.0, 8);
+  add_many(model, 0.1, 8);
+  add_many(model, 0.5, 84);
+  add_many(model, 1.0, 100);
+  const auto decision = model.decision(kAlpha);
+  ASSERT_TRUE(decision.ready);
+  // Optimal p for e=0.05 is 0.06; the discrete candidates around it are
+  // F(0)=0.04 and F(0.1)=0.08; both beat F(0.5)=0.5 on sample demand.
+  EXPECT_LE(decision.threshold, 0.1);
+}
+
+TEST(ScroutModel, ThinHalfHalvesHistory) {
+  ScroutModel model;
+  add_many(model, 0.5, 10);
+  add_many(model, 0.9, 10);
+  model.thin_half();
+  EXPECT_EQ(model.size(), 10u);
+}
+
+TEST(ScroutModel, HangSamplesDoNotDisableDetection) {
+  // Simulate detection dynamics: a mature model, then a hang floods zeros.
+  ScroutModel model;
+  util::Rng rng(9);
+  for (int i = 0; i < 400; ++i) {
+    model.add_sample(rng.uniform() < 0.08 ? 0.0 : 0.9);
+  }
+  auto decision = model.decision(kAlpha);
+  ASSERT_TRUE(decision.ready);
+  const auto k0 = decision.k;
+  // Zeros pour in during the hang; k may grow, but the threshold keeps
+  // catching the hang state (0 <= t) and k stays bounded by the q cap.
+  for (int i = 0; i < 50; ++i) {
+    model.add_sample(0.0);
+    decision = model.decision(kAlpha);
+    ASSERT_TRUE(decision.ready);
+    EXPECT_GE(decision.threshold, 0.0);
+  }
+  EXPECT_LE(decision.k,
+            stats::consecutive_suspicions_required(ScroutModel::kMaxQ, kAlpha));
+  EXPECT_GE(decision.k, k0);
+}
+
+TEST(ScroutModel, DecisionSampleSizeTracksModel) {
+  ScroutModel model;
+  add_many(model, 0.4, 12);
+  EXPECT_EQ(model.decision(kAlpha).sample_size, 12u);
+}
+
+}  // namespace
+}  // namespace parastack::core

@@ -1,0 +1,128 @@
+#include "core/monitor_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "faults/injector.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace parastack::core {
+namespace {
+
+std::shared_ptr<const workloads::BenchmarkProfile> small_profile() {
+  auto profile = std::make_shared<workloads::BenchmarkProfile>();
+  profile->iterations = 4000;
+  profile->reference_ranks = 48;
+  profile->setup_time = sim::from_millis(100);
+  profile->phases = {
+      {"w", sim::from_millis(25), 0.12,
+       workloads::CommPattern::kHaloBlocking, 64 * 1024},
+      {"n", sim::from_millis(5), 0.1, workloads::CommPattern::kAllreduce, 16},
+  };
+  return profile;
+}
+
+simmpi::WorldConfig config48(std::uint64_t seed = 21) {
+  simmpi::WorldConfig config;
+  config.nranks = 48;
+  config.platform = sim::Platform::tianhe2();  // 2 nodes
+  config.seed = seed;
+  config.background_slowdowns = false;
+  return config;
+}
+
+TEST(MonitorNetwork, OneMonitorPerNode) {
+  simmpi::World world(config48(), workloads::make_factory(small_profile()));
+  trace::StackInspector inspector(world);
+  MonitorNetwork network(world, inspector);
+  EXPECT_EQ(network.monitor_count(), 2);
+}
+
+TEST(MonitorNetwork, ActiveMonitorsAreDistinctHostingNodes) {
+  simmpi::World world(config48(), workloads::make_factory(small_profile()));
+  trace::StackInspector inspector(world);
+  MonitorNetwork network(world, inspector);
+  EXPECT_EQ(network.active_monitors_for({0, 1, 2}), 1);       // all node 0
+  EXPECT_EQ(network.active_monitors_for({0, 30}), 2);         // both nodes
+  EXPECT_EQ(network.active_monitors_for({25, 26, 47}), 1);    // all node 1
+}
+
+TEST(MonitorNetwork, MeasurementMatchesDirectInspection) {
+  simmpi::World world(config48(), workloads::make_factory(small_profile()));
+  world.start();
+  world.engine().run_until(5 * sim::kSecond);
+  trace::StackInspector inspector(world);
+  MonitorNetwork network(world, inspector);
+  const std::vector<simmpi::Rank> set = {1, 7, 13, 29, 41};
+  // Direct ground truth (states do not change while no events run).
+  int out = 0;
+  for (const auto r : set) {
+    if (!world.rank(r).in_mpi()) ++out;
+  }
+  const auto measurement = network.measure(set);
+  EXPECT_DOUBLE_EQ(measurement.scrout,
+                   static_cast<double>(out) / static_cast<double>(set.size()));
+  EXPECT_EQ(measurement.ranks_traced, 5);
+  EXPECT_EQ(measurement.active_monitors, 2);
+  EXPECT_GT(measurement.aggregation_latency, 0);
+}
+
+TEST(MonitorNetwork, TrafficIsBoundedByActiveMonitors) {
+  simmpi::World world(config48(), workloads::make_factory(small_profile()));
+  world.start();
+  world.engine().run_until(sim::kSecond);
+  trace::StackInspector inspector(world);
+  MonitorNetwork network(world, inspector);
+  network.measure({0, 1, 2});  // one active monitor: no messages needed
+  EXPECT_EQ(network.messages_sent(), 0u);
+  network.measure({0, 30});  // two active monitors: one partial count
+  EXPECT_EQ(network.messages_sent(), 1u);
+  EXPECT_EQ(network.bytes_sent(), 8u);
+  EXPECT_EQ(network.samples(), 2u);
+}
+
+TEST(MonitorNetwork, DetectorBackendProducesSameVerdicts) {
+  // Same seed, with and without the monitor-network backend: identical
+  // detection outcome (the backend changes accounting, not observations).
+  faults::FaultPlan plan;
+  plan.type = faults::FaultType::kComputeHang;
+  plan.victim = 17;
+  plan.trigger_time = 40 * sim::kSecond;
+
+  sim::Time detected_direct = -1;
+  sim::Time detected_network = -1;
+  for (int variant = 0; variant < 2; ++variant) {
+    faults::FaultInjector injector(plan);
+    simmpi::World world(config48(),
+                        injector.wrap(workloads::make_factory(small_profile())));
+    injector.arm(world);
+    trace::StackInspector::Config icfg;
+    icfg.seed = 99;
+    trace::StackInspector inspector(world, icfg);
+    DetectorConfig dcfg;
+    dcfg.seed = 1234;
+    HangDetector detector(world, inspector, dcfg);
+    MonitorNetwork network(world, inspector);
+    if (variant == 1) detector.use_monitor_network(&network);
+    world.start();
+    detector.start();
+    auto& engine = world.engine();
+    while (!detector.hang_reported() && engine.now() < 4 * sim::kMinute &&
+           engine.step()) {
+    }
+    ASSERT_TRUE(detector.hang_reported());
+    (variant == 0 ? detected_direct : detected_network) =
+        detector.hang_reports().front().detected_at;
+  }
+  EXPECT_EQ(detected_direct, detected_network);
+}
+
+TEST(MonitorNetworkDeath, EmptySetRejected) {
+  simmpi::World world(config48(), workloads::make_factory(small_profile()));
+  trace::StackInspector inspector(world);
+  MonitorNetwork network(world, inspector);
+  EXPECT_DEATH((void)network.measure({}), "empty");
+}
+
+}  // namespace
+}  // namespace parastack::core

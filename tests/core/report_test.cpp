@@ -1,0 +1,43 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::core {
+namespace {
+
+TEST(HangReport, ToStringComputation) {
+  HangReport report;
+  report.detected_at = 42 * sim::kSecond + 500 * sim::kMillisecond;
+  report.kind = HangKind::kComputationError;
+  report.faulty_ranks = {100};
+  report.suspicion_streak = 5;
+  report.required_streak = 5;
+  report.q = 0.123;
+  report.interval = sim::from_millis(400);
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("t=42.50s"), std::string::npos);
+  EXPECT_NE(text.find("computation error"), std::string::npos);
+  EXPECT_NE(text.find("streak 5/5"), std::string::npos);
+  EXPECT_NE(text.find("q=0.123"), std::string::npos);
+  EXPECT_NE(text.find("I=400ms"), std::string::npos);
+  EXPECT_NE(text.find("faulty ranks: 100"), std::string::npos);
+}
+
+TEST(HangReport, ToStringCommunicationOmitsRanks) {
+  HangReport report;
+  report.kind = HangKind::kCommunicationError;
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("communication error"), std::string::npos);
+  EXPECT_EQ(text.find("faulty ranks"), std::string::npos);
+}
+
+TEST(HangReport, MultipleFaultyRanksListed) {
+  HangReport report;
+  report.kind = HangKind::kComputationError;
+  report.faulty_ranks = {3, 17, 42};
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("3 17 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parastack::core

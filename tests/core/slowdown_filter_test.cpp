@@ -1,0 +1,112 @@
+#include "core/slowdown_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::core {
+namespace {
+
+trace::StackSnapshot snapshot(simmpi::Rank rank,
+                              std::vector<std::string> frames) {
+  trace::StackSnapshot snap;
+  snap.rank = rank;
+  snap.frames = std::move(frames);
+  snap.innermost_mpi.clear();
+  for (auto it = snap.frames.rbegin(); it != snap.frames.rend(); ++it) {
+    if (simmpi::frame_is_mpi(*it)) {
+      snap.innermost_mpi = *it;
+      break;
+    }
+  }
+  snap.in_mpi = !snap.innermost_mpi.empty();
+  return snap;
+}
+
+TEST(SlowdownFilter, StaticStacksAreAHang) {
+  const std::vector<trace::StackSnapshot> round = {
+      snapshot(0, {"main", "solver", "MPI_Allreduce"}),
+      snapshot(1, {"main", "solver", "stuck_user_loop"}),
+      snapshot(2, {"main", "solver", "MPI_Allreduce"}),
+  };
+  EXPECT_FALSE(is_transient_slowdown(round, round));
+}
+
+TEST(SlowdownFilter, DifferentMpiFunctionsMeanSlowdown) {
+  // Condition (1): a process passed through different MPI functions.
+  const std::vector<trace::StackSnapshot> round1 = {
+      snapshot(0, {"main", "MPI_Allreduce"}),
+  };
+  const std::vector<trace::StackSnapshot> round2 = {
+      snapshot(0, {"main", "MPI_Sendrecv"}),
+  };
+  EXPECT_TRUE(is_transient_slowdown(round1, round2));
+}
+
+TEST(SlowdownFilter, SteppingIntoNonTestMpiMeansSlowdown) {
+  // Condition (2): OUT -> IN(non-test) crossing.
+  const std::vector<trace::StackSnapshot> round1 = {
+      snapshot(0, {"main", "user_compute"}),
+  };
+  const std::vector<trace::StackSnapshot> round2 = {
+      snapshot(0, {"main", "MPI_Recv"}),
+  };
+  EXPECT_TRUE(is_transient_slowdown(round1, round2));
+  EXPECT_TRUE(is_transient_slowdown(round2, round1));  // and out of
+}
+
+TEST(SlowdownFilter, BusyWaitFlippingIsNotSlowdownEvidence) {
+  // A process alternating between its busy loop body and MPI_Test is
+  // treated as staying inside MPI (§3.3's exception list).
+  const std::vector<trace::StackSnapshot> round1 = {
+      snapshot(0, {"main", "hpl_spread", "MPI_Test"}),
+  };
+  const std::vector<trace::StackSnapshot> round2 = {
+      snapshot(0, {"main", "hpl_spread"}),
+  };
+  EXPECT_FALSE(is_transient_slowdown(round1, round2));
+  EXPECT_FALSE(is_transient_slowdown(round2, round1));
+}
+
+TEST(SlowdownFilter, IprobeCountsAsTestFamily) {
+  const std::vector<trace::StackSnapshot> round1 = {
+      snapshot(0, {"main", "poll_loop", "MPI_Iprobe"}),
+  };
+  const std::vector<trace::StackSnapshot> round2 = {
+      snapshot(0, {"main", "poll_loop"}),
+  };
+  EXPECT_FALSE(is_transient_slowdown(round1, round2));
+}
+
+TEST(SlowdownFilter, TestToDifferentTestFunctionIsCondition1) {
+  // MPI_Test -> MPI_Testall are different MPI functions: still movement.
+  const std::vector<trace::StackSnapshot> round1 = {
+      snapshot(0, {"main", "loop", "MPI_Test"}),
+  };
+  const std::vector<trace::StackSnapshot> round2 = {
+      snapshot(0, {"main", "loop", "MPI_Testall"}),
+  };
+  EXPECT_TRUE(is_transient_slowdown(round1, round2));
+}
+
+TEST(SlowdownFilter, OneMovingProcessAmongManyStaticSuffices) {
+  std::vector<trace::StackSnapshot> round1;
+  std::vector<trace::StackSnapshot> round2;
+  for (simmpi::Rank r = 0; r < 20; ++r) {
+    round1.push_back(snapshot(r, {"main", "MPI_Allreduce"}));
+    round2.push_back(snapshot(r, {"main", "MPI_Allreduce"}));
+  }
+  round2[13] = snapshot(13, {"main", "user_compute"});
+  EXPECT_TRUE(is_transient_slowdown(round1, round2));
+}
+
+TEST(SlowdownFilterDeath, MisalignedRoundsRejected) {
+  const std::vector<trace::StackSnapshot> one = {snapshot(0, {"main"})};
+  const std::vector<trace::StackSnapshot> two = {snapshot(0, {"main"}),
+                                                 snapshot(1, {"main"})};
+  EXPECT_DEATH((void)is_transient_slowdown(one, two), "matched rounds");
+  const std::vector<trace::StackSnapshot> wrong_rank = {
+      snapshot(5, {"main"})};
+  EXPECT_DEATH((void)is_transient_slowdown(one, wrong_rank), "align");
+}
+
+}  // namespace
+}  // namespace parastack::core

@@ -1,0 +1,130 @@
+// Property tests of ParaStack's core statistical guarantee: with q chosen
+// by the robust model, q^k <= alpha bounds the probability that a healthy
+// (i.i.d.) sampling process produces k consecutive suspicions — and a hang
+// (all-suspicion stream) is always caught.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "util/rng.hpp"
+
+namespace parastack::core {
+namespace {
+
+constexpr double kAlpha = 0.001;
+
+/// Draw S_crout-like samples: value 0 with probability p_low, otherwise a
+/// high mixture — the canonical healthy solver distribution.
+double draw(util::Rng& rng, double p_low) {
+  if (rng.uniform() < p_low) return 0.0;
+  return 0.6 + 0.1 * static_cast<double>(rng.uniform_int(5));
+}
+
+struct TrialOutcome {
+  int false_triggers = 0;
+  long positions = 0;
+};
+
+/// Replay the detector's per-sample decision loop (model update + streak
+/// counting) over a healthy i.i.d. stream.
+TrialOutcome healthy_trial(double p_low, int samples, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ScroutModel model;
+  std::size_t streak = 0;
+  TrialOutcome outcome;
+  for (int i = 0; i < samples; ++i) {
+    const double sample = draw(rng, p_low);
+    model.add_sample(sample);
+    const auto decision = model.decision(kAlpha);
+    if (!decision.ready) continue;
+    ++outcome.positions;
+    if (sample <= decision.threshold + 1e-12) {
+      if (++streak >= decision.k) {
+        ++outcome.false_triggers;
+        streak = 0;  // "verified" and resumed — keep counting
+      }
+    } else {
+      streak = 0;
+    }
+  }
+  return outcome;
+}
+
+TEST(StatisticalGuarantee, FalseTriggerRateBoundedUnderIid) {
+  // Aggregate across distributions and seeds: the empirical rate of
+  // k-streak events per tested position must respect the alpha bound with
+  // margin (q = p_m' + e is a deliberate overestimate of the true p).
+  long triggers = 0;
+  long positions = 0;
+  for (const double p_low : {0.03, 0.08, 0.15, 0.30}) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      const auto outcome = healthy_trial(p_low, 1200, seed * 7919);
+      triggers += outcome.false_triggers;
+      positions += outcome.positions;
+    }
+  }
+  ASSERT_GT(positions, 20000);
+  const double rate =
+      static_cast<double>(triggers) / static_cast<double>(positions);
+  // The theoretical per-position bound is alpha = 1e-3; the margin e keeps
+  // the empirical rate well under it.
+  EXPECT_LT(rate, kAlpha);
+}
+
+TEST(StatisticalGuarantee, HangStreamAlwaysTriggers) {
+  for (const double p_low : {0.05, 0.2, 0.4}) {
+    for (std::uint64_t seed = 100; seed < 106; ++seed) {
+      util::Rng rng(seed);
+      ScroutModel model;
+      // Healthy history...
+      for (int i = 0; i < 400; ++i) model.add_sample(draw(rng, p_low));
+      // ...then the hang: zeros forever. Detection = streak reaches k,
+      // where k may grow as zeros pollute the model (guarded in the real
+      // detector; unguarded here as the worst case).
+      std::size_t streak = 0;
+      bool detected = false;
+      for (int i = 0; i < 2000 && !detected; ++i) {
+        model.add_sample(0.0);
+        const auto decision = model.decision(kAlpha);
+        ASSERT_TRUE(decision.ready);
+        ASSERT_LE(decision.threshold + 1e-12, 0.5);  // 0 stays suspicious
+        if (++streak >= decision.k) detected = true;
+      }
+      EXPECT_TRUE(detected) << "p_low=" << p_low << " seed=" << seed;
+    }
+  }
+}
+
+TEST(StatisticalGuarantee, QOverestimatesTrueSuspicionProbability) {
+  // With enough samples, q = p_m' + e must sit above the true probability
+  // of the suspicion event it defines (the 97.5%-confidence claim, §3.2).
+  for (const double p_low : {0.05, 0.12, 0.25}) {
+    util::Rng rng(5000 + static_cast<std::uint64_t>(p_low * 1000));
+    ScroutModel model;
+    for (int i = 0; i < 1000; ++i) model.add_sample(draw(rng, p_low));
+    const auto decision = model.decision(kAlpha);
+    ASSERT_TRUE(decision.ready);
+    // True probability of {sample <= threshold}: threshold is 0 here, so
+    // it is p_low itself.
+    EXPECT_DOUBLE_EQ(decision.threshold, 0.0);
+    EXPECT_GT(decision.q, p_low) << "p_low=" << p_low;
+  }
+}
+
+TEST(StatisticalGuarantee, WorstCaseDetectionLatencyFormula) {
+  // §3.1: the worst-case verification cost is I * ceil(log_q alpha)
+  // samples; the decision's k must equal that ceiling exactly.
+  ScroutModel model;
+  util::Rng rng(77);
+  for (int i = 0; i < 500; ++i) model.add_sample(draw(rng, 0.10));
+  const auto decision = model.decision(kAlpha);
+  ASSERT_TRUE(decision.ready);
+  const double expected =
+      std::ceil(std::log(kAlpha) / std::log(decision.q) - 1e-12);
+  EXPECT_DOUBLE_EQ(static_cast<double>(decision.k), expected);
+}
+
+}  // namespace
+}  // namespace parastack::core

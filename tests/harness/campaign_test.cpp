@@ -1,0 +1,92 @@
+#include "harness/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::harness {
+namespace {
+
+CampaignConfig small_campaign(int runs) {
+  CampaignConfig config;
+  config.base.bench = workloads::Bench::kLU;
+  config.base.input = "C";
+  config.base.nranks = 32;
+  config.base.platform = sim::Platform::tianhe2();
+  config.base.background_slowdowns = false;
+  config.runs = runs;
+  config.seed0 = 9000;
+  return config;
+}
+
+TEST(Campaign, ErroneousRunsDetectedAccurately) {
+  auto config = small_campaign(4);
+  config.base.fault = faults::FaultType::kComputeHang;
+  const auto result = run_erroneous_campaign(config);
+  EXPECT_EQ(result.runs, 4);
+  EXPECT_EQ(result.detected, 4);
+  EXPECT_EQ(result.false_positives, 0);
+  EXPECT_EQ(result.missed, 0);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+  EXPECT_EQ(result.computation_verdicts, 4);
+  EXPECT_DOUBLE_EQ(result.acf(), 1.0);
+  EXPECT_DOUBLE_EQ(result.prf(), 1.0);
+  EXPECT_EQ(result.delays.size(), 4u);
+  EXPECT_GT(result.delay_seconds.mean(), 0.0);
+  EXPECT_LT(result.delay_seconds.mean(), 60.0);
+}
+
+TEST(Campaign, CommDeadlockClassifiedAsCommunication) {
+  auto config = small_campaign(3);
+  config.base.fault = faults::FaultType::kCommDeadlock;
+  const auto result = run_erroneous_campaign(config);
+  EXPECT_EQ(result.detected, 3);
+  EXPECT_EQ(result.communication_verdicts, 3);
+  EXPECT_EQ(result.computation_verdicts, 0);
+  // No faulty process is (correctly) reported for communication errors.
+  EXPECT_DOUBLE_EQ(result.acf(), 0.0);
+}
+
+TEST(Campaign, CleanRunsProduceNoFalsePositives) {
+  const auto result = run_clean_campaign(small_campaign(3));
+  EXPECT_EQ(result.runs, 3);
+  EXPECT_EQ(result.false_positives, 0);
+  EXPECT_EQ(result.runtime_seconds.count(), 3u);
+  EXPECT_GT(result.total_hours, 0.0);
+}
+
+TEST(Campaign, SeedsVaryAcrossRuns) {
+  auto config = small_campaign(3);
+  config.base.fault = faults::FaultType::kComputeHang;
+  const auto result = run_erroneous_campaign(config);
+  ASSERT_EQ(result.results.size(), 3u);
+  // Different seeds -> different victims or trigger instants.
+  const bool all_same =
+      result.results[0].fault.victim == result.results[1].fault.victim &&
+      result.results[1].fault.victim == result.results[2].fault.victim &&
+      result.results[0].fault.planned_trigger ==
+          result.results[1].fault.planned_trigger;
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Campaign, TimeoutBaselineCampaign) {
+  auto config = small_campaign(3);
+  config.base.fault = faults::FaultType::kComputeHang;
+  config.base.with_parastack = false;
+  config.base.with_timeout_baseline = true;
+  config.base.timeout.interval = sim::from_millis(800);
+  config.base.timeout.k = 10;
+  const auto result = run_timeout_campaign(config);
+  EXPECT_EQ(result.runs, 3);
+  EXPECT_EQ(result.detected + result.false_positives + result.missed, 3);
+}
+
+TEST(CampaignDeath, Validation) {
+  auto config = small_campaign(1);
+  EXPECT_DEATH((void)run_erroneous_campaign(config), "fault type");
+  config.base.fault = faults::FaultType::kComputeHang;
+  EXPECT_DEATH((void)run_clean_campaign(config), "must not inject");
+  config.base.fault = faults::FaultType::kNone;
+  EXPECT_DEATH((void)run_timeout_campaign(config), "baseline");
+}
+
+}  // namespace
+}  // namespace parastack::harness

@@ -1,0 +1,129 @@
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::harness {
+namespace {
+
+RunConfig small_lu(std::uint64_t seed = 1) {
+  RunConfig config;
+  config.bench = workloads::Bench::kLU;
+  config.input = "C";
+  config.nranks = 32;
+  config.platform = sim::Platform::tianhe2();
+  config.seed = seed;
+  config.background_slowdowns = false;
+  return config;
+}
+
+TEST(Runner, CleanRunCompletesWithoutReports) {
+  const auto result = run_one(small_lu());
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.finish_time, 0);
+  EXPECT_FALSE(result.parastack_detected());
+  EXPECT_EQ(result.fault.type, faults::FaultType::kNone);
+  EXPECT_GT(result.traces, 0u);
+  EXPECT_GT(result.model_samples, 20u);
+}
+
+TEST(Runner, WalltimeDefaultsToFactorTimesEstimate) {
+  const auto result = run_one(small_lu());
+  EXPECT_NEAR(static_cast<double>(result.walltime),
+              2.0 * static_cast<double>(result.estimated_clean),
+              1e-3 * static_cast<double>(result.walltime));
+}
+
+TEST(Runner, WalltimeOverrideRespected) {
+  auto config = small_lu();
+  config.walltime_override = 10 * sim::kSecond;  // far too short
+  const auto result = run_one(config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_LE(result.end_time, 10 * sim::kSecond + sim::kSecond);
+}
+
+TEST(Runner, ComputeHangDetectedAndJobKilled) {
+  auto config = small_lu(3);
+  config.fault = faults::FaultType::kComputeHang;
+  const auto result = run_one(config);
+  ASSERT_TRUE(result.fault.activated());
+  ASSERT_TRUE(result.parastack_detected());
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.end_time, result.hangs.front().detected_at);
+  EXPECT_LT(result.end_time, result.walltime);  // the whole point: SUs saved
+  EXPECT_GT(result.response_delay_seconds(), 0.0);
+  EXPECT_EQ(result.hangs.front().kind, core::HangKind::kComputationError);
+  ASSERT_FALSE(result.hangs.front().faulty_ranks.empty());
+  EXPECT_EQ(result.hangs.front().faulty_ranks.front(), result.fault.victim);
+}
+
+TEST(Runner, FaultTriggerRespectsWindow) {
+  auto config = small_lu(4);
+  config.fault = faults::FaultType::kComputeHang;
+  const auto result = run_one(config);
+  EXPECT_GE(result.fault.planned_trigger, config.min_fault_time);
+  EXPECT_LE(result.fault.planned_trigger,
+            static_cast<sim::Time>(config.fault_window_hi *
+                                   static_cast<double>(result.estimated_clean)) +
+                sim::kSecond);
+}
+
+TEST(Runner, DeterministicUnderSeed) {
+  auto config = small_lu(9);
+  config.fault = faults::FaultType::kComputeHang;
+  const auto a = run_one(config);
+  const auto b = run_one(config);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.fault.victim, b.fault.victim);
+  ASSERT_EQ(a.hangs.size(), b.hangs.size());
+  if (!a.hangs.empty()) {
+    EXPECT_EQ(a.hangs.front().detected_at, b.hangs.front().detected_at);
+  }
+}
+
+TEST(Runner, WithoutParastackHangBurnsWalltime) {
+  auto config = small_lu(5);
+  config.fault = faults::FaultType::kComputeHang;
+  config.with_parastack = false;
+  const auto result = run_one(config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.parastack_detected());
+  EXPECT_GE(result.end_time, result.walltime - sim::kSecond);
+}
+
+TEST(Runner, TimeoutBaselineReportsAlone) {
+  auto config = small_lu(6);
+  config.fault = faults::FaultType::kComputeHang;
+  config.with_parastack = false;
+  config.with_timeout_baseline = true;
+  config.timeout.interval = sim::from_millis(400);
+  config.timeout.k = 10;
+  const auto result = run_one(config);
+  ASSERT_TRUE(result.fault.activated());
+  ASSERT_FALSE(result.timeout_reports.empty());
+  EXPECT_GT(result.timeout_reports.front().detected_at,
+            result.fault.activated_at);
+}
+
+TEST(Runner, HpcgReportsGflops) {
+  RunConfig config;
+  config.bench = workloads::Bench::kHPCG;
+  config.input = "32";  // small local domain for test speed
+  config.nranks = 16;
+  config.platform = sim::Platform::tianhe2();
+  config.background_slowdowns = false;
+  const auto result = run_one(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.gflops, 0.0);
+}
+
+TEST(Runner, EstimateTracksActualRuntime) {
+  const auto result = run_one(small_lu(7));
+  ASSERT_TRUE(result.completed);
+  const double ratio = static_cast<double>(result.finish_time) /
+                       static_cast<double>(result.estimated_clean);
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.6);
+}
+
+}  // namespace
+}  // namespace parastack::harness

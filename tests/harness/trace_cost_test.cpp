@@ -1,0 +1,59 @@
+// The trace-cost override plumbing used by the ablation bench, and the
+// monotone relationship between per-trace cost and observed overhead.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+
+namespace parastack::harness {
+namespace {
+
+RunConfig fixed_interval_config(std::uint64_t seed, double interval_ms) {
+  RunConfig config;
+  config.bench = workloads::Bench::kCG;
+  config.input = "C";
+  config.nranks = 32;
+  config.platform = sim::Platform::tianhe2();
+  config.seed = seed;
+  config.background_slowdowns = false;
+  config.detector.initial_interval = sim::from_millis(interval_ms);
+  config.detector.enable_interval_tuning = false;
+  return config;
+}
+
+TEST(TraceCost, OverrideChangesChargedCost) {
+  auto cheap = fixed_interval_config(5, 200);
+  cheap.trace_cost_override = sim::from_micros(200);
+  auto expensive = fixed_interval_config(5, 200);
+  expensive.trace_cost_override = sim::from_millis(10);
+  const auto cheap_result = run_one(cheap);
+  const auto expensive_result = run_one(expensive);
+  ASSERT_GT(cheap_result.traces, 0u);
+  // Same sampling plan, vastly different per-trace charge.
+  EXPECT_GT(expensive_result.trace_cost, 10 * cheap_result.trace_cost);
+}
+
+TEST(TraceCost, HigherCostSlowsMonitoredJob) {
+  auto cheap = fixed_interval_config(6, 100);
+  cheap.trace_cost_override = sim::from_micros(100);
+  auto expensive = fixed_interval_config(6, 100);
+  expensive.trace_cost_override = sim::from_millis(25);
+  const auto cheap_result = run_one(cheap);
+  const auto expensive_result = run_one(expensive);
+  ASSERT_TRUE(cheap_result.completed);
+  ASSERT_TRUE(expensive_result.completed);
+  // Collectives propagate the monitored ranks' ptrace stops to the job.
+  EXPECT_GT(expensive_result.finish_time, cheap_result.finish_time);
+}
+
+TEST(TraceCost, DefaultMatchesInspectorCalibration) {
+  const auto result = run_one(fixed_interval_config(7, 400));
+  ASSERT_GT(result.traces, 0u);
+  const double per_trace_ms =
+      sim::to_millis(result.trace_cost) / static_cast<double>(result.traces);
+  EXPECT_GT(per_trace_ms, 2.0);  // Table 3 calibration: ~2.8 ms
+  EXPECT_LT(per_trace_ms, 3.6);
+}
+
+}  // namespace
+}  // namespace parastack::harness

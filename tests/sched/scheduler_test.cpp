@@ -1,0 +1,79 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::sched {
+namespace {
+
+JobTicket ticket_64x16(sim::Time walltime = sim::kHour) {
+  JobTicket ticket;
+  ticket.nodes = 64;
+  ticket.cores_per_node = 16;
+  ticket.walltime = walltime;
+  ticket.job_name = "hpl_run";
+  return ticket;
+}
+
+TEST(ServiceUnits, NodesTimesCoresTimesHours) {
+  // Paper §7.1-V: SUs = nodes x cores/node x elapsed hours.
+  EXPECT_DOUBLE_EQ(service_units(ticket_64x16(), sim::kHour), 1024.0);
+  EXPECT_DOUBLE_EQ(service_units(ticket_64x16(), sim::kHour / 2), 512.0);
+  EXPECT_DOUBLE_EQ(service_units(ticket_64x16(), 0), 0.0);
+}
+
+TEST(Settle, CompletedJobBillsItsRuntime) {
+  const auto charge =
+      settle(ticket_64x16(), /*finish=*/30 * sim::kMinute, std::nullopt);
+  EXPECT_EQ(charge.end, JobEnd::kCompleted);
+  EXPECT_EQ(charge.elapsed, 30 * sim::kMinute);
+  EXPECT_DOUBLE_EQ(charge.savings_fraction, 0.0);
+}
+
+TEST(Settle, HangWithoutDetectorBurnsTheSlot) {
+  const auto charge = settle(ticket_64x16(), std::nullopt, std::nullopt);
+  EXPECT_EQ(charge.end, JobEnd::kWalltimeExpired);
+  EXPECT_EQ(charge.elapsed, sim::kHour);
+  EXPECT_DOUBLE_EQ(charge.service_units, 1024.0);
+}
+
+TEST(Settle, DetectionKillsEarlyAndSaves) {
+  const auto charge =
+      settle(ticket_64x16(), std::nullopt, /*detection=*/15 * sim::kMinute);
+  EXPECT_EQ(charge.end, JobEnd::kKilledOnHangDetection);
+  EXPECT_EQ(charge.elapsed, 15 * sim::kMinute);
+  EXPECT_DOUBLE_EQ(charge.savings_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(charge.service_units, 256.0);
+}
+
+TEST(Settle, CompletionBeforeDetectionWins) {
+  const auto charge = settle(ticket_64x16(), /*finish=*/10 * sim::kMinute,
+                             /*detection=*/20 * sim::kMinute);
+  EXPECT_EQ(charge.end, JobEnd::kCompleted);
+}
+
+TEST(Settle, LateDetectionStillExpires) {
+  const auto charge =
+      settle(ticket_64x16(), std::nullopt, /*detection=*/2 * sim::kHour);
+  EXPECT_EQ(charge.end, JobEnd::kWalltimeExpired);
+  EXPECT_EQ(charge.elapsed, sim::kHour);
+}
+
+TEST(SubmissionCommand, SlurmShape) {
+  const auto command = submission_command(BatchSystem::kSlurm, ticket_64x16(),
+                                          "./xhpl");
+  EXPECT_NE(command.find("--nodes=64"), std::string::npos);
+  EXPECT_NE(command.find("--ntasks-per-node=16"), std::string::npos);
+  EXPECT_NE(command.find("--time=01:00:00"), std::string::npos);
+  EXPECT_NE(command.find("--monitor-per-node"), std::string::npos);
+  EXPECT_NE(command.find("./xhpl"), std::string::npos);
+}
+
+TEST(SubmissionCommand, TorqueShape) {
+  const auto command = submission_command(BatchSystem::kTorque, ticket_64x16(),
+                                          "./xhpl");
+  EXPECT_NE(command.find("nodes=64:ppn=16"), std::string::npos);
+  EXPECT_NE(command.find("walltime=01:00:00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parastack::sched

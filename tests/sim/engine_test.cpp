@@ -1,0 +1,119 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace parastack::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_EQ(engine.events_pending(), 0u);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, SameTimeFiresInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  engine.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  Time fired_at = -1;
+  engine.schedule_at(50, [&] {
+    engine.schedule_after(25, [&] { fired_at = engine.now(); });
+  });
+  engine.run_until_idle();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  const auto id = engine.schedule_at(10, [&] { fired = true; });
+  engine.cancel(id);
+  engine.run_until_idle();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.events_fired(), 0u);
+}
+
+TEST(Engine, CancelUnknownIdIsNoop) {
+  Engine engine;
+  engine.cancel(9999);  // must not crash
+  EXPECT_EQ(engine.events_pending(), 0u);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWhenIdle) {
+  Engine engine;
+  engine.run_until(500);
+  EXPECT_EQ(engine.now(), 500);
+}
+
+TEST(Engine, RunUntilDoesNotFireLaterEvents) {
+  Engine engine;
+  bool early = false;
+  bool late = false;
+  engine.schedule_at(10, [&] { early = true; });
+  engine.schedule_at(100, [&] { late = true; });
+  engine.run_until(50);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(engine.now(), 50);
+  engine.run_until_idle();
+  EXPECT_TRUE(late);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1, [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.schedule_at(2, [&] { ++fired; });
+  engine.run_until_idle();
+  EXPECT_EQ(fired, 1);
+  engine.resume();
+  engine.run_until_idle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsCanScheduleChains) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) engine.schedule_after(1, chain);
+  };
+  engine.schedule_at(0, chain);
+  engine.run_until_idle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(engine.now(), 99);
+  EXPECT_EQ(engine.events_fired(), 100u);
+}
+
+TEST(EngineDeath, RejectsPastScheduling) {
+  Engine engine;
+  engine.schedule_at(10, [] {});
+  engine.run_until_idle();
+  EXPECT_DEATH(engine.schedule_at(5, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace parastack::sim

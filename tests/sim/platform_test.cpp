@@ -1,0 +1,55 @@
+#include "sim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::sim {
+namespace {
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(from_millis(1.0), kMillisecond);
+  EXPECT_EQ(from_seconds(2.0), 2 * kSecond);
+  EXPECT_EQ(from_micros(3.0), 3 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+}
+
+TEST(Platform, PresetsMatchPaperTopology) {
+  // Paper §7: Tardis 32 cores/node, Tianhe-2 24, Stampede 16.
+  EXPECT_EQ(Platform::tardis().cores_per_node, 32);
+  EXPECT_EQ(Platform::tianhe2().cores_per_node, 24);
+  EXPECT_EQ(Platform::stampede().cores_per_node, 16);
+}
+
+TEST(Platform, RelativeSpeedOrdering) {
+  // Tianhe-2 is the fastest testbed; Tardis the slowest (paper hardware).
+  EXPECT_LT(Platform::tianhe2().compute_scale, Platform::stampede().compute_scale);
+  EXPECT_LT(Platform::stampede().compute_scale, Platform::tardis().compute_scale);
+}
+
+TEST(Platform, NoiseOrdering) {
+  // Stampede's higher utilization means more noise and more transient
+  // slowdowns than Tianhe-2 (paper §3.3 / §7.1-I).
+  EXPECT_GT(Platform::stampede().noise_cv, Platform::tianhe2().noise_cv);
+  EXPECT_GT(Platform::stampede().slowdowns_per_node_hour,
+            Platform::tianhe2().slowdowns_per_node_hour);
+}
+
+TEST(Platform, TransferTimeScalesWithBytes) {
+  const Platform p = Platform::tianhe2();
+  const Time small = p.transfer_time(1024);
+  const Time big = p.transfer_time(1024 * 1024);
+  EXPECT_GT(big, small);
+  EXPECT_GE(small, p.network_latency);
+  // 1 MiB at 14 GB/s is ~75 microseconds; sanity-check the scale.
+  EXPECT_GT(big, from_micros(50));
+  EXPECT_LT(big, from_millis(1));
+}
+
+TEST(Platform, TardisNetworkSlowerThanTianhe2) {
+  const auto bytes = std::size_t{10} * 1024 * 1024;
+  EXPECT_GT(Platform::tardis().transfer_time(bytes),
+            Platform::tianhe2().transfer_time(bytes));
+}
+
+}  // namespace
+}  // namespace parastack::sim

@@ -1,0 +1,129 @@
+// Randomized stress/property tests of the simulated MPI runtime: random
+// mixed communication schedules must always drain (no spurious deadlock),
+// and the matching bookkeeping must balance.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "simmpi/world.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace parastack::simmpi {
+namespace {
+
+/// A program that performs `rounds` of randomly chosen — but globally
+/// agreed — communication steps. All ranks derive the schedule from the
+/// same seed, so collectives line up and p2p partners match, like any SPMD
+/// program.
+class RandomScheduleProgram : public Program {
+ public:
+  RandomScheduleProgram(Rank rank, int nranks, std::uint64_t schedule_seed,
+                        int rounds)
+      : rank_(rank), nranks_(nranks), schedule_(schedule_seed),
+        rounds_(rounds) {}
+
+  Action next() override {
+    if (!queue_.empty()) {
+      Action action = queue_.front();
+      queue_.pop_front();
+      return action;
+    }
+    if (round_ >= rounds_) return Action::finish();
+    ++round_;
+    // Every rank draws the same step kind from the shared schedule stream.
+    const auto kind = schedule_.uniform_int(6);
+    const auto bytes = 1 + schedule_.uniform_int(512 * 1024);  // mixes eager
+    const int tag = static_cast<int>(schedule_.uniform_int(5));
+    queue_.push_back(Action::compute(sim::from_micros(200), 0.2, "stress"));
+    switch (kind) {
+      case 0:  // ring shift exchange
+        queue_.push_back(Action::sendrecv_shift((rank_ + 1) % nranks_,
+                                                (rank_ - 1 + nranks_) % nranks_,
+                                                tag, bytes));
+        break;
+      case 1:  // half-blocking ring: receive from the left, send right
+        queue_.push_back(
+            Action::irecv((rank_ - 1 + nranks_) % nranks_, tag, bytes));
+        queue_.push_back(Action::isend((rank_ + 1) % nranks_, tag, bytes));
+        queue_.push_back(Action::wait_all());
+        break;
+      case 2:
+        queue_.push_back(Action::collective(Action::Kind::kAllreduce, 64));
+        break;
+      case 3:
+        queue_.push_back(Action::collective(
+            Action::Kind::kBcast, bytes,
+            static_cast<Rank>(schedule_.uniform_int(
+                static_cast<std::uint64_t>(nranks_)))));
+        break;
+      case 4:
+        queue_.push_back(Action::collective(Action::Kind::kBarrier, 0));
+        break;
+      default:
+        queue_.push_back(Action::collective(
+            Action::Kind::kGather, bytes,
+            static_cast<Rank>(schedule_.uniform_int(
+                static_cast<std::uint64_t>(nranks_)))));
+        break;
+    }
+    return next();
+  }
+
+ private:
+  Rank rank_;
+  int nranks_;
+  util::Rng schedule_;
+  int rounds_;
+  int round_ = 0;
+  std::deque<Action> queue_;
+};
+
+class CommStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommStress, RandomScheduleAlwaysDrains) {
+  const std::uint64_t schedule_seed = GetParam();
+  WorldConfig config;
+  config.nranks = 12;
+  config.platform = sim::Platform::stampede();
+  config.seed = schedule_seed * 3 + 1;
+  config.background_slowdowns = false;
+  World world(config,
+              [schedule_seed](Rank rank, int nranks,
+                              util::Rng) -> std::unique_ptr<Program> {
+                return std::make_unique<RandomScheduleProgram>(
+                    rank, nranks, schedule_seed, 60);
+              });
+  world.start();
+  ASSERT_TRUE(world.run_until_done(10 * sim::kMinute))
+      << "deadlocked under schedule seed " << schedule_seed;
+  EXPECT_EQ(world.comm().mismatch_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommStress,
+                         ::testing::Values(11, 23, 37, 59, 71, 97, 131, 173));
+
+TEST(CommStress, DeterministicFinishAcrossRuns) {
+  sim::Time finish[2];
+  for (int i = 0; i < 2; ++i) {
+    WorldConfig config;
+    config.nranks = 12;
+    config.platform = sim::Platform::stampede();
+    config.seed = 5;
+    config.background_slowdowns = false;
+    World world(config,
+                [](Rank rank, int nranks,
+                   util::Rng) -> std::unique_ptr<Program> {
+                  return std::make_unique<RandomScheduleProgram>(rank, nranks,
+                                                                 99, 40);
+                });
+    world.start();
+    EXPECT_TRUE(world.run_until_done(10 * sim::kMinute));
+    finish[i] = world.finish_time();
+  }
+  EXPECT_EQ(finish[0], finish[1]);
+}
+
+}  // namespace
+}  // namespace parastack::simmpi

@@ -1,0 +1,111 @@
+// Shift-style Sendrecv (send to one peer, receive from another): the
+// deadlock-free halo schedule, including full rings at every size.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "simmpi/comm_engine.hpp"
+#include "simmpi/rank_process.hpp"
+
+namespace parastack::simmpi {
+namespace {
+
+class ScriptedProgram : public Program {
+ public:
+  explicit ScriptedProgram(std::deque<Action> script)
+      : script_(std::move(script)) {}
+  Action next() override {
+    if (script_.empty()) return Action::finish();
+    Action action = script_.front();
+    script_.pop_front();
+    return action;
+  }
+
+ private:
+  std::deque<Action> script_;
+};
+
+struct RingRig {
+  explicit RingRig(int n) : nranks(n), platform(sim::Platform::tianhe2()) {
+    platform.noise_cv = 0.0;
+    comm = std::make_unique<CommEngine>(engine, platform, nranks);
+  }
+
+  void add_rank(Rank rank, std::deque<Action> script) {
+    RankProcess::Hooks hooks;
+    hooks.on_finished = [this](Rank) { ++finished; };
+    ranks.push_back(std::make_unique<RankProcess>(
+        engine, *comm, platform, rank, 0,
+        std::make_unique<ScriptedProgram>(std::move(script)),
+        util::Rng(40 + static_cast<std::uint64_t>(rank)), hooks));
+  }
+
+  int nranks;
+  sim::Platform platform;
+  sim::Engine engine;
+  std::unique_ptr<CommEngine> comm;
+  std::vector<std::unique_ptr<RankProcess>> ranks;
+  int finished = 0;
+};
+
+class RingSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSize, ShiftExchangeRingNeverDeadlocks) {
+  // Every rank: send right / recv left, then send left / recv right —
+  // with rendezvous-sized messages (the dangerous case) and several rounds.
+  const int n = GetParam();
+  RingRig rig(n);
+  const std::size_t big = 512 * 1024;  // above the eager threshold
+  for (Rank r = 0; r < n; ++r) {
+    std::deque<Action> script;
+    for (int round = 0; round < 3; ++round) {
+      script.push_back(
+          Action::sendrecv_shift((r + 1) % n, (r - 1 + n) % n, 5, big));
+      script.push_back(
+          Action::sendrecv_shift((r - 1 + n) % n, (r + 1) % n, 5, big));
+    }
+    rig.add_rank(r, std::move(script));
+  }
+  for (auto& rank : rig.ranks) rank->start();
+  rig.engine.run_until(sim::kMinute);
+  EXPECT_EQ(rig.finished, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSize, ::testing::Values(2, 3, 5, 8, 17));
+
+TEST(SendrecvShift, PlainSendrecvStillPairs) {
+  // recv_peer defaults to the send peer: a two-rank mutual exchange.
+  RingRig rig(2);
+  rig.add_rank(0, {Action::sendrecv(1, 9, 1024)});
+  rig.add_rank(1, {Action::sendrecv(0, 9, 1024)});
+  for (auto& rank : rig.ranks) rank->start();
+  rig.engine.run_until(sim::kSecond);
+  EXPECT_EQ(rig.finished, 2);
+}
+
+TEST(SendrecvShift, MismatchedShiftHangs) {
+  // If the ring is broken (one rank sends the wrong way), the exchange
+  // never completes — the hang primitive again.
+  RingRig rig(3);
+  rig.add_rank(0, {Action::sendrecv_shift(1, 2, 5, 1 << 20)});
+  rig.add_rank(1, {Action::sendrecv_shift(2, 0, 5, 1 << 20)});
+  rig.add_rank(2, {Action::sendrecv_shift(0, 1, 5, 1 << 20)});
+  // rank 0 expects from 2 (ok), 1 expects from 0 (but 0 sends to 1: ok)...
+  // make it actually wrong: restart with rank 2 sending to itself is not
+  // expressible; instead break by tag.
+  rig.ranks.clear();
+  rig.finished = 0;
+  rig.add_rank(0, {Action::sendrecv_shift(1, 2, 5, 1 << 20)});
+  rig.add_rank(1, {Action::sendrecv_shift(2, 0, 5, 1 << 20)});
+  rig.add_rank(2, {Action::sendrecv_shift(0, 1, /*tag=*/6, 1 << 20)});
+  for (auto& rank : rig.ranks) rank->start();
+  rig.engine.run_until(10 * sim::kSecond);
+  EXPECT_LT(rig.finished, 3);
+}
+
+}  // namespace
+}  // namespace parastack::simmpi

@@ -1,0 +1,98 @@
+#include "simmpi/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simmpi/types.hpp"
+
+namespace parastack::simmpi {
+namespace {
+
+TEST(FrameClassifier, PrefixRule) {
+  // Paper §5: frames starting with mpi/MPI/pmpi/PMPI are MPI frames.
+  EXPECT_TRUE(frame_is_mpi("MPI_Send"));
+  EXPECT_TRUE(frame_is_mpi("mpi_allreduce_"));
+  EXPECT_TRUE(frame_is_mpi("PMPI_Wait"));
+  EXPECT_TRUE(frame_is_mpi("pmpi_progress_wait"));
+  EXPECT_FALSE(frame_is_mpi("main"));
+  EXPECT_FALSE(frame_is_mpi("my_mpi_helper"));  // prefix, not substring
+  EXPECT_FALSE(frame_is_mpi("Mpi_Send"));       // case-sensitive prefixes
+  EXPECT_FALSE(frame_is_mpi(""));
+  EXPECT_FALSE(frame_is_mpi("MP"));  // shorter than any prefix
+}
+
+TEST(CallStack, PushPopTop) {
+  CallStack stack;
+  EXPECT_TRUE(stack.empty());
+  stack.push("main");
+  stack.push("solver");
+  EXPECT_EQ(stack.top(), "solver");
+  stack.pop();
+  EXPECT_EQ(stack.top(), "main");
+}
+
+TEST(CallStack, InMpiAnywhereInStack) {
+  CallStack stack;
+  stack.push("main");
+  stack.push("solver");
+  EXPECT_FALSE(stack.in_mpi());
+  stack.push("MPI_Allreduce");
+  stack.push("pmpi_progress_wait");
+  EXPECT_TRUE(stack.in_mpi());
+  stack.pop();
+  EXPECT_TRUE(stack.in_mpi());
+  stack.pop();
+  EXPECT_FALSE(stack.in_mpi());
+}
+
+TEST(CallStack, InnermostMpiFrame) {
+  CallStack stack;
+  stack.push("main");
+  EXPECT_EQ(stack.innermost_mpi_frame(), "");
+  stack.push("MPI_Bcast");
+  stack.push("helper_copy");  // user helper below the MPI frame
+  EXPECT_EQ(stack.innermost_mpi_frame(), "MPI_Bcast");
+  stack.push("PMPI_Bcast_intra");
+  EXPECT_EQ(stack.innermost_mpi_frame(), "PMPI_Bcast_intra");
+}
+
+TEST(CallStack, ToStringReadsOutermostFirst) {
+  CallStack stack;
+  stack.push("main");
+  stack.push("solver");
+  stack.push("MPI_Recv");
+  EXPECT_EQ(stack.to_string(), "main -> solver -> MPI_Recv");
+}
+
+TEST(CallStackDeath, PopEmpty) {
+  CallStack stack;
+  EXPECT_DEATH(stack.pop(), "empty");
+}
+
+TEST(MpiFuncNames, MatchNamingRule) {
+  // Every modelled function must classify as MPI by its own name.
+  for (int f = 0; f <= static_cast<int>(MpiFunc::kFinalize); ++f) {
+    const auto name = mpi_func_name(static_cast<MpiFunc>(f));
+    EXPECT_TRUE(frame_is_mpi(name)) << name;
+  }
+}
+
+TEST(MpiFuncSets, TestFamilyAndCollectives) {
+  EXPECT_TRUE(is_test_family(MpiFunc::kTest));
+  EXPECT_TRUE(is_test_family(MpiFunc::kIprobe));
+  EXPECT_TRUE(is_test_family(MpiFunc::kTestall));
+  EXPECT_FALSE(is_test_family(MpiFunc::kWait));
+  EXPECT_FALSE(is_test_family(MpiFunc::kRecv));
+
+  EXPECT_TRUE(is_collective(MpiFunc::kAllreduce));
+  EXPECT_TRUE(is_collective(MpiFunc::kBcast));
+  EXPECT_FALSE(is_collective(MpiFunc::kSend));
+
+  // Paper §4: Allgather is synchronization-like, Gather is not.
+  EXPECT_TRUE(is_synchronizing_collective(MpiFunc::kAllgather));
+  EXPECT_FALSE(is_synchronizing_collective(MpiFunc::kGather));
+  EXPECT_TRUE(is_synchronizing_collective(MpiFunc::kBarrier));
+  EXPECT_FALSE(is_synchronizing_collective(MpiFunc::kBcast));
+}
+
+}  // namespace
+}  // namespace parastack::simmpi

@@ -1,0 +1,149 @@
+#include "simmpi/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "simmpi/action.hpp"
+
+namespace parastack::simmpi {
+namespace {
+
+/// Every rank: compute, allreduce, compute, finish.
+class MiniProgram : public Program {
+ public:
+  Action next() override {
+    switch (step_++) {
+      case 0: return Action::compute(sim::from_millis(20), 0.05, "phase_a");
+      case 1: return Action::collective(Action::Kind::kAllreduce, 64);
+      case 2: return Action::compute(sim::from_millis(10), 0.05, "phase_b");
+      default: return Action::finish();
+    }
+  }
+
+ private:
+  int step_ = 0;
+};
+
+ProgramFactory mini_factory() {
+  return [](Rank, int, util::Rng) -> std::unique_ptr<Program> {
+    return std::make_unique<MiniProgram>();
+  };
+}
+
+WorldConfig test_config(int nranks, std::uint64_t seed = 7) {
+  WorldConfig config;
+  config.nranks = nranks;
+  config.platform = sim::Platform::tianhe2();
+  config.seed = seed;
+  config.background_slowdowns = false;
+  return config;
+}
+
+TEST(World, NodePlacementFollowsCoresPerNode) {
+  World world(test_config(50), mini_factory());
+  EXPECT_EQ(world.nnodes(), 3);  // 24 cores/node on Tianhe-2
+  EXPECT_EQ(world.node_of(0), 0);
+  EXPECT_EQ(world.node_of(23), 0);
+  EXPECT_EQ(world.node_of(24), 1);
+  EXPECT_EQ(world.node_of(49), 2);
+  EXPECT_EQ(world.ranks_on_node(0).size(), 24u);
+  EXPECT_EQ(world.ranks_on_node(2).size(), 2u);  // remainder node
+  EXPECT_EQ(world.ranks_on_node(2).front(), 48);
+}
+
+TEST(World, RunsToCompletion) {
+  World world(test_config(16), mini_factory());
+  world.start();
+  EXPECT_TRUE(world.run_until_done(sim::kMinute));
+  EXPECT_TRUE(world.all_finished());
+  EXPECT_GT(world.finish_time(), sim::from_millis(30));
+  EXPECT_LT(world.finish_time(), sim::kSecond);
+}
+
+TEST(World, DeterministicUnderSeed) {
+  World a(test_config(16, 99), mini_factory());
+  World b(test_config(16, 99), mini_factory());
+  a.start();
+  b.start();
+  a.run_until_done(sim::kMinute);
+  b.run_until_done(sim::kMinute);
+  EXPECT_EQ(a.finish_time(), b.finish_time());
+}
+
+TEST(World, DifferentSeedsChangeTimings) {
+  World a(test_config(16, 1), mini_factory());
+  World b(test_config(16, 2), mini_factory());
+  a.start();
+  b.start();
+  a.run_until_done(sim::kMinute);
+  b.run_until_done(sim::kMinute);
+  EXPECT_NE(a.finish_time(), b.finish_time());
+}
+
+TEST(World, SoutReflectsProcessStates) {
+  World world(test_config(8), mini_factory());
+  world.start();
+  world.engine().run_until(sim::from_millis(5));
+  // Mid-compute: everyone is OUT_MPI.
+  EXPECT_DOUBLE_EQ(world.sout(), 1.0);
+  world.run_until_done(sim::kMinute);
+  // Finished: everyone rests in MPI_Finalize, i.e. IN_MPI.
+  EXPECT_DOUBLE_EQ(world.sout(), 0.0);
+}
+
+TEST(World, HungWorldDoesNotComplete) {
+  auto hang_factory = [](Rank rank, int, util::Rng) -> std::unique_ptr<Program> {
+    class OneRankHangs : public Program {
+     public:
+      explicit OneRankHangs(bool hang) : hang_(hang) {}
+      Action next() override {
+        switch (step_++) {
+          case 0:
+            return hang_ ? Action::hang_compute("bad_loop")
+                         : Action::compute(sim::from_millis(5), 0.0, "ok");
+          case 1: return Action::collective(Action::Kind::kBarrier, 0);
+          default: return Action::finish();
+        }
+      }
+     private:
+      bool hang_;
+      int step_ = 0;
+    };
+    return std::make_unique<OneRankHangs>(rank == 3);
+  };
+  World world(test_config(8), hang_factory);
+  world.start();
+  EXPECT_FALSE(world.run_until_done(sim::kMinute));
+  // The hung rank is OUT_MPI; everyone else is parked in the barrier.
+  int out = 0;
+  for (Rank r = 0; r < 8; ++r) {
+    if (!world.rank(r).in_mpi()) ++out;
+  }
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(world.rank(3).in_mpi());
+}
+
+TEST(World, BackgroundSlowdownsToggle) {
+  auto config = test_config(8);
+  config.background_slowdowns = true;
+  config.platform.slowdowns_per_node_hour = 1e6;  // force one immediately
+  config.platform.slowdown_mean_duration = sim::kSecond;
+  World world(config, mini_factory());
+  world.start();
+  world.engine().run_until(sim::from_millis(2));
+  bool any_slowed = false;
+  for (Rank r = 0; r < 8; ++r) {
+    if (world.rank(r).compute_factor() > 1.0) any_slowed = true;
+  }
+  EXPECT_TRUE(any_slowed);
+}
+
+TEST(WorldDeath, BoundsChecks) {
+  World world(test_config(4), mini_factory());
+  EXPECT_DEATH((void)world.rank(4), "out of range");
+  EXPECT_DEATH((void)world.node_of(-1), "out of range");
+}
+
+}  // namespace
+}  // namespace parastack::simmpi

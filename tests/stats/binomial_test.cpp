@@ -1,0 +1,75 @@
+#include "stats/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace parastack::stats {
+namespace {
+
+TEST(CiSampleBound, MatchesFormula) {
+  // n(p) = 3.8416 / e^2 * p(1-p); paper Figure 5's curve.
+  EXPECT_NEAR(ci_sample_bound(0.5, 0.1), 3.8416 / 0.01 * 0.25, 1e-9);
+  EXPECT_NEAR(ci_sample_bound(0.2, 0.3), 3.8416 / 0.09 * 0.16, 1e-9);
+}
+
+TEST(MinSamplesFor, TakesTheBindingConstraint) {
+  // At small p the rule-of-thumb term 5/p dominates.
+  EXPECT_NEAR(min_samples_for(0.01, 0.3), 500.0, 1e-9);
+  // Near p = 1 the mirrored rule 5/(1-p) dominates.
+  EXPECT_NEAR(min_samples_for(0.99, 0.3), 500.0, 1e-9);
+  // In the middle the CI-width term dominates for small e.
+  EXPECT_NEAR(min_samples_for(0.5, 0.05), 3.8416 / 0.0025 * 0.25, 1e-9);
+}
+
+TEST(OptimalSuspicionPoint, ReproducesPaperLadder) {
+  // Paper §3.2: (p_m, n_m) = (0.47, 11), (0.27, 19), (0.12, 42), (0.06, 86)
+  // for e = 0.3, 0.2, 0.1, 0.05.
+  const struct {
+    double e;
+    double p_m;
+    std::size_t n_m;
+  } expectations[] = {
+      {0.3, 0.47, 11},
+      {0.2, 0.27, 19},
+      {0.1, 0.12, 42},
+      {0.05, 0.06, 86},
+  };
+  for (const auto& expected : expectations) {
+    const auto point = optimal_suspicion_point(expected.e);
+    EXPECT_NEAR(point.p_m, expected.p_m, 0.011) << "e=" << expected.e;
+    EXPECT_EQ(point.n_m, expected.n_m) << "e=" << expected.e;
+  }
+}
+
+TEST(OptimalSuspicionPoint, MinimumIsGenuine) {
+  for (const double e : kToleranceLadder) {
+    const auto point = optimal_suspicion_point(e);
+    const double at_min = min_samples_for(point.p_m, e);
+    for (const double p : {0.02, 0.1, 0.25, 0.4, 0.5}) {
+      EXPECT_GE(min_samples_for(p, e) + 1e-6, at_min - 1.0)
+          << "p=" << p << " e=" << e;
+    }
+  }
+}
+
+TEST(OptimalSuspicionPoint, LadderIsMonotonic) {
+  // Tighter tolerance must demand more samples and a smaller p.
+  double prev_n = 0.0;
+  double prev_p = 1.0;
+  for (const double e : kToleranceLadder) {  // 0.3 -> 0.05
+    const auto point = optimal_suspicion_point(e);
+    EXPECT_GT(static_cast<double>(point.n_m), prev_n);
+    EXPECT_LT(point.p_m, prev_p);
+    prev_n = static_cast<double>(point.n_m);
+    prev_p = point.p_m;
+  }
+}
+
+TEST(MinSamplesForDeath, RejectsDegenerateP) {
+  EXPECT_DEATH((void)min_samples_for(0.0, 0.1), "p must be");
+  EXPECT_DEATH((void)min_samples_for(1.0, 0.1), "p must be");
+}
+
+}  // namespace
+}  // namespace parastack::stats

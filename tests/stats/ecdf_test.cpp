@@ -1,0 +1,89 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::stats {
+namespace {
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf ecdf;
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_EQ(ecdf.cdf(0.5), 0.0);
+  EXPECT_EQ(ecdf.mean(), 0.0);
+}
+
+TEST(EmpiricalCdf, CdfStepsAtSupportPoints) {
+  EmpiricalCdf ecdf;
+  for (const double v : {0.0, 0.0, 0.5, 1.0}) ecdf.add(v);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(0.49), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.cdf(2.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileIsGeneralizedInverse) {
+  EmpiricalCdf ecdf;
+  for (const double v : {0.1, 0.2, 0.2, 0.9}) ecdf.add(v);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.25), 0.1);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.26), 0.2);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.75), 0.2);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.76), 0.9);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 0.9);
+}
+
+TEST(EmpiricalCdf, QuantileCdfRoundTrip) {
+  EmpiricalCdf ecdf;
+  for (int i = 0; i < 50; ++i) ecdf.add(0.1 * (i % 10));
+  for (const double p : {0.1, 0.3, 0.5, 0.77, 1.0}) {
+    const double t = ecdf.quantile(p);
+    EXPECT_GE(ecdf.cdf(t) + 1e-12, p);
+  }
+}
+
+TEST(EmpiricalCdf, SupportIsSortedDistinctCumulative) {
+  EmpiricalCdf ecdf;
+  for (const double v : {0.5, 0.0, 0.5, 1.0, 0.0, 0.0}) ecdf.add(v);
+  const auto& support = ecdf.support();
+  ASSERT_EQ(support.size(), 3u);
+  EXPECT_DOUBLE_EQ(support[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(support[0].cum_prob, 0.5);
+  EXPECT_DOUBLE_EQ(support[1].value, 0.5);
+  EXPECT_DOUBLE_EQ(support[1].cum_prob, 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(support[2].value, 1.0);
+  EXPECT_DOUBLE_EQ(support[2].cum_prob, 1.0);
+}
+
+TEST(EmpiricalCdf, ThinHalfKeepsEveryOtherSampleInTimeOrder) {
+  EmpiricalCdf ecdf;
+  for (int i = 0; i < 10; ++i) ecdf.add(static_cast<double>(i));
+  ecdf.thin_half();
+  ASSERT_EQ(ecdf.size(), 5u);
+  const auto& samples = ecdf.samples();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(samples[static_cast<std::size_t>(i)],
+                     static_cast<double>(2 * i));
+  }
+  // Odd count: keeps ceil(n/2).
+  ecdf.thin_half();
+  EXPECT_EQ(ecdf.size(), 3u);
+}
+
+TEST(EmpiricalCdf, MeanTracksSamples) {
+  EmpiricalCdf ecdf;
+  ecdf.add(1.0);
+  ecdf.add(3.0);
+  EXPECT_DOUBLE_EQ(ecdf.mean(), 2.0);
+}
+
+TEST(EmpiricalCdfDeath, QuantileRequiresValidArgs) {
+  EmpiricalCdf ecdf;
+  EXPECT_DEATH((void)ecdf.quantile(0.5), "empty");
+  ecdf.add(1.0);
+  EXPECT_DEATH((void)ecdf.quantile(0.0), "p must be");
+  EXPECT_DEATH((void)ecdf.quantile(1.5), "p must be");
+}
+
+}  // namespace
+}  // namespace parastack::stats

@@ -1,0 +1,97 @@
+#include "trace/process_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simmpi/action.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace parastack::trace {
+namespace {
+
+simmpi::World make_world(int nranks, std::uint64_t seed = 17) {
+  auto profile = std::make_shared<workloads::BenchmarkProfile>();
+  profile->iterations = 5;
+  profile->reference_ranks = nranks;
+  profile->setup_time = 0;
+  profile->phases = {
+      {"w", sim::from_millis(1), 0.0, workloads::CommPattern::kNone, 0},
+  };
+  simmpi::WorldConfig config;
+  config.nranks = nranks;
+  config.platform = sim::Platform::tianhe2();  // 24 ranks/node
+  config.seed = seed;
+  config.background_slowdowns = false;
+  return simmpi::World(config, workloads::make_factory(profile));
+}
+
+TEST(ProcessTable, PsShowsJobAndSystemProcesses) {
+  auto world = make_world(48);
+  ProcessTable table(world, "./xhpl", 3);
+  const auto ps = table.ps_on_node(0);
+  int job = 0;
+  int other = 0;
+  for (const auto& entry : ps) {
+    (entry.command == "./xhpl" ? job : other)++;
+  }
+  EXPECT_EQ(job, 24);  // full node on Tianhe-2
+  EXPECT_GT(other, 3);  // daemons are present and must be filtered out
+}
+
+TEST(ProcessTable, MappingRecoversTrueRanksOnEveryNode) {
+  auto world = make_world(60);  // 3 nodes: 24 + 24 + 12
+  ProcessTable table(world, "./lu.D.x", 5);
+  for (int node = 0; node < table.nodes(); ++node) {
+    const auto mapped = ProcessTable::map_ranks(
+        table.ps_on_node(node), "./lu.D.x", node, table.ppn());
+    ASSERT_FALSE(mapped.empty());
+    for (const auto& m : mapped) {
+      EXPECT_EQ(table.pid_of_rank(m.rank), m.pid)
+          << "node " << node << " rank " << m.rank;
+    }
+  }
+}
+
+TEST(ProcessTable, MappingCoversAllRanksExactlyOnce) {
+  auto world = make_world(50, 23);
+  ProcessTable table(world, "./app", 7);
+  std::vector<bool> seen(50, false);
+  for (int node = 0; node < table.nodes(); ++node) {
+    for (const auto& m : ProcessTable::map_ranks(table.ps_on_node(node),
+                                                 "./app", node, table.ppn())) {
+      ASSERT_GE(m.rank, 0);
+      ASSERT_LT(m.rank, 50);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(m.rank)]);
+      seen[static_cast<std::size_t>(m.rank)] = true;
+    }
+  }
+  for (int r = 0; r < 50; ++r) EXPECT_TRUE(seen[static_cast<std::size_t>(r)]);
+}
+
+TEST(ProcessTable, CommandFilterIsExact) {
+  auto world = make_world(24);
+  ProcessTable table(world, "./xhpl", 11);
+  // A different command name maps nothing.
+  const auto mapped = ProcessTable::map_ranks(table.ps_on_node(0),
+                                              "./other_app", 0, table.ppn());
+  EXPECT_TRUE(mapped.empty());
+}
+
+TEST(ProcessTable, PartialLastNode) {
+  auto world = make_world(30);  // node 1 hosts only ranks 24..29
+  ProcessTable table(world, "./a.out", 13);
+  const auto mapped = ProcessTable::map_ranks(table.ps_on_node(1), "./a.out",
+                                              1, table.ppn());
+  ASSERT_EQ(mapped.size(), 6u);
+  EXPECT_EQ(mapped.front().rank, 24);
+  EXPECT_EQ(mapped.back().rank, 29);
+}
+
+TEST(ProcessTableDeath, Bounds) {
+  auto world = make_world(24);
+  ProcessTable table(world, "./x", 1);
+  EXPECT_DEATH((void)table.ps_on_node(5), "out of range");
+  EXPECT_DEATH((void)table.pid_of_rank(99), "out of range");
+}
+
+}  // namespace
+}  // namespace parastack::trace

@@ -1,0 +1,69 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::util {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full = {"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Args, KeyValuePairs) {
+  const auto args = make({"--bench", "LU", "--ranks", "256"});
+  EXPECT_TRUE(args.has("bench"));
+  EXPECT_EQ(args.get("bench"), "LU");
+  EXPECT_EQ(args.get_int("ranks", 0), 256);
+}
+
+TEST(Args, EqualsSyntax) {
+  const auto args = make({"--platform=Tardis", "--alpha=0.01"});
+  EXPECT_EQ(args.get("platform"), "Tardis");
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.01);
+}
+
+TEST(Args, BareFlags) {
+  const auto args = make({"--no-parastack", "--verbose", "--seed", "4"});
+  EXPECT_TRUE(args.has("no-parastack"));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("no-parastack"), "");
+  EXPECT_EQ(args.get_int("seed", 0), 4);
+}
+
+TEST(Args, FlagFollowedByFlagIsBare) {
+  const auto args = make({"--a", "--b", "value"});
+  EXPECT_EQ(args.get("a"), "");
+  EXPECT_EQ(args.get("b"), "value");
+}
+
+TEST(Args, Fallbacks) {
+  const auto args = make({});
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Args, Positionals) {
+  const auto args = make({"run", "--x", "1", "extra"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "run");
+  EXPECT_EQ(args.positionals()[1], "extra");
+}
+
+TEST(Args, UnknownKeyDetection) {
+  const auto args = make({"--bench", "LU", "--typo-flag", "x"});
+  const auto unknown = args.unknown_keys({"bench", "ranks"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo-flag");
+}
+
+TEST(ArgsDeath, NumericValidation) {
+  const auto args = make({"--ranks", "abc"});
+  EXPECT_DEATH((void)args.get_int("ranks", 0), "integer");
+}
+
+}  // namespace
+}  // namespace parastack::util

@@ -1,0 +1,56 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parastack::util {
+namespace {
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+}
+
+TEST(Histogram, AddsToCorrectBucket) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBucket) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(2.5);
+  const std::string art = h.ascii(10);
+  int lines = 0;
+  for (const char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramDeath, InvalidConstruction) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 3), "non-empty");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "at least one");
+}
+
+}  // namespace
+}  // namespace parastack::util

@@ -1,0 +1,140 @@
+#include "workloads/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+
+namespace parastack::workloads {
+namespace {
+
+TEST(Catalog, NamesMatchPaperSuite) {
+  EXPECT_EQ(bench_name(Bench::kBT), "BT");
+  EXPECT_EQ(bench_name(Bench::kHPCG), "HPCG");
+  int count = 0;
+  for (const auto bench : kAllBenches) {
+    (void)bench;
+    ++count;
+  }
+  EXPECT_EQ(count, 8);
+}
+
+TEST(Catalog, DefaultInputsFollowTable2) {
+  EXPECT_EQ(default_input(Bench::kBT, 256), "D");
+  EXPECT_EQ(default_input(Bench::kBT, 1024), "E");
+  EXPECT_EQ(default_input(Bench::kFT, 256), "D");
+  EXPECT_EQ(default_input(Bench::kFT, 1024), "E");
+  EXPECT_EQ(default_input(Bench::kMG, 256), "E");
+  EXPECT_EQ(default_input(Bench::kHPL, 256), "80000");
+  EXPECT_EQ(default_input(Bench::kHPL, 1024), "200000");
+  EXPECT_EQ(default_input(Bench::kHPL, 4096), "250000");
+  EXPECT_EQ(default_input(Bench::kHPL, 8192), "300000");
+  EXPECT_EQ(default_input(Bench::kHPL, 16384), "350000");
+  EXPECT_EQ(default_input(Bench::kHPCG, 256), "64");
+}
+
+TEST(Catalog, ProfilesAreWellFormed) {
+  for (const auto bench : kAllBenches) {
+    const auto profile =
+        make_profile(bench, default_input(bench, 256), 256);
+    ASSERT_NE(profile, nullptr);
+    EXPECT_FALSE(profile->phases.empty()) << bench_name(bench);
+    EXPECT_GT(profile->iterations, 0u) << bench_name(bench);
+    for (const auto& phase : profile->phases) {
+      EXPECT_GE(phase.compute_mean, 0);
+      EXPECT_GE(phase.every, 1);
+    }
+  }
+}
+
+TEST(Catalog, ClassEIsBiggerThanD) {
+  for (const auto bench :
+       {Bench::kBT, Bench::kCG, Bench::kFT, Bench::kLU, Bench::kSP}) {
+    const auto d = make_profile(bench, "D", 256);
+    const auto e = make_profile(bench, "E", 256);
+    sim::Time d_work = 0;
+    sim::Time e_work = 0;
+    for (const auto& phase : d->phases) d_work += phase.compute_mean;
+    for (const auto& phase : e->phases) e_work += phase.compute_mean;
+    EXPECT_GT(e_work, 3 * d_work) << bench_name(bench);
+  }
+}
+
+TEST(Catalog, HplScalesWithMatrixWidth) {
+  const auto small = make_profile(Bench::kHPL, "80000", 256);
+  const auto big = make_profile(Bench::kHPL, "200000", 256);
+  EXPECT_GT(big->iterations, small->iterations);
+  sim::Time small_work = 0;
+  sim::Time big_work = 0;
+  for (const auto& phase : small->phases) small_work += phase.compute_mean;
+  for (const auto& phase : big->phases) big_work += phase.compute_mean;
+  EXPECT_GT(big_work, small_work);
+}
+
+TEST(Catalog, HplContainsBusyWaitStyle) {
+  // §3: HPL mixes in the busy-wait (MPI_Test) communication style.
+  const auto profile = make_profile(Bench::kHPL, "80000", 256);
+  bool has_busy_wait = false;
+  for (const auto& phase : profile->phases) {
+    if (phase.comm == CommPattern::kHaloBusyWait) has_busy_wait = true;
+  }
+  EXPECT_TRUE(has_busy_wait);
+}
+
+TEST(Catalog, FtIsAlltoallDominated) {
+  const auto profile = make_profile(Bench::kFT, "D", 256);
+  int alltoalls = 0;
+  for (const auto& phase : profile->phases) {
+    if (phase.comm == CommPattern::kAlltoall) ++alltoalls;
+  }
+  EXPECT_GE(alltoalls, 2);  // the paper's long transposes
+}
+
+TEST(Catalog, LuUsesBlockingPipeline) {
+  const auto profile = make_profile(Bench::kLU, "D", 256);
+  bool fwd = false;
+  bool back = false;
+  for (const auto& phase : profile->phases) {
+    if (phase.comm == CommPattern::kPipelineRecv) fwd = true;
+    if (phase.comm == CommPattern::kPipelineRecvBack) back = true;
+  }
+  EXPECT_TRUE(fwd);
+  EXPECT_TRUE(back);
+}
+
+TEST(Catalog, HpcgIsWeakScaled) {
+  const auto profile = make_profile(Bench::kHPCG, "64", 256);
+  EXPECT_EQ(profile->compute_scaling_exp, 0.0);
+  EXPECT_GT(profile->flops_per_iteration, 0.0);
+}
+
+TEST(Catalog, EstimatedRuntimesNearPaperTable6) {
+  // Paper Table 6, Tardis @256: rough clean runtimes in seconds. The
+  // simulator need not match exactly, but the calibration should be within
+  // ~35% — that preserves every cross-benchmark relationship the
+  // experiments depend on.
+  const struct {
+    Bench bench;
+    const char* input;
+    double expected_s;
+  } rows[] = {
+      {Bench::kBT, "D", 336.0}, {Bench::kCG, "D", 132.0},
+      {Bench::kFT, "D", 179.0}, {Bench::kLU, "D", 247.0},
+      {Bench::kMG, "E", 347.0}, {Bench::kSP, "D", 511.0},
+      {Bench::kHPL, "80000", 277.0},
+  };
+  const auto platform = sim::Platform::tardis();
+  for (const auto& row : rows) {
+    const auto profile = make_profile(row.bench, row.input, 256);
+    const double estimate = sim::to_seconds(
+        harness::estimate_clean_runtime(*profile, platform, 256));
+    EXPECT_GT(estimate, row.expected_s * 0.65) << bench_name(row.bench);
+    EXPECT_LT(estimate, row.expected_s * 1.5) << bench_name(row.bench);
+  }
+}
+
+TEST(CatalogDeath, UnknownClassRejected) {
+  EXPECT_DEATH((void)make_profile(Bench::kLU, "Z", 256), "unknown NPB input");
+}
+
+}  // namespace
+}  // namespace parastack::workloads

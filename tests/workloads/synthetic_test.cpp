@@ -1,0 +1,165 @@
+#include "workloads/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simmpi/world.hpp"
+
+namespace parastack::workloads {
+namespace {
+
+std::shared_ptr<const BenchmarkProfile> tiny_profile(
+    CommPattern comm = CommPattern::kAllreduce, int iterations = 5) {
+  auto profile = std::make_shared<BenchmarkProfile>();
+  profile->name = "TINY";
+  profile->iterations = static_cast<std::uint64_t>(iterations);
+  profile->reference_ranks = 8;
+  profile->setup_time = sim::from_millis(10);
+  profile->output_every = 0;  // keep action streams pure for assertions
+  profile->phases = {
+      {"tiny_compute", sim::from_millis(5), 0.05, comm, 4 * 1024},
+  };
+  return profile;
+}
+
+simmpi::WorldConfig config8(std::uint64_t seed = 3) {
+  simmpi::WorldConfig config;
+  config.nranks = 8;
+  config.platform = sim::Platform::tianhe2();
+  config.seed = seed;
+  config.background_slowdowns = false;
+  return config;
+}
+
+TEST(SyntheticProgram, SetupComesFirst) {
+  SyntheticProgram program(tiny_profile(), 0, 8, util::Rng(1));
+  const auto first = program.next();
+  EXPECT_EQ(first.kind, simmpi::Action::Kind::kCompute);
+  EXPECT_EQ(first.user_func, "setup_init_arrays");
+}
+
+TEST(SyntheticProgram, EmitsFinishAfterAllIterations) {
+  SyntheticProgram program(tiny_profile(CommPattern::kNone, 3), 0, 8,
+                           util::Rng(1));
+  int computes = 0;
+  for (;;) {
+    const auto action = program.next();
+    if (action.kind == simmpi::Action::Kind::kFinish) break;
+    ASSERT_EQ(action.kind, simmpi::Action::Kind::kCompute);
+    ++computes;
+  }
+  EXPECT_EQ(computes, 1 + 3);  // setup + one compute per iteration
+}
+
+TEST(SyntheticProgram, EveryGatesCommunication) {
+  auto profile = std::make_shared<BenchmarkProfile>();
+  profile->iterations = 6;
+  profile->reference_ranks = 8;
+  profile->setup_time = 0;
+  profile->output_every = 0;
+  profile->phases = {
+      {"c", sim::from_millis(1), 0.0, CommPattern::kAllreduce, 64,
+       /*every=*/3},
+  };
+  SyntheticProgram program(profile, 0, 8, util::Rng(1));
+  int allreduces = 0;
+  for (;;) {
+    const auto action = program.next();
+    if (action.kind == simmpi::Action::Kind::kFinish) break;
+    if (action.kind == simmpi::Action::Kind::kAllreduce) ++allreduces;
+  }
+  EXPECT_EQ(allreduces, 2);  // iterations 0 and 3
+}
+
+TEST(SyntheticProgram, ComputeScalesWithRankCount) {
+  auto profile = tiny_profile(CommPattern::kNone, 1);
+  SyntheticProgram at_ref(profile, 0, 8, util::Rng(1));
+  SyntheticProgram at_4x(profile, 0, 32, util::Rng(1));
+  at_ref.next();  // setup
+  at_4x.next();
+  const auto ref_action = at_ref.next();
+  const auto scaled_action = at_4x.next();
+  EXPECT_NEAR(static_cast<double>(scaled_action.compute_mean),
+              static_cast<double>(ref_action.compute_mean) / 4.0,
+              static_cast<double>(ref_action.compute_mean) * 0.01);
+}
+
+TEST(SyntheticProgram, DecayShrinksWork) {
+  auto profile = std::make_shared<BenchmarkProfile>();
+  profile->iterations = 10;
+  profile->reference_ranks = 8;
+  profile->setup_time = 0;
+  profile->output_every = 0;
+  profile->phases = {
+      {"hpl_update", sim::from_millis(100), 0.0, CommPattern::kNone, 0, 1, 2,
+       false, /*decays=*/true},
+  };
+  SyntheticProgram program(profile, 0, 8, util::Rng(1));
+  std::vector<sim::Time> means;
+  for (;;) {
+    const auto action = program.next();
+    if (action.kind == simmpi::Action::Kind::kFinish) break;
+    means.push_back(action.compute_mean);
+  }
+  ASSERT_EQ(means.size(), 10u);
+  // Quadratic decay with the 0.2 floor: the last iteration runs at 20%.
+  EXPECT_GT(means.front(), 4 * means.back());
+  EXPECT_NEAR(static_cast<double>(means.back()),
+              0.2 * static_cast<double>(means.front()), 1e6);
+  for (std::size_t i = 1; i < means.size(); ++i) {
+    EXPECT_LE(means[i], means[i - 1]);
+  }
+}
+
+class HaloStyleSweep : public ::testing::TestWithParam<CommPattern> {};
+
+TEST_P(HaloStyleSweep, WorldRunsToCompletion) {
+  auto profile = tiny_profile(GetParam(), 4);
+  simmpi::World world(config8(), make_factory(profile));
+  world.start();
+  EXPECT_TRUE(world.run_until_done(10 * sim::kMinute))
+      << "pattern " << static_cast<int>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, HaloStyleSweep,
+    ::testing::Values(CommPattern::kNone, CommPattern::kHaloBlocking,
+                      CommPattern::kHaloHalfBlocking,
+                      CommPattern::kHaloBusyWait, CommPattern::kBarrier,
+                      CommPattern::kBcast, CommPattern::kReduce,
+                      CommPattern::kAllreduce, CommPattern::kGather,
+                      CommPattern::kAllgather, CommPattern::kAlltoall));
+
+TEST(SyntheticProgram, PipelinePhasesCompleteAcrossRanks) {
+  auto profile = std::make_shared<BenchmarkProfile>();
+  profile->iterations = 3;
+  profile->reference_ranks = 8;
+  profile->setup_time = 0;
+  profile->phases = {
+      {"", 0, 0.0, CommPattern::kPipelineRecv, 1024},
+      {"stage", sim::from_millis(1), 0.1, CommPattern::kPipelineSend, 1024},
+      {"bulk", sim::from_millis(5), 0.1, CommPattern::kNone, 0},
+      {"", 0, 0.0, CommPattern::kPipelineRecvBack, 1024},
+      {"stage_b", sim::from_millis(1), 0.1, CommPattern::kPipelineSendBack,
+       1024},
+  };
+  simmpi::World world(config8(), make_factory(profile));
+  world.start();
+  EXPECT_TRUE(world.run_until_done(sim::kMinute));
+}
+
+TEST(SyntheticProgram, RotatingRootBcastCompletes) {
+  auto profile = std::make_shared<BenchmarkProfile>();
+  profile->iterations = 5;
+  profile->reference_ranks = 8;
+  profile->setup_time = 0;
+  profile->phases = {
+      {"panel", sim::from_millis(2), 0.05, CommPattern::kBcast, 2048, 1, 2,
+       /*rotate_root=*/true},
+  };
+  simmpi::World world(config8(), make_factory(profile));
+  world.start();
+  EXPECT_TRUE(world.run_until_done(sim::kMinute));
+}
+
+}  // namespace
+}  // namespace parastack::workloads

@@ -1,0 +1,209 @@
+// psim — the ParaStack simulation CLI.
+//
+//   psim run      --bench LU --input D --ranks 256 --platform Tardis
+//                 [--fault compute-hang|comm-deadlock|slowdown|freeze]
+//                 [--seed N] [--no-parastack] [--timeout-baseline I,K]
+//                 [--threads T] [--alpha A]
+//   psim campaign --bench LU --runs 20 --fault compute-hang [...run options]
+//   psim submit   --bench HPL --ranks 256 --platform Tardis [--system slurm]
+//   psim list     (available benchmarks, platforms, fault types)
+//
+// Everything is deterministic under --seed.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/campaign.hpp"
+#include "harness/runner.hpp"
+#include "sched/scheduler.hpp"
+#include "util/args.hpp"
+
+using namespace parastack;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: psim <run|campaign|submit|list> [options]\n"
+               "  common: --bench NAME --input SIZE --ranks N --platform "
+               "Tardis|Tianhe-2|Stampede --seed N\n"
+               "  run:      --fault TYPE --no-parastack --timeout-baseline "
+               "--threads T --alpha A\n"
+               "  campaign: --runs N --fault TYPE\n"
+               "  submit:   --system slurm|torque --walltime-min M\n");
+  return 2;
+}
+
+workloads::Bench parse_bench(const std::string& name, bool& ok) {
+  ok = true;
+  for (const auto bench : workloads::kAllBenches) {
+    if (workloads::bench_name(bench) == name) return bench;
+  }
+  ok = false;
+  return workloads::Bench::kLU;
+}
+
+faults::FaultType parse_fault(const std::string& name, bool& ok) {
+  ok = true;
+  if (name.empty() || name == "none") return faults::FaultType::kNone;
+  if (name == "compute-hang") return faults::FaultType::kComputeHang;
+  if (name == "comm-deadlock") return faults::FaultType::kCommDeadlock;
+  if (name == "slowdown") return faults::FaultType::kTransientSlowdown;
+  if (name == "freeze") return faults::FaultType::kNodeFreeze;
+  ok = false;
+  return faults::FaultType::kNone;
+}
+
+harness::RunConfig build_config(const util::Args& args, bool& ok) {
+  harness::RunConfig config;
+  config.bench = parse_bench(args.get("bench", "LU"), ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n",
+                 args.get("bench").c_str());
+    return config;
+  }
+  config.nranks = static_cast<int>(args.get_int("ranks", 256));
+  config.input = args.get("input", "");
+  const std::string platform = args.get("platform", "Tianhe-2");
+  config.platform = platform == "Tardis"     ? sim::Platform::tardis()
+                    : platform == "Stampede" ? sim::Platform::stampede()
+                                             : sim::Platform::tianhe2();
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.fault = parse_fault(args.get("fault", "none"), ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown fault type '%s'\n",
+                 args.get("fault").c_str());
+    return config;
+  }
+  config.with_parastack = !args.has("no-parastack");
+  config.detector.alpha = args.get_double("alpha", 0.001);
+  if (args.has("timeout-baseline")) config.with_timeout_baseline = true;
+  return config;
+}
+
+int cmd_run(const util::Args& args) {
+  bool ok = true;
+  const auto config = build_config(args, ok);
+  if (!ok) return 2;
+  std::printf("running %s(%s) on %d ranks (%s), seed %llu...\n",
+              workloads::bench_name(config.bench).data(),
+              config.input.empty()
+                  ? workloads::default_input(config.bench, config.nranks)
+                        .c_str()
+                  : config.input.c_str(),
+              config.nranks, config.platform.name.c_str(),
+              static_cast<unsigned long long>(config.seed));
+  const auto result = harness::run_one(config);
+  if (result.fault.type != faults::FaultType::kNone) {
+    std::printf("fault: %s on rank %d, active from t=%.1fs\n",
+                faults::fault_type_name(result.fault.type).data(),
+                result.fault.victim,
+                sim::to_seconds(result.fault.activated_at));
+  }
+  if (result.completed) {
+    std::printf("job completed at t=%.1fs", sim::to_seconds(result.finish_time));
+    if (result.gflops > 0.0) std::printf(" (%.1f GFLOPS)", result.gflops);
+    std::printf("\n");
+  }
+  for (const auto& report : result.hangs) {
+    std::printf("ParaStack: %s\n", report.to_string().c_str());
+  }
+  for (const auto& report : result.slowdowns) {
+    std::printf("ParaStack: transient slowdown absorbed at t=%.1fs\n",
+                sim::to_seconds(report.detected_at));
+  }
+  if (!result.timeout_reports.empty()) {
+    std::printf("timeout baseline fired at t=%.1fs\n",
+                sim::to_seconds(result.timeout_reports.front().detected_at));
+  }
+  if (!result.completed && result.hangs.empty()) {
+    std::printf("job did not complete; walltime expired at t=%.1fs\n",
+                sim::to_seconds(result.end_time));
+  }
+  std::printf("monitoring: %llu stack traces, final I=%.0fms, %zu model "
+              "samples\n",
+              static_cast<unsigned long long>(result.traces),
+              sim::to_millis(result.final_interval), result.model_samples);
+  return 0;
+}
+
+int cmd_campaign(const util::Args& args) {
+  bool ok = true;
+  harness::CampaignConfig campaign;
+  campaign.base = build_config(args, ok);
+  if (!ok) return 2;
+  campaign.runs = static_cast<int>(args.get_int("runs", 10));
+  campaign.seed0 = campaign.base.seed * 1000 + 7;
+  if (campaign.base.fault == faults::FaultType::kNone) {
+    const auto result = harness::run_clean_campaign(campaign);
+    std::printf("%d clean runs: %d false positives, mean runtime %.1fs "
+                "(stddev %.1f), %.2f simulated hours\n",
+                result.runs, result.false_positives,
+                result.runtime_seconds.mean(), result.runtime_seconds.stddev(),
+                result.total_hours);
+    return 0;
+  }
+  const auto result = harness::run_erroneous_campaign(campaign);
+  std::printf("%d erroneous runs (%s):\n", result.runs,
+              faults::fault_type_name(campaign.base.fault).data());
+  std::printf("  accuracy AC=%.2f (missed %d), false positives %d\n",
+              result.accuracy(), result.missed, result.false_positives);
+  std::printf("  response delay %.1fs mean (min %.1f, max %.1f)\n",
+              result.delay_seconds.mean(), result.delay_seconds.min(),
+              result.delay_seconds.max());
+  if (campaign.base.fault == faults::FaultType::kComputeHang) {
+    std::printf("  faulty-process identification ACf=%.2f PRf=%.2f\n",
+                result.acf(), result.prf());
+  }
+  return 0;
+}
+
+int cmd_submit(const util::Args& args) {
+  bool ok = true;
+  const auto config = build_config(args, ok);
+  if (!ok) return 2;
+  sched::JobTicket ticket;
+  ticket.cores_per_node = config.platform.cores_per_node;
+  ticket.nodes = (config.nranks + ticket.cores_per_node - 1) /
+                 ticket.cores_per_node;
+  ticket.walltime = sim::kMinute * args.get_int("walltime-min", 60);
+  ticket.job_name = std::string(workloads::bench_name(config.bench));
+  const auto system = args.get("system", "slurm") == "torque"
+                          ? sched::BatchSystem::kTorque
+                          : sched::BatchSystem::kSlurm;
+  std::printf("%s\n", sched::submission_command(
+                          system, ticket,
+                          "./" + ticket.job_name + ".exe")
+                          .c_str());
+  return 0;
+}
+
+int cmd_list() {
+  std::printf("benchmarks:");
+  for (const auto bench : workloads::kAllBenches) {
+    std::printf(" %s", workloads::bench_name(bench).data());
+  }
+  std::printf("\nplatforms: Tardis Tianhe-2 Stampede\n");
+  std::printf("faults: compute-hang comm-deadlock slowdown freeze none\n");
+  std::printf("default inputs at 256 ranks:");
+  for (const auto bench : workloads::kAllBenches) {
+    std::printf(" %s=%s", workloads::bench_name(bench).data(),
+                workloads::default_input(bench, 256).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Args args(argc - 1, argv + 1);
+  if (command == "run") return cmd_run(args);
+  if (command == "campaign") return cmd_campaign(args);
+  if (command == "submit") return cmd_submit(args);
+  if (command == "list") return cmd_list();
+  return usage();
+}
