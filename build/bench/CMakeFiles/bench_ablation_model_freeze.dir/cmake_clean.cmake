@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model_freeze.dir/bench_ablation_model_freeze.cpp.o"
+  "CMakeFiles/bench_ablation_model_freeze.dir/bench_ablation_model_freeze.cpp.o.d"
+  "bench_ablation_model_freeze"
+  "bench_ablation_model_freeze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_freeze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

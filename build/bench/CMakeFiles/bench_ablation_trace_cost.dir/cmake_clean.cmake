@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trace_cost.dir/bench_ablation_trace_cost.cpp.o"
+  "CMakeFiles/bench_ablation_trace_cost.dir/bench_ablation_trace_cost.cpp.o.d"
+  "bench_ablation_trace_cost"
+  "bench_ablation_trace_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trace_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

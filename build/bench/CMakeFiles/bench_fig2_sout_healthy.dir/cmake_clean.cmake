@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_sout_healthy.dir/bench_fig2_sout_healthy.cpp.o"
+  "CMakeFiles/bench_fig2_sout_healthy.dir/bench_fig2_sout_healthy.cpp.o.d"
+  "bench_fig2_sout_healthy"
+  "bench_fig2_sout_healthy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sout_healthy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_sout_faulty.cpp" "bench/CMakeFiles/bench_fig3_sout_faulty.dir/bench_fig3_sout_faulty.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_sout_faulty.dir/bench_fig3_sout_faulty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/parastack_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/parastack_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/parastack_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parastack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parastack_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parastack_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/parastack_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/parastack_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parastack_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parastack_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

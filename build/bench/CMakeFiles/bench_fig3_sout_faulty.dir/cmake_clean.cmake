@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sout_faulty.dir/bench_fig3_sout_faulty.cpp.o"
+  "CMakeFiles/bench_fig3_sout_faulty.dir/bench_fig3_sout_faulty.cpp.o.d"
+  "bench_fig3_sout_faulty"
+  "bench_fig3_sout_faulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sout_faulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_overhead_stampede.dir/bench_fig7_overhead_stampede.cpp.o"
+  "CMakeFiles/bench_fig7_overhead_stampede.dir/bench_fig7_overhead_stampede.cpp.o.d"
+  "bench_fig7_overhead_stampede"
+  "bench_fig7_overhead_stampede.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_overhead_stampede.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

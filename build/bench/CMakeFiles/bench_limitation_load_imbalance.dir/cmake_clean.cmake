@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_limitation_load_imbalance.dir/bench_limitation_load_imbalance.cpp.o"
+  "CMakeFiles/bench_limitation_load_imbalance.dir/bench_limitation_load_imbalance.cpp.o.d"
+  "bench_limitation_load_imbalance"
+  "bench_limitation_load_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_limitation_load_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_monitors.dir/bench_scalability_monitors.cpp.o"
+  "CMakeFiles/bench_scalability_monitors.dir/bench_scalability_monitors.cpp.o.d"
+  "bench_scalability_monitors"
+  "bench_scalability_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

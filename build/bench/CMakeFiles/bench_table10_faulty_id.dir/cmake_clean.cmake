@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_faulty_id.dir/bench_table10_faulty_id.cpp.o"
+  "CMakeFiles/bench_table10_faulty_id.dir/bench_table10_faulty_id.cpp.o.d"
+  "bench_table10_faulty_id"
+  "bench_table10_faulty_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_faulty_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

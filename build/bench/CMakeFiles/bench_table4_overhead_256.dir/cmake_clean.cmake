@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_overhead_256.dir/bench_table4_overhead_256.cpp.o"
+  "CMakeFiles/bench_table4_overhead_256.dir/bench_table4_overhead_256.cpp.o.d"
+  "bench_table4_overhead_256"
+  "bench_table4_overhead_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_overhead_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_8_response_delay_large.dir/bench_table7_8_response_delay_large.cpp.o"
+  "CMakeFiles/bench_table7_8_response_delay_large.dir/bench_table7_8_response_delay_large.cpp.o.d"
+  "bench_table7_8_response_delay_large"
+  "bench_table7_8_response_delay_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_8_response_delay_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

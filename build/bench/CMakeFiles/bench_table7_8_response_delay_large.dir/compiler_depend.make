@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_8_response_delay_large.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_savings.dir/batch_savings.cpp.o"
+  "CMakeFiles/batch_savings.dir/batch_savings.cpp.o.d"
+  "batch_savings"
+  "batch_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

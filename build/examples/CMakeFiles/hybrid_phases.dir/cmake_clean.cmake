@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_phases.dir/hybrid_phases.cpp.o"
+  "CMakeFiles/hybrid_phases.dir/hybrid_phases.cpp.o.d"
+  "hybrid_phases"
+  "hybrid_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/parastack_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/parastack_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/faulty_id.cpp" "src/core/CMakeFiles/parastack_core.dir/faulty_id.cpp.o" "gcc" "src/core/CMakeFiles/parastack_core.dir/faulty_id.cpp.o.d"
+  "/root/repo/src/core/io_watchdog.cpp" "src/core/CMakeFiles/parastack_core.dir/io_watchdog.cpp.o" "gcc" "src/core/CMakeFiles/parastack_core.dir/io_watchdog.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/parastack_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/parastack_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/monitor_network.cpp" "src/core/CMakeFiles/parastack_core.dir/monitor_network.cpp.o" "gcc" "src/core/CMakeFiles/parastack_core.dir/monitor_network.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/parastack_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/parastack_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/slowdown_filter.cpp" "src/core/CMakeFiles/parastack_core.dir/slowdown_filter.cpp.o" "gcc" "src/core/CMakeFiles/parastack_core.dir/slowdown_filter.cpp.o.d"
+  "/root/repo/src/core/timeout_detector.cpp" "src/core/CMakeFiles/parastack_core.dir/timeout_detector.cpp.o" "gcc" "src/core/CMakeFiles/parastack_core.dir/timeout_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/parastack_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/parastack_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parastack_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parastack_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parastack_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

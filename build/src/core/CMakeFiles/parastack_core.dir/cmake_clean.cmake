@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_core.dir/detector.cpp.o"
+  "CMakeFiles/parastack_core.dir/detector.cpp.o.d"
+  "CMakeFiles/parastack_core.dir/faulty_id.cpp.o"
+  "CMakeFiles/parastack_core.dir/faulty_id.cpp.o.d"
+  "CMakeFiles/parastack_core.dir/io_watchdog.cpp.o"
+  "CMakeFiles/parastack_core.dir/io_watchdog.cpp.o.d"
+  "CMakeFiles/parastack_core.dir/model.cpp.o"
+  "CMakeFiles/parastack_core.dir/model.cpp.o.d"
+  "CMakeFiles/parastack_core.dir/monitor_network.cpp.o"
+  "CMakeFiles/parastack_core.dir/monitor_network.cpp.o.d"
+  "CMakeFiles/parastack_core.dir/report.cpp.o"
+  "CMakeFiles/parastack_core.dir/report.cpp.o.d"
+  "CMakeFiles/parastack_core.dir/slowdown_filter.cpp.o"
+  "CMakeFiles/parastack_core.dir/slowdown_filter.cpp.o.d"
+  "CMakeFiles/parastack_core.dir/timeout_detector.cpp.o"
+  "CMakeFiles/parastack_core.dir/timeout_detector.cpp.o.d"
+  "libparastack_core.a"
+  "libparastack_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

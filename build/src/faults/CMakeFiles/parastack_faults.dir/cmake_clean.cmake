@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_faults.dir/injector.cpp.o"
+  "CMakeFiles/parastack_faults.dir/injector.cpp.o.d"
+  "libparastack_faults.a"
+  "libparastack_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_harness.dir/campaign.cpp.o"
+  "CMakeFiles/parastack_harness.dir/campaign.cpp.o.d"
+  "CMakeFiles/parastack_harness.dir/runner.cpp.o"
+  "CMakeFiles/parastack_harness.dir/runner.cpp.o.d"
+  "libparastack_harness.a"
+  "libparastack_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparastack_harness.a"
+)

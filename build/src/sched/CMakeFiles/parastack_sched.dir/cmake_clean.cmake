@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/parastack_sched.dir/scheduler.cpp.o.d"
+  "libparastack_sched.a"
+  "libparastack_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

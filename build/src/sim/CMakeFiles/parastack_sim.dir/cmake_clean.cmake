@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_sim.dir/engine.cpp.o"
+  "CMakeFiles/parastack_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/parastack_sim.dir/platform.cpp.o"
+  "CMakeFiles/parastack_sim.dir/platform.cpp.o.d"
+  "libparastack_sim.a"
+  "libparastack_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/comm_engine.cpp" "src/simmpi/CMakeFiles/parastack_simmpi.dir/comm_engine.cpp.o" "gcc" "src/simmpi/CMakeFiles/parastack_simmpi.dir/comm_engine.cpp.o.d"
+  "/root/repo/src/simmpi/rank_process.cpp" "src/simmpi/CMakeFiles/parastack_simmpi.dir/rank_process.cpp.o" "gcc" "src/simmpi/CMakeFiles/parastack_simmpi.dir/rank_process.cpp.o.d"
+  "/root/repo/src/simmpi/stack.cpp" "src/simmpi/CMakeFiles/parastack_simmpi.dir/stack.cpp.o" "gcc" "src/simmpi/CMakeFiles/parastack_simmpi.dir/stack.cpp.o.d"
+  "/root/repo/src/simmpi/types.cpp" "src/simmpi/CMakeFiles/parastack_simmpi.dir/types.cpp.o" "gcc" "src/simmpi/CMakeFiles/parastack_simmpi.dir/types.cpp.o.d"
+  "/root/repo/src/simmpi/world.cpp" "src/simmpi/CMakeFiles/parastack_simmpi.dir/world.cpp.o" "gcc" "src/simmpi/CMakeFiles/parastack_simmpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/parastack_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parastack_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_simmpi.dir/comm_engine.cpp.o"
+  "CMakeFiles/parastack_simmpi.dir/comm_engine.cpp.o.d"
+  "CMakeFiles/parastack_simmpi.dir/rank_process.cpp.o"
+  "CMakeFiles/parastack_simmpi.dir/rank_process.cpp.o.d"
+  "CMakeFiles/parastack_simmpi.dir/stack.cpp.o"
+  "CMakeFiles/parastack_simmpi.dir/stack.cpp.o.d"
+  "CMakeFiles/parastack_simmpi.dir/types.cpp.o"
+  "CMakeFiles/parastack_simmpi.dir/types.cpp.o.d"
+  "CMakeFiles/parastack_simmpi.dir/world.cpp.o"
+  "CMakeFiles/parastack_simmpi.dir/world.cpp.o.d"
+  "libparastack_simmpi.a"
+  "libparastack_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

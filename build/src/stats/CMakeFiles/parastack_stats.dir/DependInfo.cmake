@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/binomial.cpp" "src/stats/CMakeFiles/parastack_stats.dir/binomial.cpp.o" "gcc" "src/stats/CMakeFiles/parastack_stats.dir/binomial.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/parastack_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/parastack_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/geometric.cpp" "src/stats/CMakeFiles/parastack_stats.dir/geometric.cpp.o" "gcc" "src/stats/CMakeFiles/parastack_stats.dir/geometric.cpp.o.d"
+  "/root/repo/src/stats/runs_test.cpp" "src/stats/CMakeFiles/parastack_stats.dir/runs_test.cpp.o" "gcc" "src/stats/CMakeFiles/parastack_stats.dir/runs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parastack_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_stats.dir/binomial.cpp.o"
+  "CMakeFiles/parastack_stats.dir/binomial.cpp.o.d"
+  "CMakeFiles/parastack_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/parastack_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/parastack_stats.dir/geometric.cpp.o"
+  "CMakeFiles/parastack_stats.dir/geometric.cpp.o.d"
+  "CMakeFiles/parastack_stats.dir/runs_test.cpp.o"
+  "CMakeFiles/parastack_stats.dir/runs_test.cpp.o.d"
+  "libparastack_stats.a"
+  "libparastack_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_trace.dir/inspector.cpp.o"
+  "CMakeFiles/parastack_trace.dir/inspector.cpp.o.d"
+  "CMakeFiles/parastack_trace.dir/process_table.cpp.o"
+  "CMakeFiles/parastack_trace.dir/process_table.cpp.o.d"
+  "libparastack_trace.a"
+  "libparastack_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_util.dir/args.cpp.o"
+  "CMakeFiles/parastack_util.dir/args.cpp.o.d"
+  "CMakeFiles/parastack_util.dir/histogram.cpp.o"
+  "CMakeFiles/parastack_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/parastack_util.dir/log.cpp.o"
+  "CMakeFiles/parastack_util.dir/log.cpp.o.d"
+  "CMakeFiles/parastack_util.dir/rng.cpp.o"
+  "CMakeFiles/parastack_util.dir/rng.cpp.o.d"
+  "CMakeFiles/parastack_util.dir/summary.cpp.o"
+  "CMakeFiles/parastack_util.dir/summary.cpp.o.d"
+  "libparastack_util.a"
+  "libparastack_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parastack_workloads.dir/catalog.cpp.o"
+  "CMakeFiles/parastack_workloads.dir/catalog.cpp.o.d"
+  "CMakeFiles/parastack_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/parastack_workloads.dir/synthetic.cpp.o.d"
+  "libparastack_workloads.a"
+  "libparastack_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parastack_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/busy_wait_test.dir/simmpi/busy_wait_test.cpp.o"
+  "CMakeFiles/busy_wait_test.dir/simmpi/busy_wait_test.cpp.o.d"
+  "busy_wait_test"
+  "busy_wait_test.pdb"
+  "busy_wait_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/busy_wait_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_engine_test.dir/simmpi/comm_engine_test.cpp.o"
+  "CMakeFiles/comm_engine_test.dir/simmpi/comm_engine_test.cpp.o.d"
+  "comm_engine_test"
+  "comm_engine_test.pdb"
+  "comm_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_stress_test.dir/simmpi/comm_stress_test.cpp.o"
+  "CMakeFiles/comm_stress_test.dir/simmpi/comm_stress_test.cpp.o.d"
+  "comm_stress_test"
+  "comm_stress_test.pdb"
+  "comm_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

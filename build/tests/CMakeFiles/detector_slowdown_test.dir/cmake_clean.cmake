@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_slowdown_test.dir/core/detector_slowdown_test.cpp.o"
+  "CMakeFiles/detector_slowdown_test.dir/core/detector_slowdown_test.cpp.o.d"
+  "detector_slowdown_test"
+  "detector_slowdown_test.pdb"
+  "detector_slowdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_slowdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

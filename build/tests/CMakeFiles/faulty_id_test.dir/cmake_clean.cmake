@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faulty_id_test.dir/core/faulty_id_test.cpp.o"
+  "CMakeFiles/faulty_id_test.dir/core/faulty_id_test.cpp.o.d"
+  "faulty_id_test"
+  "faulty_id_test.pdb"
+  "faulty_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faulty_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometric_test.dir/stats/geometric_test.cpp.o"
+  "CMakeFiles/geometric_test.dir/stats/geometric_test.cpp.o.d"
+  "geometric_test"
+  "geometric_test.pdb"
+  "geometric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

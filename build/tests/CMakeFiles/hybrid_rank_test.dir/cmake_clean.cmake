@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_rank_test.dir/simmpi/hybrid_rank_test.cpp.o"
+  "CMakeFiles/hybrid_rank_test.dir/simmpi/hybrid_rank_test.cpp.o.d"
+  "hybrid_rank_test"
+  "hybrid_rank_test.pdb"
+  "hybrid_rank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_rank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_watchdog_test.dir/core/io_watchdog_test.cpp.o"
+  "CMakeFiles/io_watchdog_test.dir/core/io_watchdog_test.cpp.o.d"
+  "io_watchdog_test"
+  "io_watchdog_test.pdb"
+  "io_watchdog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_watchdog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_network_test.dir/core/monitor_network_test.cpp.o"
+  "CMakeFiles/monitor_network_test.dir/core/monitor_network_test.cpp.o.d"
+  "monitor_network_test"
+  "monitor_network_test.pdb"
+  "monitor_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_table_test.dir/trace/process_table_test.cpp.o"
+  "CMakeFiles/process_table_test.dir/trace/process_table_test.cpp.o.d"
+  "process_table_test"
+  "process_table_test.pdb"
+  "process_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_process_test.dir/simmpi/rank_process_test.cpp.o"
+  "CMakeFiles/rank_process_test.dir/simmpi/rank_process_test.cpp.o.d"
+  "rank_process_test"
+  "rank_process_test.pdb"
+  "rank_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runs_test_test.dir/stats/runs_test_test.cpp.o"
+  "CMakeFiles/runs_test_test.dir/stats/runs_test_test.cpp.o.d"
+  "runs_test_test"
+  "runs_test_test.pdb"
+  "runs_test_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runs_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

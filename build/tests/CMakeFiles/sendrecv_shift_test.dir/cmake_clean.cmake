@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sendrecv_shift_test.dir/simmpi/sendrecv_shift_test.cpp.o"
+  "CMakeFiles/sendrecv_shift_test.dir/simmpi/sendrecv_shift_test.cpp.o.d"
+  "sendrecv_shift_test"
+  "sendrecv_shift_test.pdb"
+  "sendrecv_shift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sendrecv_shift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slowdown_filter_test.dir/core/slowdown_filter_test.cpp.o"
+  "CMakeFiles/slowdown_filter_test.dir/core/slowdown_filter_test.cpp.o.d"
+  "slowdown_filter_test"
+  "slowdown_filter_test.pdb"
+  "slowdown_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slowdown_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistical_guarantee_test.dir/core/statistical_guarantee_test.cpp.o"
+  "CMakeFiles/statistical_guarantee_test.dir/core/statistical_guarantee_test.cpp.o.d"
+  "statistical_guarantee_test"
+  "statistical_guarantee_test.pdb"
+  "statistical_guarantee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistical_guarantee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

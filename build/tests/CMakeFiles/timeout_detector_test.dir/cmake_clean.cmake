@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeout_detector_test.dir/core/timeout_detector_test.cpp.o"
+  "CMakeFiles/timeout_detector_test.dir/core/timeout_detector_test.cpp.o.d"
+  "timeout_detector_test"
+  "timeout_detector_test.pdb"
+  "timeout_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_cost_test.dir/harness/trace_cost_test.cpp.o"
+  "CMakeFiles/trace_cost_test.dir/harness/trace_cost_test.cpp.o.d"
+  "trace_cost_test"
+  "trace_cost_test.pdb"
+  "trace_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

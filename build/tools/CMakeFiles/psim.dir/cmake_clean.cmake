@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psim.dir/psim.cpp.o"
+  "CMakeFiles/psim.dir/psim.cpp.o.d"
+  "psim"
+  "psim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
