@@ -1,15 +1,46 @@
 #include "core/detector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <string>
 
 #include "core/faulty_id.hpp"
 #include "core/slowdown_filter.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/runs_test.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace parastack::core {
+
+namespace {
+
+/// Detector state transitions are logged at debug level (wired to
+/// --log-level / PARASTACK_LOG_LEVEL); the guard keeps snprintf off the
+/// common path.
+template <typename... Args>
+void debug_log(const char* format, Args... args) {
+  if (util::log_level() > util::LogLevel::kDebug) return;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, format, args...);
+  util::log(util::LogLevel::kDebug, "parastack", buf);
+}
+
+void emit_streak(obs::TelemetrySink* sink, sim::Time now,
+                 obs::StreakEvent::Kind kind, std::size_t length,
+                 std::size_t required, std::string_view reason) {
+  if (sink == nullptr) return;
+  obs::StreakEvent event;
+  event.time = now;
+  event.kind = kind;
+  event.length = length;
+  event.required = required;
+  event.reason = reason;
+  sink->on_streak(event);
+}
+
+}  // namespace
 
 HangDetector::HangDetector(simmpi::World& world,
                            trace::StackInspector& inspector,
@@ -45,6 +76,7 @@ const std::vector<simmpi::Rank>& HangDetector::monitor_set(int index) const {
 
 void HangDetector::notify_phase_change(int phase_id) {
   if (phase_id == current_phase_ || state_ == State::kDone) return;
+  const int from_phase = current_phase_;
   // Save the learned state of the outgoing phase.
   PhaseState outgoing;
   outgoing.model = std::move(model_);
@@ -56,6 +88,7 @@ void HangDetector::notify_phase_change(int phase_id) {
   current_phase_ = phase_id;
 
   // Restore (or initialize) the incoming phase's state.
+  bool resumed = false;
   if (const auto it = phase_stash_.find(phase_id); it != phase_stash_.end()) {
     model_ = std::move(it->second.model);
     interval_ = it->second.interval;
@@ -63,6 +96,7 @@ void HangDetector::notify_phase_change(int phase_id) {
     doublings_ = it->second.doublings;
     samples_since_runs_test_ = it->second.samples_since_runs_test;
     phase_stash_.erase(it);
+    resumed = true;
   } else {
     model_.clear();
     interval_ = config_.initial_interval;
@@ -70,7 +104,25 @@ void HangDetector::notify_phase_change(int phase_id) {
     doublings_ = 0;
     samples_since_runs_test_ = 0;
   }
+  const sim::Time now = world_.engine().now();
+  obs::TelemetrySink* sink = world_.engine().telemetry();
+  if (streak_ > 0) {
+    emit_streak(sink, now, obs::StreakEvent::Kind::kReset, streak_,
+                model_.decision(config_.alpha).k, "phase-change");
+  }
   streak_ = 0;  // samples across a phase boundary do not form one streak
+
+  debug_log("phase change %d -> %d (%s model)", from_phase, phase_id,
+            resumed ? "resumed" : "fresh");
+  if (sink != nullptr) {
+    obs::PhaseChangeEvent event;
+    event.time = now;
+    event.from_phase = from_phase;
+    event.to_phase = phase_id;
+    event.resumed = resumed;
+    event.aborted_verification = state_ == State::kVerifying;
+    sink->on_phase_change(event);
+  }
 
   // A phase change is progress: abandon any in-flight hang verification.
   if (state_ == State::kVerifying) {
@@ -112,21 +164,57 @@ void HangDetector::run_runs_test_if_due() {
   }
   samples_since_runs_test_ = 0;
   const auto result = stats::runs_test(model_.ecdf().samples());
+  obs::TelemetrySink* sink = world_.engine().telemetry();
+  const sim::Time now = world_.engine().now();
+  if (sink != nullptr) {
+    obs::RunsTestEvent event;
+    event.time = now;
+    event.sample_size = model_.size();
+    event.runs = result.runs;
+    event.n_pos = result.n_pos;
+    event.n_neg = result.n_neg;
+    event.random = result.random;
+    sink->on_runs_test(event);
+  }
   if (result.random) {
     randomness_confirmed_ = true;
+    debug_log("runs test passed at n=%zu; sampling confirmed random",
+              model_.size());
     return;
   }
-  if (interval_ * 2 > config_.max_interval) {
+  const bool capped = interval_ * 2 > config_.max_interval;
+  if (capped) {
     // The paper does not bound the doubling; we cap it so a pathologically
     // regular waveform cannot disable detection outright.
     util::log(util::LogLevel::kWarn, "parastack",
               "interval cap reached; proceeding without confirmed randomness");
     randomness_confirmed_ = true;
+    if (sink != nullptr) {
+      obs::IntervalEvent event;
+      event.time = now;
+      event.old_interval = interval_;
+      event.new_interval = interval_;
+      event.doublings = doublings_;
+      event.capped = true;
+      sink->on_interval(event);
+    }
     return;
   }
+  const sim::Time old_interval = interval_;
   interval_ *= 2;
   ++doublings_;
   model_.thin_half();  // history now approximates samples at the doubled I
+  debug_log("runs test rejected randomness; I doubled to %.0fms (x%zu)",
+            sim::to_millis(interval_), doublings_);
+  if (sink != nullptr) {
+    obs::IntervalEvent event;
+    event.time = now;
+    event.old_interval = old_interval;
+    event.new_interval = interval_;
+    event.doublings = doublings_;
+    event.capped = false;
+    sink->on_interval(event);
+  }
 }
 
 void HangDetector::take_sample() {
@@ -134,6 +222,8 @@ void HangDetector::take_sample() {
   const double sample = measure_scrout();
   ++observations_;
   ++observations_since_switch_;
+  obs::TelemetrySink* sink = world_.engine().telemetry();
+  const sim::Time now = world_.engine().now();
   // §3.3: alternate between the two disjoint sets, staying on each long
   // enough to complete a verification streak. The paper's fixed 30 relies
   // on q <= 0.77 (k <= 27); with heavily zero-massed distributions (e.g.
@@ -146,6 +236,10 @@ void HangDetector::take_sample() {
       observations_since_switch_ >= required_dwell) {
     active_set_ ^= 1;
     observations_since_switch_ = 0;
+    if (streak_ > 0) {
+      emit_streak(sink, now, obs::StreakEvent::Kind::kReset, streak_,
+                  model_.decision(config_.alpha).k, "set-switch");
+    }
     streak_ = 0;  // suspicions must be observed on a single set
   }
 
@@ -162,16 +256,53 @@ void HangDetector::take_sample() {
   // sampling as random — q^k bounds the false-alarm probability only under
   // independent sampling.
   const auto decision = model_.decision(config_.alpha);
+  bool suspicious = false;
+  bool verify = false;
+  std::size_t ended_streak = 0;
   if (decision.ready && randomness_confirmed_) {
     if (sample <= decision.threshold + 1e-12) {
+      suspicious = true;
       ++streak_;
-      if (streak_ >= decision.k) {
-        begin_verification();
-        return;
-      }
+      verify = streak_ >= decision.k;
     } else {
+      ended_streak = streak_;
       streak_ = 0;
     }
+  }
+
+  if (sink != nullptr) {
+    obs::SampleEvent event;
+    event.time = now;
+    event.phase = current_phase_;
+    event.active_set = active_set_;
+    event.observation = observations_;
+    event.scrout = sample;
+    event.interval = interval_;
+    event.model_ready = decision.ready;
+    event.randomness_confirmed = randomness_confirmed_;
+    event.model_frozen = freeze;
+    event.threshold = decision.threshold;
+    event.q = decision.q;
+    event.required_streak = decision.k;
+    event.suspicious = suspicious;
+    event.streak = streak_;
+    sink->on_sample(event);
+    if (suspicious) {
+      emit_streak(sink, now,
+                  verify ? obs::StreakEvent::Kind::kVerify
+                         : obs::StreakEvent::Kind::kAdvance,
+                  streak_, decision.k, "suspicious-sample");
+    } else if (ended_streak > 0) {
+      emit_streak(sink, now, obs::StreakEvent::Kind::kReset, ended_streak,
+                  decision.k, "healthy-sample");
+    }
+  }
+
+  if (verify) {
+    debug_log("streak %zu/%zu complete at t=%.2fs; entering verification",
+              streak_, decision.k, sim::to_seconds(now));
+    begin_verification();
+    return;
   }
   schedule_next_sample();
 }
@@ -195,6 +326,7 @@ std::vector<trace::StackSnapshot> HangDetector::sweep_all_ranks() {
 
 void HangDetector::begin_verification() {
   state_ = State::kVerifying;
+  obs::TelemetrySink* sink = world_.engine().telemetry();
   if (!config_.enable_slowdown_filter) {
     faulty_sweeps_.clear();
     faulty_sweep_round();
@@ -202,6 +334,21 @@ void HangDetector::begin_verification() {
   }
   filter_rounds_done_ = 1;
   filter_round1_ = sweep_all_ranks();
+  const sim::Time now = world_.engine().now();
+  debug_log("verification: filter round 1 swept %d ranks", world_.nranks());
+  if (sink != nullptr) {
+    obs::FilterEvent event;
+    event.time = now;
+    event.stage = obs::FilterEvent::Stage::kEnter;
+    event.round = 1;
+    sink->on_filter(event);
+    obs::SweepEvent sweep;
+    sweep.time = now;
+    sweep.ranks = world_.nranks();
+    sweep.purpose = "slowdown-filter";
+    sweep.round = 1;
+    sink->on_sweep(sweep);
+  }
   world_.engine().schedule_after(verification_gap(),
                                  [this] { continue_filter(); });
 }
@@ -209,28 +356,80 @@ void HangDetector::begin_verification() {
 void HangDetector::continue_filter() {
   if (stopped_ || state_ != State::kVerifying) return;
   const auto round = sweep_all_ranks();
-  if (is_transient_slowdown(filter_round1_, round)) {
-    conclude_slowdown();
+  obs::TelemetrySink* sink = world_.engine().telemetry();
+  const sim::Time now = world_.engine().now();
+  if (sink != nullptr) {
+    obs::SweepEvent sweep;
+    sweep.time = now;
+    sweep.ranks = world_.nranks();
+    sweep.purpose = "slowdown-filter";
+    sweep.round = filter_rounds_done_ + 1;
+    sink->on_sweep(sweep);
+  }
+  SlowdownEvidence evidence;
+  if (is_transient_slowdown(filter_round1_, round, &evidence)) {
+    conclude_slowdown(evidence);
     return;
   }
   ++filter_rounds_done_;
   if (filter_rounds_done_ >= config_.slowdown_filter_rounds) {
+    debug_log("filter: %d static rounds; hang confirmed",
+              filter_rounds_done_);
+    if (sink != nullptr) {
+      obs::FilterEvent event;
+      event.time = now;
+      event.stage = obs::FilterEvent::Stage::kHangConfirmed;
+      event.round = filter_rounds_done_;
+      sink->on_filter(event);
+    }
     faulty_sweeps_.clear();
     faulty_sweep_round();
     return;
   }
   // No movement yet; look again after a longer gap (a transient that is
   // merely *slow* needs a wider observation window than a frozen hang).
+  if (sink != nullptr) {
+    obs::FilterEvent event;
+    event.time = now;
+    event.stage = obs::FilterEvent::Stage::kRetry;
+    event.round = filter_rounds_done_;
+    sink->on_filter(event);
+  }
   filter_round1_ = round;
   const sim::Time gap = std::min<sim::Time>(
       verification_gap() << (filter_rounds_done_ - 1), 4 * sim::kSecond);
   world_.engine().schedule_after(gap, [this] { continue_filter(); });
 }
 
-void HangDetector::conclude_slowdown() {
+void HangDetector::conclude_slowdown(const SlowdownEvidence& evidence) {
+  const sim::Time now = world_.engine().now();
+  std::string what = "rank " + std::to_string(evidence.rank) + ": " +
+                     evidence.what;
   SlowdownReport report;
-  report.detected_at = world_.engine().now();
+  report.detected_at = now;
+  report.filter_rounds = filter_rounds_done_ + 1;
+  report.evidence = what;
   slowdown_reports_.push_back(report);
+  debug_log("filter verdict: transient slowdown (%s); resuming sampling",
+            what.c_str());
+  obs::TelemetrySink* sink = world_.engine().telemetry();
+  if (sink != nullptr) {
+    obs::FilterEvent event;
+    event.time = now;
+    event.stage = obs::FilterEvent::Stage::kSlowdown;
+    event.round = filter_rounds_done_ + 1;
+    event.evidence = what;
+    sink->on_filter(event);
+    obs::SlowdownEvent slowdown;
+    slowdown.time = now;
+    slowdown.rounds = filter_rounds_done_ + 1;
+    slowdown.evidence = what;
+    sink->on_slowdown(slowdown);
+    if (streak_ > 0) {
+      emit_streak(sink, now, obs::StreakEvent::Kind::kReset, streak_,
+                  model_.decision(config_.alpha).k, "slowdown-verdict");
+    }
+  }
   streak_ = 0;
   state_ = State::kSampling;
   if (on_slowdown) on_slowdown(report);
@@ -240,6 +439,15 @@ void HangDetector::conclude_slowdown() {
 void HangDetector::faulty_sweep_round() {
   if (stopped_ || state_ != State::kVerifying) return;
   faulty_sweeps_.push_back(sweep_all_ranks());
+  if (obs::TelemetrySink* sink = world_.engine().telemetry();
+      sink != nullptr) {
+    obs::SweepEvent sweep;
+    sweep.time = world_.engine().now();
+    sweep.ranks = world_.nranks();
+    sweep.purpose = "faulty-id";
+    sweep.round = static_cast<int>(faulty_sweeps_.size());
+    sink->on_sweep(sweep);
+  }
   if (faulty_sweeps_.size() <
       static_cast<std::size_t>(config_.faulty_checks)) {
     world_.engine().schedule_after(config_.faulty_check_gap,
@@ -262,6 +470,21 @@ void HangDetector::report_hang() {
   report.interval = interval_;
   hang_reports_.push_back(report);
   state_ = State::kDone;
+  debug_log("hang reported at t=%.2fs (%zu faulty ranks)",
+            sim::to_seconds(report.detected_at), report.faulty_ranks.size());
+  if (obs::TelemetrySink* sink = world_.engine().telemetry();
+      sink != nullptr) {
+    obs::HangEvent event;
+    event.time = report.detected_at;
+    event.computation_error = report.kind == HangKind::kComputationError;
+    event.faulty_ranks.assign(report.faulty_ranks.begin(),
+                              report.faulty_ranks.end());
+    event.streak = report.suspicion_streak;
+    event.q = report.q;
+    event.required_streak = report.required_streak;
+    event.interval = report.interval;
+    sink->on_hang(event);
+  }
   if (on_hang) on_hang(hang_reports_.back());
 }
 

@@ -15,6 +15,8 @@
 
 namespace parastack::core {
 
+struct SlowdownEvidence;  // core/slowdown_filter.hpp
+
 /// ParaStack's hang detector (paper §3).
 ///
 /// Samples S_crout — the OUT_MPI fraction of C randomly chosen monitored
@@ -92,7 +94,7 @@ class HangDetector {
   void begin_verification();
   void continue_filter();
   std::vector<trace::StackSnapshot> sweep_all_ranks();
-  void conclude_slowdown();
+  void conclude_slowdown(const SlowdownEvidence& evidence);
   void faulty_sweep_round();
   void report_hang();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace parastack::core {
@@ -47,6 +48,18 @@ MonitorNetwork::Measurement MonitorNetwork::measure(
       static_cast<sim::Time>(depth) * world_.platform().network_latency;
   traced_ += static_cast<std::uint64_t>(measurement.ranks_traced);
   ++samples_;
+  if (obs::TelemetrySink* sink = world_.engine().telemetry();
+      sink != nullptr) {
+    obs::MonitorSampleEvent event;
+    event.time = world_.engine().now();
+    event.ranks_traced = measurement.ranks_traced;
+    event.active_monitors = measurement.active_monitors;
+    event.monitor_count = monitor_count();
+    event.messages = partials;
+    event.bytes = partials * 8;
+    event.aggregation_latency = measurement.aggregation_latency;
+    sink->on_monitor_sample(event);
+  }
   return measurement;
 }
 

@@ -25,4 +25,17 @@ std::string HangReport::to_string() const {
   return out;
 }
 
+std::string SlowdownReport::to_string() const {
+  char head[96];
+  std::snprintf(head, sizeof head,
+                "transient slowdown at t=%.2fs (%d filter rounds)",
+                sim::to_seconds(detected_at), filter_rounds);
+  std::string out = head;
+  if (!evidence.empty()) {
+    out += ": ";
+    out += evidence;
+  }
+  return out;
+}
+
 }  // namespace parastack::core

@@ -31,6 +31,10 @@ struct HangReport {
 /// slowdown, not a hang; monitoring resumes afterwards.
 struct SlowdownReport {
   sim::Time detected_at = 0;
+  int filter_rounds = 0;  ///< stack-trace rounds taken before movement showed
+  std::string evidence;   ///< what moved, e.g. "rank 5: MPI_Allreduce -> MPI_Recv"
+
+  std::string to_string() const;
 };
 
 }  // namespace parastack::core

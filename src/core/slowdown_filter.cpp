@@ -16,7 +16,8 @@ EffectiveState effective_state(const trace::StackSnapshot& snapshot) {
 }  // namespace
 
 bool is_transient_slowdown(std::span<const trace::StackSnapshot> round1,
-                           std::span<const trace::StackSnapshot> round2) {
+                           std::span<const trace::StackSnapshot> round2,
+                           SlowdownEvidence* evidence) {
   PS_CHECK(round1.size() == round2.size(),
            "slowdown filter needs matched rounds");
   for (std::size_t i = 0; i < round1.size(); ++i) {
@@ -27,6 +28,10 @@ bool is_transient_slowdown(std::span<const trace::StackSnapshot> round1,
     // (1) Different MPI functions across the two rounds.
     if (!a.innermost_mpi.empty() && !b.innermost_mpi.empty() &&
         a.innermost_mpi != b.innermost_mpi) {
+      if (evidence != nullptr) {
+        evidence->rank = a.rank;
+        evidence->what = a.innermost_mpi + " -> " + b.innermost_mpi;
+      }
       return true;
     }
 
@@ -37,7 +42,15 @@ bool is_transient_slowdown(std::span<const trace::StackSnapshot> round1,
     const bool crossed_non_test =
         (sa == EffectiveState::kOutMpi && sb == EffectiveState::kInOtherMpi) ||
         (sa == EffectiveState::kInOtherMpi && sb == EffectiveState::kOutMpi);
-    if (crossed_non_test) return true;
+    if (crossed_non_test) {
+      if (evidence != nullptr) {
+        evidence->rank = a.rank;
+        evidence->what = sa == EffectiveState::kOutMpi
+                             ? "entered " + b.innermost_mpi
+                             : "left " + a.innermost_mpi;
+      }
+      return true;
+    }
   }
   return false;
 }

@@ -1,10 +1,19 @@
 #pragma once
 
 #include <span>
+#include <string>
 
 #include "trace/inspector.hpp"
 
 namespace parastack::core {
+
+/// Which observation convinced the filter a suspicion was only a slowdown
+/// (telemetry: the journal's `filter`/`slowdown` events carry this so a
+/// false-positive post-mortem can see exactly what moved).
+struct SlowdownEvidence {
+  simmpi::Rank rank = -1;
+  std::string what;  ///< e.g. "MPI_Allreduce -> MPI_Recv" or "entered MPI_Bcast"
+};
 
 /// Transient-slowdown identification (paper §3.3).
 ///
@@ -17,7 +26,11 @@ namespace parastack::core {
 ///       treated as staying inside MPI and is NOT slowdown evidence).
 /// A genuinely hung application shows neither: every stack is frozen (or
 /// flips only within a busy-wait loop).
+///
+/// When `evidence` is non-null and the verdict is "slowdown", it receives
+/// the first movement found.
 bool is_transient_slowdown(std::span<const trace::StackSnapshot> round1,
-                           std::span<const trace::StackSnapshot> round2);
+                           std::span<const trace::StackSnapshot> round2,
+                           SlowdownEvidence* evidence = nullptr);
 
 }  // namespace parastack::core

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "simmpi/action.hpp"
 #include "util/check.hpp"
 
@@ -50,9 +51,11 @@ class HangingProgram : public simmpi::Program {
   HangingProgram(std::unique_ptr<simmpi::Program> inner, FaultType type,
                  sim::Time trigger,
                  std::shared_ptr<std::function<sim::Time()>> clock,
+                 std::shared_ptr<std::function<void(sim::Time)>> notify,
                  std::shared_ptr<FaultRecord> record)
       : inner_(std::move(inner)), type_(type), trigger_(trigger),
-        clock_(std::move(clock)), record_(std::move(record)) {}
+        clock_(std::move(clock)), notify_(std::move(notify)),
+        record_(std::move(record)) {}
 
   Action next() override {
     Action action = inner_->next();
@@ -61,21 +64,27 @@ class HangingProgram : public simmpi::Program {
     if (now < trigger_) return action;
     if (type_ == FaultType::kComputeHang) {
       if (action.kind != Action::Kind::kCompute) return action;
-      record_->activated_at = now;
+      activate(now);
       return Action::hang_compute(action.user_func);
     }
     // Communication deadlock: wait for the next blocking comm action.
     const MpiFunc func = deadlock_func_for(action);
     if (func == MpiFunc::kFinalize) return action;
-    record_->activated_at = now;
+    activate(now);
     return Action::hang_in_mpi(func);
   }
 
  private:
+  void activate(sim::Time now) {
+    record_->activated_at = now;
+    if (*notify_) (*notify_)(now);
+  }
+
   std::unique_ptr<simmpi::Program> inner_;
   FaultType type_;
   sim::Time trigger_;
   std::shared_ptr<std::function<sim::Time()>> clock_;
+  std::shared_ptr<std::function<void(sim::Time)>> notify_;
   std::shared_ptr<FaultRecord> record_;
 };
 
@@ -83,7 +92,8 @@ class HangingProgram : public simmpi::Program {
 
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(plan), record_(std::make_shared<FaultRecord>()),
-      clock_(std::make_shared<std::function<sim::Time()>>()) {
+      clock_(std::make_shared<std::function<sim::Time()>>()),
+      notify_(std::make_shared<std::function<void(sim::Time)>>()) {
   record_->type = plan_.type;
   record_->victim = plan_.victim;
   record_->planned_trigger = plan_.trigger_time;
@@ -98,18 +108,29 @@ simmpi::ProgramFactory FaultInjector::wrap(simmpi::ProgramFactory inner) const {
   auto plan = plan_;
   auto record = record_;
   auto clock = clock_;
-  return [inner = std::move(inner), plan, record, clock](
+  auto notify = notify_;
+  return [inner = std::move(inner), plan, record, clock, notify](
              simmpi::Rank rank, int nranks,
              util::Rng rng) -> std::unique_ptr<simmpi::Program> {
     auto program = inner(rank, nranks, rng);
     if (rank != plan.victim) return program;
     return std::make_unique<HangingProgram>(std::move(program), plan.type,
-                                            plan.trigger_time, clock, record);
+                                            plan.trigger_time, clock, notify,
+                                            record);
   };
 }
 
 void FaultInjector::arm(simmpi::World& world) const {
   *clock_ = [engine = &world.engine()] { return engine->now(); };
+  *notify_ = [engine = &world.engine(), plan = plan_](sim::Time now) {
+    if (obs::TelemetrySink* sink = engine->telemetry(); sink != nullptr) {
+      obs::FaultEvent event;
+      event.time = now;
+      event.type = fault_type_name(plan.type);
+      event.victim = plan.victim;
+      sink->on_fault(event);
+    }
+  };
   switch (plan_.type) {
     case FaultType::kNone:
     case FaultType::kComputeHang:
@@ -119,9 +140,11 @@ void FaultInjector::arm(simmpi::World& world) const {
       PS_CHECK(plan_.victim >= 0, "slowdown needs a victim rank");
       auto record = record_;
       auto plan = plan_;
+      auto notify = notify_;
       auto* w = &world;
-      world.engine().schedule_at(plan.trigger_time, [w, plan, record] {
+      world.engine().schedule_at(plan.trigger_time, [w, plan, record, notify] {
         record->activated_at = w->engine().now();
+        if (*notify) (*notify)(record->activated_at);
         const int node = w->node_of(plan.victim);
         for (const simmpi::Rank r : w->ranks_on_node(node)) {
           w->rank(r).set_compute_factor(plan.slowdown_factor);
@@ -139,9 +162,11 @@ void FaultInjector::arm(simmpi::World& world) const {
       PS_CHECK(plan_.victim >= 0, "freeze needs a victim rank");
       auto record = record_;
       auto plan = plan_;
+      auto notify = notify_;
       auto* w = &world;
-      world.engine().schedule_at(plan.trigger_time, [w, plan, record] {
+      world.engine().schedule_at(plan.trigger_time, [w, plan, record, notify] {
         record->activated_at = w->engine().now();
+        if (*notify) (*notify)(record->activated_at);
         const int node = w->node_of(plan.victim);
         for (const simmpi::Rank r : w->ranks_on_node(node)) {
           w->rank(r).freeze();

@@ -38,6 +38,8 @@ class FaultInjector {
   std::shared_ptr<FaultRecord> record_;
   /// Set by arm(); read by the wrapped program on every action.
   std::shared_ptr<std::function<sim::Time()>> clock_;
+  /// Set by arm(); invoked once when the fault activates (telemetry).
+  std::shared_ptr<std::function<void(sim::Time)>> notify_;
 };
 
 }  // namespace parastack::faults

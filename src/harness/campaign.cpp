@@ -34,6 +34,7 @@ ErroneousCampaignResult run_erroneous_campaign(const CampaignConfig& config) {
   for (int i = 0; i < config.runs; ++i) {
     RunConfig run_config = config.base;
     run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
+    run_config.run_index = i;
     RunResult result = run_one(run_config);
     ++out.runs;
 
@@ -74,6 +75,7 @@ CleanCampaignResult run_clean_campaign(const CampaignConfig& config) {
   for (int i = 0; i < config.runs; ++i) {
     RunConfig run_config = config.base;
     run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
+    run_config.run_index = i;
     RunResult result = run_one(run_config);
     ++out.runs;
     if (result.parastack_detected()) ++out.false_positives;
@@ -105,6 +107,7 @@ TimeoutCampaignResult run_timeout_campaign(const CampaignConfig& config) {
   for (int i = 0; i < config.runs; ++i) {
     RunConfig run_config = config.base;
     run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
+    run_config.run_index = i;
     const RunResult result = run_one(run_config);
     ++out.runs;
     const auto detection = result.first_timeout_detection();

@@ -112,6 +112,7 @@ RunResult run_one(const RunConfig& config) {
   world_config.background_slowdowns = config.background_slowdowns;
   simmpi::World world(world_config,
                       injector.wrap(workloads::make_factory(profile)));
+  world.engine().set_telemetry(config.telemetry);
   injector.arm(world);
 
   trace::StackInspector::Config inspector_config;
@@ -125,11 +126,16 @@ RunResult run_one(const RunConfig& config) {
   sim::Time kill_time = 0;
 
   std::unique_ptr<core::HangDetector> detector;
+  std::unique_ptr<core::MonitorNetwork> monitors;
   if (config.with_parastack) {
     auto det_config = config.detector;
     det_config.seed = rng.next();
     detector = std::make_unique<core::HangDetector>(world, inspector,
                                                     det_config);
+    if (config.use_monitor_network) {
+      monitors = std::make_unique<core::MonitorNetwork>(world, inspector);
+      detector->use_monitor_network(monitors.get());
+    }
     if (config.kill_on_detection) {
       detector->on_hang = [&](const core::HangReport& report) {
         killed = true;
@@ -150,6 +156,21 @@ RunResult run_one(const RunConfig& config) {
         kill_time = report.detected_at;
       };
     }
+  }
+
+  if (config.telemetry != nullptr) {
+    obs::RunStartEvent event;
+    event.bench = workloads::bench_name(config.bench);
+    event.input = input;
+    event.nranks = config.nranks;
+    event.nnodes = world.nnodes();
+    event.platform = config.platform.name;
+    event.seed = config.seed;
+    event.run_index = config.run_index;
+    event.estimated_clean = result.estimated_clean;
+    event.walltime = result.walltime;
+    event.fault_planned = faults::fault_type_name(config.fault);
+    config.telemetry->on_run_start(event);
   }
 
   world.start();
@@ -189,6 +210,26 @@ RunResult run_one(const RunConfig& config) {
                          static_cast<double>(config.nranks);
     result.gflops = flops / sim::to_seconds(result.finish_time) / 1e9;
   }
+
+  if (config.telemetry != nullptr) {
+    obs::RunEndEvent event;
+    event.time = engine.now();
+    event.run_index = config.run_index;
+    event.completed = result.completed;
+    event.killed = killed;
+    event.finish_time = result.finish_time;
+    event.end_time = result.end_time;
+    event.traces = result.traces;
+    event.trace_cost = result.trace_cost;
+    event.hangs = static_cast<int>(result.hangs.size());
+    event.slowdowns = static_cast<int>(result.slowdowns.size());
+    event.model_samples = result.model_samples;
+    event.final_interval = result.final_interval;
+    config.telemetry->on_run_end(event);
+  }
+  // The engine (and its telemetry pointer) dies with this frame; detach so
+  // nothing dangles if the caller keeps the world alive via captures.
+  world.engine().set_telemetry(nullptr);
   return result;
 }
 

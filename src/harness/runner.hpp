@@ -8,6 +8,7 @@
 #include "core/detector.hpp"
 #include "core/timeout_detector.hpp"
 #include "faults/fault.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/platform.hpp"
 #include "workloads/catalog.hpp"
 
@@ -48,6 +49,17 @@ struct RunConfig {
 
   /// Override the simulated per-trace ptrace cost (ablation studies).
   std::optional<sim::Time> trace_cost_override;
+
+  /// Route S_crout samples through the per-node monitor topology so the
+  /// tool's own traffic is accounted (observable values are identical).
+  bool use_monitor_network = true;
+
+  /// Telemetry sink attached to the run's engine for its whole lifetime
+  /// (journal / metrics / trace). Not owned; may be null. The runner emits
+  /// run_start / run_end itself; everything else comes from the components.
+  obs::TelemetrySink* telemetry = nullptr;
+  /// Position within a campaign (run_start/run_end correlation key).
+  int run_index = 0;
 };
 
 struct RunResult {

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace parastack::obs {
+
+/// Collects the run into Chrome trace-event JSON (the format chrome://tracing
+/// and Perfetto load): per-rank compute/MPI/busy-wait spans as complete ("X")
+/// events on pid 0, and the detector as its own track on pid 1 — S_crout and
+/// streak counters, sample instants, verification windows as duration spans,
+/// hang/slowdown/fault markers as global instants.
+///
+/// Rank tracks are capped at `max_ranks` (timeline tools choke on hundreds
+/// of tracks x millions of slices; the detector's signal is the point).
+/// Everything buffers in memory; call write() once the run is over.
+class ChromeTraceWriter final : public TelemetrySink {
+ public:
+  struct Options {
+    int max_ranks = 8;  ///< record spans for ranks [0, max_ranks)
+  };
+
+  ChromeTraceWriter() : ChromeTraceWriter(Options()) {}
+  explicit ChromeTraceWriter(Options options);
+
+  void on_sample(const SampleEvent& e) override;
+  void on_filter(const FilterEvent& e) override;
+  void on_sweep(const SweepEvent& e) override;
+  void on_hang(const HangEvent& e) override;
+  void on_slowdown(const SlowdownEvent& e) override;
+  void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_phase_change(const PhaseChangeEvent& e) override;
+  void on_fault(const FaultEvent& e) override;
+  void on_run_start(const RunStartEvent& e) override;
+  void on_rank_span(const RankSpanEvent& e) override;
+  bool wants_rank_spans() const override { return options_.max_ranks > 0; }
+
+  /// Emit the complete trace document.
+  void write(std::ostream& out) const;
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+ private:
+  std::string& begin_event();
+  void instant(sim::Time t, const char* name, bool global);
+  void counter(sim::Time t, const char* name, double value);
+
+  Options options_;
+  std::vector<std::string> events_;
+  sim::Time verification_started_ = -1;
+  std::uint64_t tool_bytes_total_ = 0;
+};
+
+}  // namespace parastack::obs

@@ -1,0 +1,252 @@
+#include "obs/journal.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace parastack::obs {
+
+namespace {
+
+const char* streak_kind_name(StreakEvent::Kind kind) {
+  switch (kind) {
+    case StreakEvent::Kind::kAdvance: return "advance";
+    case StreakEvent::Kind::kReset: return "reset";
+    case StreakEvent::Kind::kVerify: return "verify";
+  }
+  return "?";
+}
+
+const char* filter_stage_name(FilterEvent::Stage stage) {
+  switch (stage) {
+    case FilterEvent::Stage::kEnter: return "enter";
+    case FilterEvent::Stage::kRetry: return "retry";
+    case FilterEvent::Stage::kSlowdown: return "slowdown";
+    case FilterEvent::Stage::kHangConfirmed: return "hang-confirmed";
+  }
+  return "?";
+}
+
+const char* span_kind_name(RankSpanEvent::Kind kind) {
+  switch (kind) {
+    case RankSpanEvent::Kind::kCompute: return "compute";
+    case RankSpanEvent::Kind::kBlockingMpi: return "mpi";
+    case RankSpanEvent::Kind::kBusyWait: return "busy-wait";
+    case RankSpanEvent::Kind::kIo: return "io";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void JsonlJournal::on_sample(const SampleEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "sample")
+      .field("t_ns", e.time)
+      .field("phase", e.phase)
+      .field("set", e.active_set)
+      .field("n", e.observation)
+      .field("scrout", e.scrout)
+      .field("interval_ns", e.interval)
+      .field("ready", e.model_ready)
+      .field("random_ok", e.randomness_confirmed)
+      .field("frozen", e.model_frozen)
+      .field("threshold", e.threshold)
+      .field("q", e.q)
+      .field("k", e.required_streak)
+      .field("suspicious", e.suspicious)
+      .field("streak", e.streak);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_runs_test(const RunsTestEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "runs_test")
+      .field("t_ns", e.time)
+      .field("sample_size", e.sample_size)
+      .field("runs", e.runs)
+      .field("n_pos", e.n_pos)
+      .field("n_neg", e.n_neg)
+      .field("random", e.random);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_interval(const IntervalEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "interval_doubled")
+      .field("t_ns", e.time)
+      .field("old_ns", e.old_interval)
+      .field("new_ns", e.new_interval)
+      .field("doublings", e.doublings)
+      .field("capped", e.capped);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_streak(const StreakEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "streak")
+      .field("t_ns", e.time)
+      .field("kind", streak_kind_name(e.kind))
+      .field("len", e.length)
+      .field("k", e.required)
+      .field("reason", e.reason);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_filter(const FilterEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "filter")
+      .field("t_ns", e.time)
+      .field("stage", filter_stage_name(e.stage))
+      .field("round", e.round);
+  if (!e.evidence.empty()) line.field("evidence", e.evidence);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_sweep(const SweepEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "sweep")
+      .field("t_ns", e.time)
+      .field("ranks", e.ranks)
+      .field("purpose", e.purpose)
+      .field("round", e.round);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_hang(const HangEvent& e) {
+  std::ostringstream ranks;
+  ranks << '[';
+  for (std::size_t i = 0; i < e.faulty_ranks.size(); ++i) {
+    if (i > 0) ranks << ',';
+    ranks << e.faulty_ranks[i];
+  }
+  ranks << ']';
+  JsonObject line(out_);
+  line.field("ev", "hang")
+      .field("t_ns", e.time)
+      .field("kind", e.computation_error ? "computation" : "communication")
+      .raw("faulty_ranks", ranks.str())
+      .field("streak", e.streak)
+      .field("q", e.q)
+      .field("k", e.required_streak)
+      .field("interval_ns", e.interval);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_slowdown(const SlowdownEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "slowdown")
+      .field("t_ns", e.time)
+      .field("rounds", e.rounds);
+  if (!e.evidence.empty()) line.field("evidence", e.evidence);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_monitor_sample(const MonitorSampleEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "monitor_sample")
+      .field("t_ns", e.time)
+      .field("ranks_traced", e.ranks_traced)
+      .field("active", e.active_monitors)
+      .field("monitors", e.monitor_count)
+      .field("messages", e.messages)
+      .field("bytes", e.bytes)
+      .field("agg_latency_ns", e.aggregation_latency);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_phase_change(const PhaseChangeEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "phase_change")
+      .field("t_ns", e.time)
+      .field("from", e.from_phase)
+      .field("to", e.to_phase)
+      .field("resumed", e.resumed)
+      .field("aborted_verification", e.aborted_verification);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_fault(const FaultEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "fault")
+      .field("t_ns", e.time)
+      .field("type", e.type)
+      .field("victim", e.victim);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_run_start(const RunStartEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "run_start")
+      .field("bench", e.bench)
+      .field("input", e.input)
+      .field("ranks", e.nranks)
+      .field("nodes", e.nnodes)
+      .field("platform", e.platform)
+      .field("seed", e.seed)
+      .field("run", e.run_index)
+      .field("estimated_clean_ns", e.estimated_clean)
+      .field("walltime_ns", e.walltime)
+      .field("fault", e.fault_planned);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_run_end(const RunEndEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "run_end")
+      .field("t_ns", e.time)
+      .field("run", e.run_index)
+      .field("completed", e.completed)
+      .field("killed", e.killed)
+      .field("finish_ns", e.finish_time)
+      .field("end_ns", e.end_time)
+      .field("traces", e.traces)
+      .field("trace_cost_ns", e.trace_cost)
+      .field("hangs", e.hangs)
+      .field("slowdowns", e.slowdowns)
+      .field("model_samples", e.model_samples)
+      .field("final_interval_ns", e.final_interval);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_rank_span(const RankSpanEvent& e) {
+  if (!options_.record_rank_spans) return;
+  JsonObject line(out_);
+  line.field("ev", "rank_span")
+      .field("rank", e.rank)
+      .field("kind", span_kind_name(e.kind))
+      .field("func", e.func)
+      .field("begin_ns", e.begin)
+      .field("end_ns", e.end);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+}  // namespace parastack::obs

@@ -1,0 +1,95 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace parastack::obs {
+
+void json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void json_number(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  out << buf;
+}
+
+void JsonObject::key(std::string_view k) {
+  if (!first_) out_ << ',';
+  first_ = false;
+  json_string(out_, k);
+  out_ << ':';
+}
+
+JsonObject& JsonObject::field(std::string_view k, std::string_view value) {
+  key(k);
+  json_string(out_, value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, bool value) {
+  key(k);
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, int value) {
+  key(k);
+  out_ << value;
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, std::int64_t value) {
+  key(k);
+  out_ << value;
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  out_ << value;
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, double value) {
+  key(k);
+  json_number(out_, value);
+  return *this;
+}
+
+JsonObject& JsonObject::raw(std::string_view k, std::string_view json) {
+  key(k);
+  out_ << json;
+  return *this;
+}
+
+void JsonObject::done() {
+  if (closed_) return;
+  closed_ = true;
+  out_ << '}';
+}
+
+}  // namespace parastack::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace parastack::obs {
+
+/// Write `s` as a JSON string literal (quotes included), escaping the
+/// control characters and the two mandatory specials. The simulator only
+/// produces ASCII identifiers, so no UTF-8 handling is needed.
+void json_string(std::ostream& out, std::string_view s);
+
+/// Write a double as a JSON number. Uses a fixed "%.9g" rendering so the
+/// output is byte-stable for identical values (determinism requirement of
+/// the journal). Non-finite values — which no telemetry source produces —
+/// degrade to null to keep the document parseable.
+void json_number(std::ostream& out, double value);
+
+/// Streaming writer for one JSON object: handles the comma discipline so
+/// call sites read as a flat list of fields. Close with done(); the
+/// destructor also closes (idempotent) so early returns stay valid JSON.
+class JsonObject {
+ public:
+  explicit JsonObject(std::ostream& out) : out_(out) { out_ << '{'; }
+  ~JsonObject() { done(); }
+
+  JsonObject(const JsonObject&) = delete;
+  JsonObject& operator=(const JsonObject&) = delete;
+
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonObject& field(std::string_view key, bool value);
+  JsonObject& field(std::string_view key, int value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, double value);
+  /// Insert `json` verbatim as the value (for nested arrays/objects the
+  /// caller has already rendered).
+  JsonObject& raw(std::string_view key, std::string_view json);
+
+  void done();
+
+ private:
+  void key(std::string_view k);
+
+  std::ostream& out_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+}  // namespace parastack::obs

@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+#include "sim/time.hpp"
+
+namespace parastack::obs {
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+util::Summary& MetricsRegistry::summary(const std::string& name) {
+  return summaries_[name];
+}
+
+util::Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t buckets) {
+  return histograms_.try_emplace(name, lo, hi, buckets).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ':' << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ':';
+    json_number(out, value);
+  }
+  out << "},\"summaries\":{";
+  first = true;
+  for (const auto& [name, s] : summaries_) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ':';
+    JsonObject obj(out);
+    obj.field("count", static_cast<std::uint64_t>(s.count()));
+    if (!s.empty()) {
+      obj.field("mean", s.mean())
+          .field("stddev", s.stddev())
+          .field("min", s.min())
+          .field("max", s.max());
+    }
+    obj.done();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ":{\"lo\":";
+    json_number(out, h.bucket_lo(0));
+    out << ",\"hi\":";
+    json_number(out, h.bucket_hi(h.bucket_count() - 1));
+    out << ",\"total\":" << h.total() << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+      if (b > 0) out << ',';
+      out << h.count(b);
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+MetricsSink::MetricsSink(MetricsRegistry& registry) : registry_(registry) {
+  // Pre-register the distributions so their shapes do not depend on which
+  // event arrives first.
+  registry_.histogram("detector.streak_length", 0.0, 32.0, 32);
+  registry_.histogram("detector.scrout", 0.0, 1.0, 20);
+}
+
+void MetricsSink::on_sample(const SampleEvent& e) {
+  ++registry_.counter("detector.samples");
+  if (e.suspicious) ++registry_.counter("detector.suspicious_samples");
+  if (e.model_frozen) ++registry_.counter("detector.frozen_samples");
+  registry_.histogram("detector.scrout", 0.0, 1.0, 20).add(e.scrout);
+  registry_.summary("detector.interval_ms").add(sim::to_millis(e.interval));
+  registry_.gauge("detector.interval_ms") = sim::to_millis(e.interval);
+  registry_.gauge("detector.q") = e.q;
+  registry_.gauge("detector.required_streak") =
+      static_cast<double>(e.required_streak);
+}
+
+void MetricsSink::on_runs_test(const RunsTestEvent& e) {
+  ++registry_.counter("detector.runs_tests");
+  if (e.random) ++registry_.counter("detector.runs_tests_passed");
+}
+
+void MetricsSink::on_interval(const IntervalEvent&) {
+  ++registry_.counter("detector.interval_doublings");
+}
+
+void MetricsSink::on_streak(const StreakEvent& e) {
+  // Record completed streak lengths: both resets (length reached before the
+  // reset is in the event's reason path, so log the length at verify/reset
+  // transitions only when it ends a streak).
+  if (e.kind == StreakEvent::Kind::kReset ||
+      e.kind == StreakEvent::Kind::kVerify) {
+    registry_.histogram("detector.streak_length", 0.0, 32.0, 32)
+        .add(static_cast<double>(e.length));
+  }
+  if (e.kind == StreakEvent::Kind::kReset) {
+    ++registry_.counter("detector.streak_resets");
+  }
+  if (e.kind == StreakEvent::Kind::kVerify) {
+    ++registry_.counter("detector.verifications");
+  }
+}
+
+void MetricsSink::on_filter(const FilterEvent& e) {
+  if (e.stage == FilterEvent::Stage::kRetry) {
+    ++registry_.counter("detector.filter_retries");
+  }
+}
+
+void MetricsSink::on_sweep(const SweepEvent& e) {
+  ++registry_.counter("detector.sweeps");
+  registry_.counter("detector.ranks_swept") +=
+      static_cast<std::uint64_t>(e.ranks);
+}
+
+void MetricsSink::on_hang(const HangEvent& e) {
+  ++registry_.counter("detector.hangs");
+  registry_.counter("detector.faulty_ranks_reported") +=
+      static_cast<std::uint64_t>(e.faulty_ranks.size());
+}
+
+void MetricsSink::on_slowdown(const SlowdownEvent&) {
+  ++registry_.counter("detector.slowdowns_absorbed");
+}
+
+void MetricsSink::on_monitor_sample(const MonitorSampleEvent& e) {
+  ++registry_.counter("monitor.samples");
+  registry_.counter("monitor.ranks_traced") +=
+      static_cast<std::uint64_t>(e.ranks_traced);
+  registry_.counter("monitor.messages") += e.messages;
+  registry_.counter("monitor.bytes") += e.bytes;
+  registry_.summary("monitor.aggregation_latency_us")
+      .add(static_cast<double>(e.aggregation_latency) / 1e3);
+  registry_.summary("monitor.active_monitors")
+      .add(static_cast<double>(e.active_monitors));
+}
+
+void MetricsSink::on_phase_change(const PhaseChangeEvent&) {
+  ++registry_.counter("detector.phase_changes");
+}
+
+void MetricsSink::on_fault(const FaultEvent&) {
+  ++registry_.counter("faults.activated");
+}
+
+void MetricsSink::on_run_start(const RunStartEvent&) {
+  ++registry_.counter("harness.runs");
+}
+
+void MetricsSink::on_run_end(const RunEndEvent& e) {
+  if (e.completed) ++registry_.counter("harness.runs_completed");
+  if (e.killed) ++registry_.counter("harness.runs_killed");
+  registry_.counter("trace.traces") += e.traces;
+  registry_.summary("harness.run_seconds").add(sim::to_seconds(e.end_time));
+  registry_.summary("trace.cost_seconds_per_run")
+      .add(sim::to_seconds(e.trace_cost));
+}
+
+}  // namespace parastack::obs

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "util/histogram.hpp"
+#include "util/summary.hpp"
+
+namespace parastack::obs {
+
+/// Named counters, gauges, streaming summaries, and fixed-bucket histograms
+/// with deterministic JSON export (keys sorted — std::map — and values pure
+/// functions of the seed). Accessors create on first use, so call sites
+/// read like `registry.counter("detector.samples")++`.
+class MetricsRegistry {
+ public:
+  std::uint64_t& counter(const std::string& name);
+  double& gauge(const std::string& name);
+  util::Summary& summary(const std::string& name);
+  /// The (lo, hi, buckets) shape is fixed by whoever names the histogram
+  /// first; later callers get the existing instance.
+  util::Histogram& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+
+  bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  std::uint64_t counter_value(const std::string& name) const;
+
+  /// One JSON document: {"counters":{...},"gauges":{...},
+  /// "summaries":{...},"histograms":{...}}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, util::Summary> summaries_;
+  std::map<std::string, util::Histogram> histograms_;
+};
+
+/// TelemetrySink that folds the event stream into a MetricsRegistry:
+/// sample/trace/traffic counters, streak-length and S_crout histograms,
+/// aggregation-latency and interval distributions. The registry outlives
+/// the sink; several runs (a campaign) may share one registry.
+class MetricsSink final : public TelemetrySink {
+ public:
+  explicit MetricsSink(MetricsRegistry& registry);
+
+  void on_sample(const SampleEvent& e) override;
+  void on_runs_test(const RunsTestEvent& e) override;
+  void on_interval(const IntervalEvent& e) override;
+  void on_streak(const StreakEvent& e) override;
+  void on_filter(const FilterEvent& e) override;
+  void on_sweep(const SweepEvent& e) override;
+  void on_hang(const HangEvent& e) override;
+  void on_slowdown(const SlowdownEvent& e) override;
+  void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_phase_change(const PhaseChangeEvent& e) override;
+  void on_fault(const FaultEvent& e) override;
+  void on_run_start(const RunStartEvent& e) override;
+  void on_run_end(const RunEndEvent& e) override;
+
+ private:
+  MetricsRegistry& registry_;
+};
+
+}  // namespace parastack::obs

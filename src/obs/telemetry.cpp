@@ -1,0 +1,69 @@
+#include "obs/telemetry.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace parastack::obs {
+
+MultiSink::MultiSink(std::vector<TelemetrySink*> sinks)
+    : sinks_(std::move(sinks)) {
+  for (const auto* sink : sinks_) PS_CHECK(sink != nullptr, "null sink");
+}
+
+void MultiSink::add(TelemetrySink* sink) {
+  PS_CHECK(sink != nullptr, "null sink");
+  sinks_.push_back(sink);
+}
+
+void MultiSink::on_sample(const SampleEvent& e) {
+  for (auto* s : sinks_) s->on_sample(e);
+}
+void MultiSink::on_runs_test(const RunsTestEvent& e) {
+  for (auto* s : sinks_) s->on_runs_test(e);
+}
+void MultiSink::on_interval(const IntervalEvent& e) {
+  for (auto* s : sinks_) s->on_interval(e);
+}
+void MultiSink::on_streak(const StreakEvent& e) {
+  for (auto* s : sinks_) s->on_streak(e);
+}
+void MultiSink::on_filter(const FilterEvent& e) {
+  for (auto* s : sinks_) s->on_filter(e);
+}
+void MultiSink::on_sweep(const SweepEvent& e) {
+  for (auto* s : sinks_) s->on_sweep(e);
+}
+void MultiSink::on_hang(const HangEvent& e) {
+  for (auto* s : sinks_) s->on_hang(e);
+}
+void MultiSink::on_slowdown(const SlowdownEvent& e) {
+  for (auto* s : sinks_) s->on_slowdown(e);
+}
+void MultiSink::on_monitor_sample(const MonitorSampleEvent& e) {
+  for (auto* s : sinks_) s->on_monitor_sample(e);
+}
+void MultiSink::on_phase_change(const PhaseChangeEvent& e) {
+  for (auto* s : sinks_) s->on_phase_change(e);
+}
+void MultiSink::on_fault(const FaultEvent& e) {
+  for (auto* s : sinks_) s->on_fault(e);
+}
+void MultiSink::on_run_start(const RunStartEvent& e) {
+  for (auto* s : sinks_) s->on_run_start(e);
+}
+void MultiSink::on_run_end(const RunEndEvent& e) {
+  for (auto* s : sinks_) s->on_run_end(e);
+}
+void MultiSink::on_rank_span(const RankSpanEvent& e) {
+  for (auto* s : sinks_) s->on_rank_span(e);
+}
+
+bool MultiSink::wants_rank_spans() const {
+  for (const auto* s : sinks_) {
+    if (s->wants_rank_spans()) return true;
+  }
+  return false;
+}
+
+}  // namespace parastack::obs

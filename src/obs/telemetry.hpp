@@ -1,0 +1,247 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace parastack::obs {
+
+// ---------------------------------------------------------------------------
+// Typed telemetry events. One struct per observable fact; every field is a
+// deterministic function of the seed (virtual times, statistics, decisions —
+// never wall-clock), so any sink that serializes faithfully is reproducible.
+// Ranks are plain ints here: the obs layer sits below simmpi and must not
+// depend on it.
+// ---------------------------------------------------------------------------
+
+/// One S_crout sample and everything the detector decided with it (§3).
+struct SampleEvent {
+  sim::Time time = 0;
+  int phase = 0;            ///< §6 phase the model belongs to
+  int active_set = 0;       ///< which of the two disjoint monitor sets
+  std::size_t observation = 0;  ///< 1-based sample index
+  double scrout = 0.0;
+  sim::Time interval = 0;   ///< current mean sampling interval I
+  bool model_ready = false;       ///< sample-size ladder justified
+  bool randomness_confirmed = false;  ///< runs test accepted the sampling
+  bool model_frozen = false;      ///< pollution guard withheld this sample
+  double threshold = 0.0;   ///< t: suspicion iff scrout <= t
+  double q = 0.0;           ///< suspicion-probability upper bound
+  std::size_t required_streak = 0;  ///< k = ceil(log_q alpha)
+  bool suspicious = false;  ///< counted toward the streak
+  std::size_t streak = 0;   ///< streak length after this sample
+};
+
+/// Wald–Wolfowitz verdict on the accumulated samples (§3.1).
+struct RunsTestEvent {
+  sim::Time time = 0;
+  std::size_t sample_size = 0;
+  std::size_t runs = 0;
+  std::size_t n_pos = 0;
+  std::size_t n_neg = 0;
+  bool random = false;
+};
+
+/// Interval auto-tuning step: I doubled (or hit its safety cap).
+struct IntervalEvent {
+  sim::Time time = 0;
+  sim::Time old_interval = 0;
+  sim::Time new_interval = 0;
+  std::size_t doublings = 0;
+  bool capped = false;  ///< cap reached; randomness declared by fiat
+};
+
+/// Suspicion-streak transition.
+struct StreakEvent {
+  sim::Time time = 0;
+  enum class Kind { kAdvance, kReset, kVerify } kind = Kind::kAdvance;
+  /// kAdvance/kVerify: the streak length reached. kReset: the length the
+  /// ended streak had (what the streak-length histogram wants).
+  std::size_t length = 0;
+  std::size_t required = 0;  ///< current k
+  /// Why: "suspicious-sample", "healthy-sample", "set-switch",
+  /// "phase-change", "slowdown-verdict".
+  std::string_view reason;
+};
+
+/// Transient-slowdown filter progress (§3.3).
+struct FilterEvent {
+  sim::Time time = 0;
+  enum class Stage {
+    kEnter,          ///< streak reached k; first full sweep taken
+    kRetry,          ///< no movement yet; re-checking after a longer gap
+    kSlowdown,       ///< movement seen: transient slowdown, resume sampling
+    kHangConfirmed,  ///< all rounds static: proceed to faulty-process id
+  } stage = Stage::kEnter;
+  int round = 0;
+  /// For kSlowdown: which rank moved and how (from the filter's evidence).
+  std::string evidence;
+};
+
+/// One full-job stack-trace sweep (filter round or faulty-id round).
+struct SweepEvent {
+  sim::Time time = 0;
+  int ranks = 0;
+  std::string_view purpose;  ///< "slowdown-filter" | "faulty-id"
+  int round = 0;
+};
+
+/// Verified hang (flattened HangReport; obs cannot depend on core).
+struct HangEvent {
+  sim::Time time = 0;
+  bool computation_error = false;
+  std::vector<int> faulty_ranks;
+  std::size_t streak = 0;
+  double q = 0.0;
+  std::size_t required_streak = 0;
+  sim::Time interval = 0;
+};
+
+/// The filter absorbed a suspicion streak as a transient slowdown.
+struct SlowdownEvent {
+  sim::Time time = 0;
+  int rounds = 0;          ///< filter rounds taken to see movement
+  std::string evidence;
+};
+
+/// One S_crout sample routed through the per-node monitor topology (§5).
+struct MonitorSampleEvent {
+  sim::Time time = 0;
+  int ranks_traced = 0;
+  int active_monitors = 0;
+  int monitor_count = 0;           ///< monitors launched (one per node)
+  std::uint64_t messages = 0;      ///< tool messages this sample
+  std::uint64_t bytes = 0;         ///< tool bytes this sample
+  sim::Time aggregation_latency = 0;
+};
+
+/// §6 multi-phase application announced a phase switch.
+struct PhaseChangeEvent {
+  sim::Time time = 0;
+  int from_phase = 0;
+  int to_phase = 0;
+  bool resumed = false;  ///< the incoming phase had a stashed model
+  bool aborted_verification = false;
+};
+
+/// A planned fault actually activated in the victim.
+struct FaultEvent {
+  sim::Time time = 0;
+  std::string_view type;  ///< faults::fault_type_name
+  int victim = -1;
+};
+
+/// One simulated job begins.
+struct RunStartEvent {
+  std::string_view bench;
+  std::string_view input;
+  int nranks = 0;
+  int nnodes = 0;
+  std::string_view platform;
+  std::uint64_t seed = 0;
+  int run_index = 0;  ///< position within a campaign; 0 for single runs
+  sim::Time estimated_clean = 0;
+  sim::Time walltime = 0;
+  std::string_view fault_planned;  ///< "none" when clean
+};
+
+/// One simulated job ended (completion, kill, or walltime expiry).
+struct RunEndEvent {
+  sim::Time time = 0;
+  int run_index = 0;
+  bool completed = false;
+  bool killed = false;
+  sim::Time finish_time = -1;
+  sim::Time end_time = 0;
+  std::uint64_t traces = 0;
+  sim::Time trace_cost = 0;
+  int hangs = 0;
+  int slowdowns = 0;
+  std::size_t model_samples = 0;
+  sim::Time final_interval = 0;
+};
+
+/// A contiguous span of one rank's life: a compute segment, a blocking MPI
+/// call, a whole busy-wait (Test loop), or an I/O burst. Producers emit
+/// these only when a sink declares interest (wants_rank_spans()), because
+/// they fire on every simulated action.
+struct RankSpanEvent {
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  int rank = -1;
+  enum class Kind { kCompute, kBlockingMpi, kBusyWait, kIo } kind = Kind::kCompute;
+  std::string_view func;  ///< user function or MPI function name
+};
+
+// ---------------------------------------------------------------------------
+// Sink interface.
+// ---------------------------------------------------------------------------
+
+/// Observer for the telemetry stream. Every handler is a no-op by default,
+/// so a sink overrides only what it consumes; with no sink attached the
+/// producers skip event construction entirely (one null-pointer test on the
+/// hot path — telemetry is pay-for-what-you-use).
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  virtual void on_sample(const SampleEvent&) {}
+  virtual void on_runs_test(const RunsTestEvent&) {}
+  virtual void on_interval(const IntervalEvent&) {}
+  virtual void on_streak(const StreakEvent&) {}
+  virtual void on_filter(const FilterEvent&) {}
+  virtual void on_sweep(const SweepEvent&) {}
+  virtual void on_hang(const HangEvent&) {}
+  virtual void on_slowdown(const SlowdownEvent&) {}
+  virtual void on_monitor_sample(const MonitorSampleEvent&) {}
+  virtual void on_phase_change(const PhaseChangeEvent&) {}
+  virtual void on_fault(const FaultEvent&) {}
+  virtual void on_run_start(const RunStartEvent&) {}
+  virtual void on_run_end(const RunEndEvent&) {}
+  virtual void on_rank_span(const RankSpanEvent&) {}
+
+  /// Rank spans fire per simulated action; producers consult this before
+  /// building one so an attached journal does not drag the simulator
+  /// through span bookkeeping it will not record.
+  virtual bool wants_rank_spans() const { return false; }
+};
+
+/// Explicit do-nothing sink (equivalent to attaching nothing; exists so
+/// call sites can hold a reference instead of a nullable pointer).
+class NullSink final : public TelemetrySink {};
+
+/// Fans every event out to several sinks in attachment order (e.g. journal
+/// + metrics + trace from one run).
+class MultiSink final : public TelemetrySink {
+ public:
+  MultiSink() = default;
+  explicit MultiSink(std::vector<TelemetrySink*> sinks);
+
+  void add(TelemetrySink* sink);
+  bool empty() const noexcept { return sinks_.empty(); }
+
+  void on_sample(const SampleEvent& e) override;
+  void on_runs_test(const RunsTestEvent& e) override;
+  void on_interval(const IntervalEvent& e) override;
+  void on_streak(const StreakEvent& e) override;
+  void on_filter(const FilterEvent& e) override;
+  void on_sweep(const SweepEvent& e) override;
+  void on_hang(const HangEvent& e) override;
+  void on_slowdown(const SlowdownEvent& e) override;
+  void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_phase_change(const PhaseChangeEvent& e) override;
+  void on_fault(const FaultEvent& e) override;
+  void on_run_start(const RunStartEvent& e) override;
+  void on_run_end(const RunEndEvent& e) override;
+  void on_rank_span(const RankSpanEvent& e) override;
+  bool wants_rank_spans() const override;
+
+ private:
+  std::vector<TelemetrySink*> sinks_;
+};
+
+}  // namespace parastack::obs

@@ -8,6 +8,10 @@
 
 #include "sim/time.hpp"
 
+namespace parastack::obs {
+class TelemetrySink;
+}
+
 namespace parastack::sim {
 
 /// Deterministic discrete-event engine.
@@ -56,6 +60,13 @@ class Engine {
   std::uint64_t events_fired() const noexcept { return fired_; }
   std::size_t events_pending() const;
 
+  /// The run's telemetry sink, reachable by everything that shares this
+  /// clock (detector, monitor network, rank processes, fault injector).
+  /// Null (the default) means telemetry is off and producers skip event
+  /// construction entirely. Not owned; must outlive the simulation.
+  void set_telemetry(obs::TelemetrySink* sink) noexcept { telemetry_ = sink; }
+  obs::TelemetrySink* telemetry() const noexcept { return telemetry_; }
+
  private:
   struct Event {
     Time time;
@@ -68,6 +79,7 @@ class Engine {
   };
 
   Time now_ = 0;
+  obs::TelemetrySink* telemetry_ = nullptr;
   EventId next_id_ = 1;
   bool stopped_ = false;
   std::uint64_t fired_ = 0;

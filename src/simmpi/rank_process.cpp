@@ -3,11 +3,28 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace parastack::simmpi {
 
 namespace {
+
+/// Report one finished compute/MPI/busy-wait segment. Producers pass the
+/// span's begin; the end is the engine's now. No-sink and
+/// sink-without-span-interest both bail before building the event.
+void emit_rank_span(sim::Engine& engine, obs::RankSpanEvent::Kind kind,
+                    Rank rank, std::string_view func, sim::Time begin) {
+  obs::TelemetrySink* sink = engine.telemetry();
+  if (sink == nullptr || !sink->wants_rank_spans()) return;
+  obs::RankSpanEvent event;
+  event.begin = begin;
+  event.end = engine.now();
+  event.rank = rank;
+  event.kind = kind;
+  event.func = func;
+  sink->on_rank_span(event);
+}
 // Busy-wait loop granularity: a short user-code body and an MPI_Test probe.
 // Busy-waiting ranks flip state every couple hundred microseconds, as the
 // paper describes for HPL's hand-rolled collectives; most of each cycle sits
@@ -130,6 +147,8 @@ void RankProcess::begin_compute(const Action& action) {
   status_ = RankStatus::kComputing;
   const std::string_view func =
       action.user_func.empty() ? "user_compute" : action.user_func;
+  compute_span_begin_ = engine_.now();
+  compute_span_func_ = func;
   stack_.push(func);
   // Workers join the parallel region (all threads OUT_MPI).
   if (!worker_stacks_.empty()) set_worker_frames(func);
@@ -140,12 +159,16 @@ void RankProcess::begin_compute(const Action& action) {
 void RankProcess::finish_compute() {
   // Inspector ptrace-stops accumulated while computing postpone completion.
   if (pay_suspension([this] { finish_compute(); })) return;
+  emit_rank_span(engine_, obs::RankSpanEvent::Kind::kCompute, rank_,
+                 compute_span_func_, compute_span_begin_);
   stack_.pop();
   advance();
 }
 
 void RankProcess::begin_blocking_mpi(MpiFunc func) {
   status_ = RankStatus::kInMpiBlocked;
+  mpi_span_begin_ = engine_.now();
+  mpi_span_func_ = mpi_func_name(func);
   // Hybrid MULTIPLE mode: communication rotates across threads (§6); the
   // non-communicating threads sit in worker code. Default single-threaded
   // mode and FUNNELED mode communicate on the master.
@@ -173,6 +196,8 @@ void RankProcess::begin_blocking_mpi(MpiFunc func) {
 
 void RankProcess::end_blocking_mpi() {
   PS_CHECK(mpi_stack_ != nullptr, "no blocking MPI call in progress");
+  emit_rank_span(engine_, obs::RankSpanEvent::Kind::kBlockingMpi, rank_,
+                 mpi_span_func_, mpi_span_begin_);
   mpi_stack_->pop();  // progress frame
   mpi_stack_->pop();  // MPI_x
   if (mpi_stack_ != &stack_) stack_.pop();  // the master's overlap frame
@@ -189,6 +214,7 @@ bool RankProcess::outstanding_complete() const {
 void RankProcess::begin_test_loop(const Action& action) {
   busy_func_ = action.user_func.empty() ? "user_busy_wait" : action.user_func;
   status_ = RankStatus::kBusyWaitOut;
+  busy_span_begin_ = engine_.now();
   stack_.push(busy_func_);
   busy_backoff_ = 1.0;
   test_loop_body();
@@ -225,6 +251,10 @@ void RankProcess::test_loop_poll() {
   engine_.schedule_after(probe, guarded([this] {
     stack_.pop();  // MPI_Test
     if (outstanding_complete()) {
+      // One span covers the whole busy-wait: the OUT/IN flips inside it are
+      // sub-interval noise no timeline viewer can render usefully.
+      emit_rank_span(engine_, obs::RankSpanEvent::Kind::kBusyWait, rank_,
+                     busy_func_, busy_span_begin_);
       stack_.pop();  // busy loop body frame
       outstanding_.clear();
       advance();
@@ -375,8 +405,13 @@ void RankProcess::dispatch(const Action& action) {
       status_ = RankStatus::kComputing;
       stack_.push("io_write_results");
       const auto bytes = action.bytes;
+      const sim::Time io_begin = engine_.now();
       engine_.schedule_after(sample_compute(sim::from_millis(2), 0.3),
-                             guarded([this, bytes] {
+                             guarded([this, bytes, io_begin] {
+                               emit_rank_span(engine_,
+                                              obs::RankSpanEvent::Kind::kIo,
+                                              rank_, "io_write_results",
+                                              io_begin);
                                stack_.pop();
                                if (hooks_.on_io_write) {
                                  hooks_.on_io_write(rank_, bytes);

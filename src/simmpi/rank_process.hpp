@@ -134,6 +134,13 @@ class RankProcess {
   std::vector<RequestHandle> outstanding_;
   std::string_view busy_func_;
   double busy_backoff_ = 1.0;
+  // Span bookkeeping for telemetry (obs::RankSpanEvent). Plain stores on
+  // the hot path; events are built only when a sink wants rank spans.
+  sim::Time compute_span_begin_ = 0;
+  std::string_view compute_span_func_;
+  sim::Time mpi_span_begin_ = 0;
+  std::string_view mpi_span_func_;
+  sim::Time busy_span_begin_ = 0;
   Gen gen_ = 0;
   bool frozen_ = false;
   double compute_factor_ = 1.0;

@@ -1,11 +1,11 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace parastack::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,15 +17,41 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("PARASTACK_LOG_LEVEL"); env != nullptr) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+    std::fprintf(stderr,
+                 "[WARN] log: PARASTACK_LOG_LEVEL=%s is not a level "
+                 "(debug|info|warn|error|off); using warn\n",
+                 env);
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+void set_log_level(LogLevel level) noexcept { level_ref() = level; }
 
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept { return level_ref(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void log(LogLevel level, std::string_view component,
          std::string_view message) {
-  if (level < g_level) return;
+  if (level < level_ref()) return;
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

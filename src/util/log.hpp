@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 namespace parastack::util {
@@ -7,10 +8,17 @@ namespace parastack::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Process-wide log threshold; defaults to kWarn so library users see
-/// problems but campaigns stay quiet. Not thread-safe by design: the
-/// simulator is single-threaded (determinism requirement).
+/// problems but campaigns stay quiet, overridable with the
+/// PARASTACK_LOG_LEVEL environment variable (read once, on first use) or
+/// explicitly via set_log_level (e.g. psim's --log-level flag, which wins
+/// over the environment). Not thread-safe by design: the simulator is
+/// single-threaded (determinism requirement).
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-sensitive);
+/// nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
 
 /// Emit one line to stderr if `level` passes the threshold.
 void log(LogLevel level, std::string_view component, std::string_view message);

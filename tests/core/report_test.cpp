@@ -39,5 +39,27 @@ TEST(HangReport, MultipleFaultyRanksListed) {
   EXPECT_NE(text.find("3 17 42"), std::string::npos);
 }
 
+TEST(SlowdownReport, ToStringCarriesRoundsAndEvidence) {
+  SlowdownReport report;
+  report.detected_at = 90 * sim::kSecond;
+  report.filter_rounds = 3;
+  report.evidence = "rank 5: MPI_Allreduce -> MPI_Recv";
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("t=90.00s"), std::string::npos);
+  EXPECT_NE(text.find("3 filter rounds"), std::string::npos);
+  EXPECT_NE(text.find("rank 5: MPI_Allreduce -> MPI_Recv"),
+            std::string::npos);
+}
+
+TEST(SlowdownReport, ToStringWithoutEvidenceStaysClean) {
+  SlowdownReport report;
+  report.detected_at = sim::kSecond / 2;
+  report.filter_rounds = 2;
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("t=0.50s"), std::string::npos);
+  EXPECT_EQ(text.find(':'), std::string::npos)
+      << "no evidence separator expected: " << text;
+}
+
 }  // namespace
 }  // namespace parastack::core

@@ -1,0 +1,77 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace parastack::obs {
+namespace {
+
+std::string render_string(std::string_view s) {
+  std::ostringstream out;
+  json_string(out, s);
+  return out.str();
+}
+
+std::string render_number(double v) {
+  std::ostringstream out;
+  json_number(out, v);
+  return out.str();
+}
+
+TEST(JsonString, PlainAscii) {
+  EXPECT_EQ(render_string("MPI_Allreduce"), "\"MPI_Allreduce\"");
+  EXPECT_EQ(render_string(""), "\"\"");
+}
+
+TEST(JsonString, EscapesSpecials) {
+  EXPECT_EQ(render_string("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(render_string("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(render_string("a\nb\tc"), "\"a\\nb\\tc\"");
+}
+
+TEST(JsonString, EscapesControlCharacters) {
+  EXPECT_EQ(render_string(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonNumber, IntegersRenderWithoutExponent) {
+  EXPECT_EQ(render_number(0.0), "0");
+  EXPECT_EQ(render_number(42.0), "42");
+  EXPECT_EQ(render_number(-3.0), "-3");
+}
+
+TEST(JsonNumber, FractionsAreStable) {
+  EXPECT_EQ(render_number(0.25), "0.25");
+  EXPECT_EQ(render_number(0.25), render_number(0.25));
+}
+
+TEST(JsonNumber, NonFiniteDegradesToNull) {
+  EXPECT_EQ(render_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(render_number(std::nan("")), "null");
+}
+
+TEST(JsonObject, CommaDisciplineAndTypes) {
+  std::ostringstream out;
+  {
+    JsonObject object(out);
+    object.field("s", "x").field("b", true).field("i", -7);
+    object.field("u", std::uint64_t{9}).field("d", 0.5);
+    object.raw("a", "[1,2]");
+  }
+  EXPECT_EQ(out.str(),
+            "{\"s\":\"x\",\"b\":true,\"i\":-7,\"u\":9,\"d\":0.5,"
+            "\"a\":[1,2]}");
+}
+
+TEST(JsonObject, EmptyObjectAndIdempotentDone) {
+  std::ostringstream out;
+  JsonObject object(out);
+  object.done();
+  object.done();  // destructor will close a third time
+  EXPECT_EQ(out.str(), "{}");
+}
+
+}  // namespace
+}  // namespace parastack::obs

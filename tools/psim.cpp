@@ -4,20 +4,30 @@
 //                 [--fault compute-hang|comm-deadlock|slowdown|freeze]
 //                 [--seed N] [--no-parastack] [--timeout-baseline I,K]
 //                 [--threads T] [--alpha A]
+//                 [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
+//                 [--trace-ranks N] [--log-level LEVEL]
 //   psim campaign --bench LU --runs 20 --fault compute-hang [...run options]
 //   psim submit   --bench HPL --ranks 256 --platform Tardis [--system slurm]
 //   psim list     (available benchmarks, platforms, fault types)
 //
-// Everything is deterministic under --seed.
+// Everything is deterministic under --seed: rerunning with the same seed
+// produces byte-identical journals and metrics files.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <string>
 
 #include "harness/campaign.hpp"
 #include "harness/runner.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "util/args.hpp"
+#include "util/log.hpp"
 
 using namespace parastack;
 
@@ -31,9 +41,109 @@ int usage() {
                "  run:      --fault TYPE --no-parastack --timeout-baseline "
                "--threads T --alpha A\n"
                "  campaign: --runs N --fault TYPE\n"
-               "  submit:   --system slurm|torque --walltime-min M\n");
+               "  submit:   --system slurm|torque --walltime-min M\n"
+               "  telemetry (run/campaign): --journal FILE --metrics FILE "
+               "--chrome-trace FILE\n"
+               "            --trace-ranks N --journal-spans "
+               "--log-level debug|info|warn|error|off\n"
+               "            (FILE may be '-' for stdout)\n");
   return 2;
 }
+
+/// The telemetry sinks requested on the command line, owned for the whole
+/// run/campaign. sink() is null when nothing was requested, so the hot path
+/// stays free.
+struct Telemetry {
+  std::ofstream journal_file;
+  std::unique_ptr<obs::JsonlJournal> journal;
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::MetricsSink> metrics;
+  std::string metrics_path;
+  std::unique_ptr<obs::ChromeTraceWriter> trace;
+  std::string trace_path;
+  obs::MultiSink multi;
+  bool stdout_taken = false;
+
+  /// Human-oriented narration goes to stdout normally, but moves to stderr
+  /// when a telemetry stream claimed stdout ('-') so the JSON stays clean.
+  std::FILE* human() const noexcept { return stdout_taken ? stderr : stdout; }
+
+  bool init(const util::Args& args) {
+    if (const std::string level = args.get("log-level", ""); !level.empty()) {
+      const auto parsed = util::parse_log_level(level);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "unknown log level '%s' "
+                     "(expected debug|info|warn|error|off)\n",
+                     level.c_str());
+        return false;
+      }
+      util::set_log_level(*parsed);
+    }
+    if (const std::string path = args.get("journal", ""); !path.empty()) {
+      obs::JsonlJournal::Options options;
+      options.record_rank_spans = args.has("journal-spans");
+      if (path == "-") {
+        stdout_taken = true;
+        journal = std::make_unique<obs::JsonlJournal>(std::cout, options);
+      } else {
+        journal_file.open(path);
+        if (!journal_file) {
+          std::fprintf(stderr, "cannot open journal file '%s'\n",
+                       path.c_str());
+          return false;
+        }
+        journal = std::make_unique<obs::JsonlJournal>(journal_file, options);
+      }
+      multi.add(journal.get());
+    }
+    if (metrics_path = args.get("metrics", ""); !metrics_path.empty()) {
+      if (metrics_path == "-") stdout_taken = true;
+      metrics = std::make_unique<obs::MetricsSink>(registry);
+      multi.add(metrics.get());
+    }
+    if (trace_path = args.get("chrome-trace", ""); !trace_path.empty()) {
+      if (trace_path == "-") stdout_taken = true;
+      obs::ChromeTraceWriter::Options options;
+      options.max_ranks = static_cast<int>(args.get_int("trace-ranks", 8));
+      trace = std::make_unique<obs::ChromeTraceWriter>(options);
+      multi.add(trace.get());
+    }
+    return true;
+  }
+
+  obs::TelemetrySink* sink() noexcept {
+    return multi.empty() ? nullptr : &multi;
+  }
+
+  /// Write the buffered documents (metrics, chrome trace); the journal
+  /// streamed as it went.
+  bool finish() {
+    bool ok = true;
+    const auto write_doc = [&ok](const std::string& path, const auto& emit) {
+      if (path == "-") {
+        emit(std::cout);
+        return;
+      }
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        ok = false;
+        return;
+      }
+      emit(out);
+    };
+    if (metrics) {
+      write_doc(metrics_path,
+                [this](std::ostream& out) { registry.write_json(out); });
+    }
+    if (trace) {
+      write_doc(trace_path,
+                [this](std::ostream& out) { trace->write(out); });
+    }
+    return ok;
+  }
+};
 
 workloads::Bench parse_bench(const std::string& name, bool& ok) {
   ok = true;
@@ -84,9 +194,12 @@ harness::RunConfig build_config(const util::Args& args, bool& ok) {
 
 int cmd_run(const util::Args& args) {
   bool ok = true;
-  const auto config = build_config(args, ok);
+  auto config = build_config(args, ok);
   if (!ok) return 2;
-  std::printf("running %s(%s) on %d ranks (%s), seed %llu...\n",
+  Telemetry telemetry;
+  if (!telemetry.init(args)) return 2;
+  config.telemetry = telemetry.sink();
+  std::fprintf(telemetry.human(), "running %s(%s) on %d ranks (%s), seed %llu...\n",
               workloads::bench_name(config.bench).data(),
               config.input.empty()
                   ? workloads::default_input(config.bench, config.nranks)
@@ -96,36 +209,35 @@ int cmd_run(const util::Args& args) {
               static_cast<unsigned long long>(config.seed));
   const auto result = harness::run_one(config);
   if (result.fault.type != faults::FaultType::kNone) {
-    std::printf("fault: %s on rank %d, active from t=%.1fs\n",
+    std::fprintf(telemetry.human(), "fault: %s on rank %d, active from t=%.1fs\n",
                 faults::fault_type_name(result.fault.type).data(),
                 result.fault.victim,
                 sim::to_seconds(result.fault.activated_at));
   }
   if (result.completed) {
-    std::printf("job completed at t=%.1fs", sim::to_seconds(result.finish_time));
-    if (result.gflops > 0.0) std::printf(" (%.1f GFLOPS)", result.gflops);
-    std::printf("\n");
+    std::fprintf(telemetry.human(), "job completed at t=%.1fs", sim::to_seconds(result.finish_time));
+    if (result.gflops > 0.0) std::fprintf(telemetry.human(), " (%.1f GFLOPS)", result.gflops);
+    std::fprintf(telemetry.human(), "\n");
   }
   for (const auto& report : result.hangs) {
-    std::printf("ParaStack: %s\n", report.to_string().c_str());
+    std::fprintf(telemetry.human(), "ParaStack: %s\n", report.to_string().c_str());
   }
   for (const auto& report : result.slowdowns) {
-    std::printf("ParaStack: transient slowdown absorbed at t=%.1fs\n",
-                sim::to_seconds(report.detected_at));
+    std::fprintf(telemetry.human(), "ParaStack: %s\n", report.to_string().c_str());
   }
   if (!result.timeout_reports.empty()) {
-    std::printf("timeout baseline fired at t=%.1fs\n",
+    std::fprintf(telemetry.human(), "timeout baseline fired at t=%.1fs\n",
                 sim::to_seconds(result.timeout_reports.front().detected_at));
   }
   if (!result.completed && result.hangs.empty()) {
-    std::printf("job did not complete; walltime expired at t=%.1fs\n",
+    std::fprintf(telemetry.human(), "job did not complete; walltime expired at t=%.1fs\n",
                 sim::to_seconds(result.end_time));
   }
-  std::printf("monitoring: %llu stack traces, final I=%.0fms, %zu model "
+  std::fprintf(telemetry.human(), "monitoring: %llu stack traces, final I=%.0fms, %zu model "
               "samples\n",
               static_cast<unsigned long long>(result.traces),
               sim::to_millis(result.final_interval), result.model_samples);
-  return 0;
+  return telemetry.finish() ? 0 : 1;
 }
 
 int cmd_campaign(const util::Args& args) {
@@ -133,30 +245,33 @@ int cmd_campaign(const util::Args& args) {
   harness::CampaignConfig campaign;
   campaign.base = build_config(args, ok);
   if (!ok) return 2;
+  Telemetry telemetry;
+  if (!telemetry.init(args)) return 2;
+  campaign.base.telemetry = telemetry.sink();
   campaign.runs = static_cast<int>(args.get_int("runs", 10));
   campaign.seed0 = campaign.base.seed * 1000 + 7;
   if (campaign.base.fault == faults::FaultType::kNone) {
     const auto result = harness::run_clean_campaign(campaign);
-    std::printf("%d clean runs: %d false positives, mean runtime %.1fs "
+    std::fprintf(telemetry.human(), "%d clean runs: %d false positives, mean runtime %.1fs "
                 "(stddev %.1f), %.2f simulated hours\n",
                 result.runs, result.false_positives,
                 result.runtime_seconds.mean(), result.runtime_seconds.stddev(),
                 result.total_hours);
-    return 0;
+    return telemetry.finish() ? 0 : 1;
   }
   const auto result = harness::run_erroneous_campaign(campaign);
-  std::printf("%d erroneous runs (%s):\n", result.runs,
+  std::fprintf(telemetry.human(), "%d erroneous runs (%s):\n", result.runs,
               faults::fault_type_name(campaign.base.fault).data());
-  std::printf("  accuracy AC=%.2f (missed %d), false positives %d\n",
+  std::fprintf(telemetry.human(), "  accuracy AC=%.2f (missed %d), false positives %d\n",
               result.accuracy(), result.missed, result.false_positives);
-  std::printf("  response delay %.1fs mean (min %.1f, max %.1f)\n",
+  std::fprintf(telemetry.human(), "  response delay %.1fs mean (min %.1f, max %.1f)\n",
               result.delay_seconds.mean(), result.delay_seconds.min(),
               result.delay_seconds.max());
   if (campaign.base.fault == faults::FaultType::kComputeHang) {
-    std::printf("  faulty-process identification ACf=%.2f PRf=%.2f\n",
+    std::fprintf(telemetry.human(), "  faulty-process identification ACf=%.2f PRf=%.2f\n",
                 result.acf(), result.prf());
   }
-  return 0;
+  return telemetry.finish() ? 0 : 1;
 }
 
 int cmd_submit(const util::Args& args) {
