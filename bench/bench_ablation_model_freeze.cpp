@@ -18,13 +18,16 @@ struct Outcome {
 };
 
 Outcome evaluate(bool freeze, int nruns, std::uint64_t seed0) {
-  Outcome outcome;
-  for (int i = 0; i < nruns; ++i) {
+  std::vector<harness::RunResult> results(static_cast<std::size_t>(nruns));
+  harness::parallel_for(nruns, bench::jobs(), [&](int i) {
     auto config = bench::erroneous_config(workloads::Bench::kFT, "D", 256,
                                           sim::Platform::tardis());
     config.detector.freeze_model_during_streak = freeze;
-    config.seed = seed0 + static_cast<std::uint64_t>(i) * 53;
-    const auto result = harness::run_one(config);
+    config.seed = harness::derive_trial_seed(seed0, i);
+    results[static_cast<std::size_t>(i)] = harness::run_one(config);
+  });
+  Outcome outcome;
+  for (const auto& result : results) {
     if (const auto detection = result.first_parastack_detection()) {
       if (result.detection_before_fault(*detection)) {
         ++outcome.false_positives;
@@ -41,7 +44,8 @@ Outcome evaluate(bool freeze, int nruns, std::uint64_t seed0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Ablation — model updates during a suspicion streak",
                 "design decision #2 (paper §3.2 leaves this implicit)");
   const int nruns = bench::runs(8, 30);

@@ -90,7 +90,8 @@ Outcome evaluate(bool alternation, int nruns, std::uint64_t seed0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Ablation — monitor-set alternation (corner case of §3.3)",
                 "ParaStack SC'17, §3.3 'Prevention of a corner case failure'");
   const int nruns = bench::runs(10, 30);

@@ -7,7 +7,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Ablation — per-trace cost vs monitoring interval",
                 "paper §3.3 lightweight-design rationale / Table 3");
   const int nruns = bench::runs(2, 5);
@@ -22,20 +23,26 @@ int main() {
               "mean(s)", "overhead%");
   for (const double cost_ms : {0.5, 2.79, 10.0}) {
     for (const double interval_ms : {100.0, 400.0, 1600.0}) {
-      util::Summary metric;
-      for (int i = 0; i < nruns; ++i) {
+      std::vector<std::optional<double>> runtimes(
+          static_cast<std::size_t>(nruns));
+      harness::parallel_for(nruns, bench::jobs(), [&](int i) {
         harness::RunConfig config;
         config.bench = workloads::Bench::kCG;
         config.nranks = 256;
         config.platform = platform;
-        config.seed = 45100 + static_cast<std::uint64_t>(i) * 7919;
+        config.seed = harness::derive_trial_seed(45100, i);
         config.detector.initial_interval = sim::from_millis(interval_ms);
         config.detector.enable_interval_tuning = false;
         config.trace_cost_override = sim::from_millis(cost_ms);
         const auto result = harness::run_one(config);
         if (result.completed) {
-          metric.add(sim::to_seconds(result.finish_time));
+          runtimes[static_cast<std::size_t>(i)] =
+              sim::to_seconds(result.finish_time);
         }
+      });
+      util::Summary metric;
+      for (const auto& runtime : runtimes) {
+        if (runtime) metric.add(*runtime);
       }
       const double overhead =
           100.0 * (metric.mean() - clean.metric.mean()) / clean.metric.mean();

@@ -4,13 +4,21 @@
 // regenerates one table or figure from the paper. By default campaign sizes
 // are scaled down so every binary finishes in seconds to a couple of
 // minutes; set PARASTACK_BENCH_SCALE=full for paper-sized campaigns.
+//
+// Campaigns fan out across worker threads (`--jobs N` on any bench binary,
+// or PARASTACK_BENCH_JOBS=N; default: all hardware threads). Campaign
+// results are byte-identical for any jobs value, so parallelism never
+// changes a reproduced number.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "harness/campaign.hpp"
+#include "harness/parallel.hpp"
 #include "harness/runner.hpp"
 
 namespace parastack::bench {
@@ -23,13 +31,43 @@ inline bool full_scale() {
 /// Campaign size: `quick` by default, `full` under PARASTACK_BENCH_SCALE=full.
 inline int runs(int quick, int full) { return full_scale() ? full : quick; }
 
+/// Command-line override for the worker count (set by parse_jobs).
+inline int& jobs_override() {
+  static int value = -1;  // -1 = no --jobs flag seen
+  return value;
+}
+
+/// Scan argv for `--jobs N` / `--jobs=N`. Every bench binary calls this
+/// first thing in main() so the whole suite takes the flag uniformly.
+inline void parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs_override() = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs_override() = std::atoi(argv[i] + 7);
+    }
+  }
+}
+
+/// Worker threads for campaign fan-out: --jobs beats PARASTACK_BENCH_JOBS
+/// beats auto (one per hardware thread).
+inline int jobs() {
+  if (jobs_override() >= 0) return harness::resolve_jobs(jobs_override());
+  if (const char* env = std::getenv("PARASTACK_BENCH_JOBS");
+      env != nullptr && *env != '\0') {
+    return harness::resolve_jobs(std::atoi(env));
+  }
+  return harness::default_jobs();
+}
+
 inline void header(const char* experiment, const char* paper_ref) {
   std::printf("=============================================================\n");
   std::printf("%s\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("mode: %s (set PARASTACK_BENCH_SCALE=full for paper-sized "
-              "campaigns)\n",
-              full_scale() ? "full" : "quick");
+              "campaigns), %d worker thread%s\n",
+              full_scale() ? "full" : "quick", jobs(),
+              jobs() == 1 ? "" : "s");
   std::printf("=============================================================\n");
 }
 
@@ -65,32 +103,45 @@ struct OverheadSeries {
 /// Run `nruns` clean jobs of `bench` at `nranks` on `platform`, either
 /// without monitoring or with ParaStack at a FIXED interval (the overhead
 /// study disables auto-tuning, §7.1-I: "Note I does not change in this
-/// study").
+/// study"). Trials fan out across jobs() workers; the series is reduced in
+/// trial order, so it is identical for any worker count.
 inline OverheadSeries measure_performance(workloads::Bench bench, int nranks,
                                           const sim::Platform& platform,
                                           int nruns, std::uint64_t seed0,
                                           double fixed_interval_ms /*0=clean*/) {
-  OverheadSeries series;
-  for (int i = 0; i < nruns; ++i) {
+  struct Trial {
+    double value = 0.0;
+    bool is_gflops = false;
+  };
+  std::vector<std::optional<Trial>> trials(
+      static_cast<std::size_t>(nruns < 0 ? 0 : nruns));
+  harness::parallel_for(nruns, jobs(), [&](int i) {
     harness::RunConfig config;
     config.bench = bench;
     config.nranks = nranks;
     config.platform = platform;
-    config.seed = seed0 + static_cast<std::uint64_t>(i) * 7919;
+    config.seed = harness::derive_trial_seed(seed0, i);
     config.with_parastack = fixed_interval_ms > 0.0;
     if (config.with_parastack) {
       config.detector.initial_interval = sim::from_millis(fixed_interval_ms);
       config.detector.enable_interval_tuning = false;
     }
     const auto result = harness::run_one(config);
-    if (!result.completed) continue;  // walltime expiry would skew the mean
-    double value = sim::to_seconds(result.finish_time);
+    if (!result.completed) return;  // walltime expiry would skew the mean
+    Trial trial;
+    trial.value = sim::to_seconds(result.finish_time);
     if (result.gflops > 0.0) {
-      value = result.gflops;
-      series.is_gflops = true;
+      trial.value = result.gflops;
+      trial.is_gflops = true;
     }
-    series.metric.add(value);
-    series.per_run.push_back(value);
+    trials[static_cast<std::size_t>(i)] = trial;
+  });
+  OverheadSeries series;
+  for (const auto& trial : trials) {
+    if (!trial) continue;
+    series.metric.add(trial->value);
+    series.per_run.push_back(trial->value);
+    if (trial->is_gflops) series.is_gflops = true;
   }
   return series;
 }

@@ -84,7 +84,8 @@ Row evaluate(sim::Time watchdog_timeout, int nruns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Comparison — ParaStack vs IO-Watchdog on faulty HPL @256",
                 "ParaStack SC'17 §1 (IO-Watchdog, 1-hour default timeout)");
   const int nruns = bench::runs(5, 15);

@@ -7,7 +7,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Figure 10 — batch-time savings on erroneous HPL runs",
                 "ParaStack SC'17, Figure 10 (avg 35.5%, -> 50% asymptotically)");
   const int nruns = bench::runs(10, 10);
@@ -27,14 +28,18 @@ int main() {
   double total_su_saved = 0.0;
   std::printf("%-5s %12s %12s %12s %10s %12s\n", "run", "fault(s)",
               "detected(s)", "billed SU", "saved%", "end");
-  for (int i = 0; i < nruns; ++i) {
+  std::vector<harness::RunResult> results(static_cast<std::size_t>(nruns));
+  harness::parallel_for(nruns, bench::jobs(), [&](int i) {
     auto config = bench::erroneous_config(workloads::Bench::kHPL, "100000",
                                           256, sim::Platform::tardis());
-    config.seed = 55000 + static_cast<std::uint64_t>(i) * 101;
+    config.seed = harness::derive_trial_seed(55000, i);
     config.walltime_override = ticket.walltime;
     config.fault_window_lo = 0.05;
     config.fault_window_hi = 0.95;
-    const auto result = harness::run_one(config);
+    results[static_cast<std::size_t>(i)] = harness::run_one(config);
+  });
+  for (int i = 0; i < nruns; ++i) {
+    const auto& result = results[static_cast<std::size_t>(i)];
     const auto charge = sched::settle(
         ticket,
         result.completed ? std::optional<sim::Time>(result.finish_time)

@@ -55,7 +55,8 @@ void probe_benchmark(workloads::Bench bench, const char* input) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Figure 2 — S_out waveform of healthy LU, SP, FT @256(D)",
                 "ParaStack SC'17, Figure 2");
   probe_benchmark(workloads::Bench::kLU, "D");

@@ -9,7 +9,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Figure 3 — S_out waveform of a faulty LU run @256(D)",
                 "ParaStack SC'17, Figure 3");
 

@@ -39,7 +39,8 @@ void dump_panel(const core::HangDetector& detector, const char* label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Figure 4 — S_crout model and suspicion region (LU @256 D)",
                 "ParaStack SC'17, Figure 4");
   const auto profile = workloads::make_profile(workloads::Bench::kLU, "D", 256);

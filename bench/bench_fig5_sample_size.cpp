@@ -9,7 +9,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Figure 5 — sample size vs suspicion probability vs tolerance",
                 "ParaStack SC'17, Figure 5 / §3.2");
 

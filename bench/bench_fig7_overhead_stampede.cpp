@@ -9,7 +9,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Figure 7 — per-run overhead at scale 1024 (Stampede)",
                 "ParaStack SC'17, Figure 7");
   const int nruns = bench::runs(3, 5);

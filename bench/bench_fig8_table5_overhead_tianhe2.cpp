@@ -8,7 +8,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Figure 8 / Table 5 — overhead at scale 1024 (Tianhe-2)",
                 "ParaStack SC'17, Figure 8 and Table 5");
   const int nruns = bench::runs(3, 5);

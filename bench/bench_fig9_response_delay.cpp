@@ -6,7 +6,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Figure 9 — response-delay distribution @256 (Tardis)",
                 "ParaStack SC'17, Figure 9");
   const int nruns = bench::runs(8, 100);
@@ -18,6 +19,7 @@ int main() {
         bench, workloads::default_input(bench, 256), 256, platform);
     campaign.runs = nruns;
     campaign.seed0 = 96000 + static_cast<std::uint64_t>(bench) * 997;
+    campaign.jobs = bench::jobs();
     const auto result = harness::run_erroneous_campaign(campaign);
     std::printf("\n%s: %d/%d detected, mean delay %.1fs (stddev %.1f, "
                 "min %.1f, max %.1f)\n",

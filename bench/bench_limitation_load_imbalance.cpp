@@ -74,7 +74,8 @@ Outcome evaluate(int stragglers, double factor, int nruns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Limitation — severe load imbalance (paper §6)",
                 "ParaStack SC'17 §6: 'not suitable for applications with "
                 "severe load imbalance'");

@@ -9,7 +9,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Scalability — monitor activity vs job size",
                 "ParaStack SC'17 §3.3 (C processes, <= C active monitors)");
   std::printf("%-8s %8s %10s %12s %14s %14s\n", "ranks", "nodes",

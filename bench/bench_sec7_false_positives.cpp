@@ -23,6 +23,7 @@ void fp_block(const char* platform_name, int nranks,
     campaign.base.platform = platform;
     campaign.runs = nruns;
     campaign.seed0 = seed0 + static_cast<std::uint64_t>(bench) * 449;
+    campaign.jobs = bench::jobs();
     const auto result = harness::run_clean_campaign(campaign);
     false_positives += result.false_positives;
     total_runs += result.runs;
@@ -41,7 +42,8 @@ void fp_block(const char* platform_name, int nranks,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("§7.1-II — false positives over clean runs (alpha = 0.1%)",
                 "ParaStack SC'17, §7.1-II (0 FP over 66 h @256 / 39.7 h "
                 "@1024)");

@@ -22,6 +22,7 @@ void id_block(const char* platform_name, int nranks,
         bench, workloads::default_input(bench, nranks), nranks, platform);
     campaign.runs = nruns;
     campaign.seed0 = seed0 + static_cast<std::uint64_t>(bench) * 577;
+    campaign.jobs = bench::jobs();
     const auto result = harness::run_erroneous_campaign(campaign);
     char acf[32];
     std::snprintf(acf, sizeof acf, "%d/%d", result.victim_identified,
@@ -34,7 +35,8 @@ void id_block(const char* platform_name, int nranks,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Table 10 — faulty-process identification",
                 "ParaStack SC'17, Table 10 + §7.2 large-scale runs");
   using B = workloads::Bench;

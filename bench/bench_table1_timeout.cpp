@@ -32,7 +32,8 @@ const Setting kSettings[] = {{400, 5}, {400, 10}, {800, 5}, {800, 10}};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Table 1 — fixed timeout (I, K) sweep at scale 256",
                 "ParaStack SC'17, Table 1");
   const int nruns = bench::runs(6, 10);
@@ -65,6 +66,7 @@ int main() {
       campaign.runs = nruns;
       campaign.seed0 = 11000 + static_cast<std::uint64_t>(setting.k) * 131 +
                        static_cast<std::uint64_t>(setting.interval_ms);
+      campaign.jobs = bench::jobs();
       const auto result = harness::run_timeout_campaign(campaign);
       std::printf(" | %5.2f %5.2f %6.1f", result.accuracy(),
                   result.false_positive_rate(),

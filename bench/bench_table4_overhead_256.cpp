@@ -8,7 +8,8 @@
 
 using namespace parastack;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Table 4 — ParaStack overhead at scale 256 (Tardis)",
                 "ParaStack SC'17, Table 4");
   const int nruns = bench::runs(3, 5);

@@ -23,6 +23,7 @@ void campaign_block(const char* platform_name, int nranks,
         bench, workloads::default_input(bench, nranks), nranks, platform);
     campaign.runs = nruns;
     campaign.seed0 = seed0 + static_cast<std::uint64_t>(bench) * 1000;
+    campaign.jobs = bench::jobs();
     const auto result = harness::run_erroneous_campaign(campaign);
     // Clean-run duration from the runner's estimate (Table 6's time column).
     const auto profile = workloads::make_profile(
@@ -38,7 +39,8 @@ void campaign_block(const char* platform_name, int nranks,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Table 6 — hang-detection accuracy",
                 "ParaStack SC'17, Table 6 + §7.1-III (4096/8192/16384)");
 

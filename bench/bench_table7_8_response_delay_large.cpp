@@ -20,6 +20,7 @@ void delay_block(const char* platform_name, int nranks,
         bench, workloads::default_input(bench, nranks), nranks, platform);
     campaign.runs = nruns;
     campaign.seed0 = seed0 + static_cast<std::uint64_t>(bench) * 733;
+    campaign.jobs = bench::jobs();
     const auto result = harness::run_erroneous_campaign(campaign);
     std::printf("%-8s %8.1f %8.1f %7d/%d\n",
                 workloads::bench_name(bench).data(),
@@ -31,7 +32,8 @@ void delay_block(const char* platform_name, int nranks,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Tables 7-8 — response delay at large scale",
                 "ParaStack SC'17, Tables 7 and 8 (+8192/16384 HPL spot runs)");
   using B = workloads::Bench;

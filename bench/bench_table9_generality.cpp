@@ -25,7 +25,8 @@ const Row kRows[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_jobs(argc, argv);
   bench::header("Table 9 — generality: default I=400ms vs P* (I=10ms init)",
                 "ParaStack SC'17, Table 9");
   const int nruns = bench::runs(6, 10);
@@ -43,6 +44,7 @@ int main() {
           variant == 0 ? sim::from_millis(400) : sim::from_millis(10);
       campaign.runs = nruns;
       campaign.seed0 = 31000 + static_cast<std::uint64_t>(variant) * 17;
+      campaign.jobs = bench::jobs();
       const auto result = harness::run_erroneous_campaign(campaign);
       metrics[variant][0] = result.accuracy();
       metrics[variant][1] = result.false_positive_rate();

@@ -1,10 +1,64 @@
 #include "harness/campaign.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "obs/replay.hpp"
 #include "util/check.hpp"
 
 namespace parastack::harness {
+
+namespace {
+
+RunConfig trial_config(const CampaignConfig& config, int trial) {
+  RunConfig run_config = config.base;
+  run_config.seed = derive_trial_seed(config.seed0, trial);
+  run_config.run_index = trial;
+  return run_config;
+}
+
+/// Execute every trial of the campaign, possibly across worker threads,
+/// and return the results indexed by trial.
+///
+/// Determinism contract: each trial is seeded independently of scheduling,
+/// results land in per-trial slots, and the callers reduce them in trial
+/// order on one thread — so campaign output is byte-identical for any
+/// `jobs`. Telemetry keeps the same guarantee: under parallelism each
+/// trial records into a private RecordingSink and the recordings are
+/// replayed into the real sink in trial order, exactly the stream the
+/// serial path emits directly.
+std::vector<RunResult> execute_trials(const CampaignConfig& config) {
+  PS_CHECK(config.runs >= 0, "campaign needs a non-negative run count");
+  const int n = config.runs;
+  std::vector<RunResult> results(static_cast<std::size_t>(n));
+  const int jobs = n == 0 ? 1 : std::min(resolve_jobs(config.jobs), n);
+  if (jobs <= 1) {
+    for (int i = 0; i < n; ++i) results[static_cast<std::size_t>(i)] =
+        run_one(trial_config(config, i));
+    return results;
+  }
+
+  obs::TelemetrySink* sink = config.base.telemetry;
+  std::vector<std::unique_ptr<obs::RecordingSink>> recordings(
+      static_cast<std::size_t>(n));
+  parallel_for(n, jobs, [&](int i) {
+    RunConfig run_config = trial_config(config, i);
+    if (sink != nullptr) {
+      recordings[static_cast<std::size_t>(i)] =
+          std::make_unique<obs::RecordingSink>(sink->wants_rank_spans());
+      run_config.telemetry = recordings[static_cast<std::size_t>(i)].get();
+    }
+    results[static_cast<std::size_t>(i)] = run_one(run_config);
+  });
+  if (sink != nullptr) {
+    for (const auto& recording : recordings) {
+      if (recording) recording->replay(*sink);
+    }
+  }
+  return results;
+}
+
+}  // namespace
 
 double ErroneousCampaignResult::accuracy() const {
   return runs == 0 ? 0.0
@@ -27,42 +81,49 @@ double ErroneousCampaignResult::prf() const {
   return detected == 0 ? 0.0 : precision_sum / static_cast<double>(detected);
 }
 
+void account_erroneous_run(ErroneousCampaignResult& out, RunResult result) {
+  ++out.runs;
+
+  const auto first = result.first_parastack_detection();
+  const bool false_positive =
+      first.has_value() && result.detection_before_fault(*first);
+  // Do not stop at hangs.front(): a pre-fault false positive may be
+  // followed by the genuine detection, and discarding the latter would
+  // deflate accuracy and the faulty-id stats.
+  const core::HangReport* genuine = result.first_hang_after_fault();
+
+  if (false_positive) ++out.false_positives;
+  if (genuine != nullptr) {
+    ++out.detected;
+    if (false_positive) ++out.fp_then_detected;
+    const double delay =
+        sim::to_seconds(genuine->detected_at - result.fault.activated_at);
+    out.delay_seconds.add(delay);
+    out.delays.push_back(delay);
+    if (genuine->kind == core::HangKind::kComputationError) {
+      ++out.computation_verdicts;
+    } else {
+      ++out.communication_verdicts;
+    }
+    const auto& faulty = genuine->faulty_ranks;
+    const bool found = std::find(faulty.begin(), faulty.end(),
+                                 result.fault.victim) != faulty.end();
+    if (found) {
+      ++out.victim_identified;
+      out.precision_sum += 1.0 / static_cast<double>(faulty.size());
+    }
+  } else if (!false_positive) {
+    ++out.missed;
+  }
+  out.results.push_back(std::move(result));
+}
+
 ErroneousCampaignResult run_erroneous_campaign(const CampaignConfig& config) {
   PS_CHECK(config.base.fault != faults::FaultType::kNone,
            "erroneous campaign needs a fault type");
   ErroneousCampaignResult out;
-  for (int i = 0; i < config.runs; ++i) {
-    RunConfig run_config = config.base;
-    run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
-    run_config.run_index = i;
-    RunResult result = run_one(run_config);
-    ++out.runs;
-
-    const auto detection = result.first_parastack_detection();
-    if (detection && result.detection_before_fault(*detection)) {
-      ++out.false_positives;
-    } else if (detection && result.fault.activated()) {
-      ++out.detected;
-      const double delay = result.response_delay_seconds();
-      out.delay_seconds.add(delay);
-      out.delays.push_back(delay);
-      const auto& report = result.hangs.front();
-      if (report.kind == core::HangKind::kComputationError) {
-        ++out.computation_verdicts;
-      } else {
-        ++out.communication_verdicts;
-      }
-      const auto& faulty = report.faulty_ranks;
-      const bool found = std::find(faulty.begin(), faulty.end(),
-                                   result.fault.victim) != faulty.end();
-      if (found) {
-        ++out.victim_identified;
-        out.precision_sum += 1.0 / static_cast<double>(faulty.size());
-      }
-    } else {
-      ++out.missed;
-    }
-    out.results.push_back(std::move(result));
+  for (RunResult& result : execute_trials(config)) {
+    account_erroneous_run(out, std::move(result));
   }
   return out;
 }
@@ -72,11 +133,7 @@ CleanCampaignResult run_clean_campaign(const CampaignConfig& config) {
                config.base.fault == faults::FaultType::kTransientSlowdown,
            "clean campaign must not inject hangs");
   CleanCampaignResult out;
-  for (int i = 0; i < config.runs; ++i) {
-    RunConfig run_config = config.base;
-    run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
-    run_config.run_index = i;
-    RunResult result = run_one(run_config);
+  for (RunResult& result : execute_trials(config)) {
     ++out.runs;
     if (result.parastack_detected()) ++out.false_positives;
     if (result.completed) {
@@ -100,26 +157,32 @@ double TimeoutCampaignResult::false_positive_rate() const {
                          static_cast<double>(runs);
 }
 
+void account_timeout_run(TimeoutCampaignResult& out, const RunResult& result) {
+  ++out.runs;
+  const auto first = result.first_timeout_detection();
+  const bool false_positive =
+      first.has_value() && result.detection_before_fault(*first);
+  // Same fix as account_erroneous_run: scan past a pre-fault report for
+  // the first detection at/after the fault activated.
+  const core::TimeoutDetector::Report* genuine =
+      result.first_timeout_after_fault();
+  if (false_positive) ++out.false_positives;
+  if (genuine != nullptr) {
+    ++out.detected;
+    if (false_positive) ++out.fp_then_detected;
+    out.delay_seconds.add(
+        sim::to_seconds(genuine->detected_at - result.fault.activated_at));
+  } else if (!false_positive) {
+    ++out.missed;
+  }
+}
+
 TimeoutCampaignResult run_timeout_campaign(const CampaignConfig& config) {
   PS_CHECK(config.base.with_timeout_baseline,
            "timeout campaign needs the baseline enabled");
   TimeoutCampaignResult out;
-  for (int i = 0; i < config.runs; ++i) {
-    RunConfig run_config = config.base;
-    run_config.seed = config.seed0 + static_cast<std::uint64_t>(i) * 7919;
-    run_config.run_index = i;
-    const RunResult result = run_one(run_config);
-    ++out.runs;
-    const auto detection = result.first_timeout_detection();
-    if (detection && result.detection_before_fault(*detection)) {
-      ++out.false_positives;
-    } else if (detection && result.fault.activated()) {
-      ++out.detected;
-      out.delay_seconds.add(
-          sim::to_seconds(*detection - result.fault.activated_at));
-    } else {
-      ++out.missed;
-    }
+  for (const RunResult& result : execute_trials(config)) {
+    account_timeout_run(out, result);
   }
   return out;
 }

@@ -3,16 +3,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "harness/parallel.hpp"
 #include "harness/runner.hpp"
 #include "util/summary.hpp"
 
 namespace parastack::harness {
 
 /// A batch of runs sharing one configuration, differing only by seed.
+///
+/// Trials are independent simulations, so the campaign runners fan them
+/// out across `jobs` worker threads (0 = one per hardware thread, 1 =
+/// serial). Per-trial seeds come from derive_trial_seed(seed0, trial) and
+/// results are reduced in trial order after the parallel phase, so every
+/// counter, Summary, vector — and any attached telemetry stream — is
+/// byte-identical no matter the worker count or scheduling.
 struct CampaignConfig {
   RunConfig base;
   int runs = 10;
   std::uint64_t seed0 = 42;
+  int jobs = 1;  ///< worker threads; 0 = auto (default_jobs())
 };
 
 /// Metrics over erroneous runs (paper §7.1-III/IV and §7.2):
@@ -21,11 +30,20 @@ struct CampaignConfig {
 ///   D    = response delay in seconds over correctly detected runs
 ///   AC_f = Tf / Th        (victim present in the reported faulty set)
 ///   PR_f = mean over detected runs of 1/x_i (0 if the victim is missing)
+///
+/// A run contributes to `detected` when any report fired at/after the
+/// fault activated, and to `false_positives` when any report fired before
+/// it — a run whose pre-fault false positive is followed by a genuine
+/// detection counts toward both (tracked in `fp_then_detected`), so
+///   detected + false_positives + missed == runs + fp_then_detected.
+/// With kill-on-detection (the default) the first report ends the job, the
+/// overlap is empty, and the classic three-way partition holds.
 struct ErroneousCampaignResult {
   int runs = 0;
   int detected = 0;
   int missed = 0;
   int false_positives = 0;
+  int fp_then_detected = 0;  ///< runs counted in both buckets above
   util::Summary delay_seconds;
   std::vector<double> delays;  ///< per detected run, for histograms (Fig 9)
   int computation_verdicts = 0;
@@ -42,6 +60,13 @@ struct ErroneousCampaignResult {
 
 ErroneousCampaignResult run_erroneous_campaign(const CampaignConfig& config);
 
+/// Fold one erroneous-run result into the campaign tallies. This is the
+/// exact reduction run_erroneous_campaign applies per trial (in trial
+/// order); exposed so accounting edge cases — e.g. a pre-fault false
+/// positive followed by the genuine detection — are unit-testable without
+/// simulating a run that exhibits them.
+void account_erroneous_run(ErroneousCampaignResult& out, RunResult result);
+
 /// Metrics over clean runs: false positives and performance (§7.1-I/II).
 struct CleanCampaignResult {
   int runs = 0;
@@ -55,11 +80,14 @@ struct CleanCampaignResult {
 CleanCampaignResult run_clean_campaign(const CampaignConfig& config);
 
 /// Metrics for the fixed-timeout baseline over erroneous runs (Table 1).
+/// Same bucket semantics as ErroneousCampaignResult: a pre-fault report
+/// and a post-fault report in one run count toward both FP and detection.
 struct TimeoutCampaignResult {
   int runs = 0;
   int detected = 0;          ///< detection after the fault activated
   int false_positives = 0;   ///< detection during the correct phase
   int missed = 0;
+  int fp_then_detected = 0;  ///< runs counted in both buckets above
   util::Summary delay_seconds;
 
   double accuracy() const;
@@ -67,5 +95,8 @@ struct TimeoutCampaignResult {
 };
 
 TimeoutCampaignResult run_timeout_campaign(const CampaignConfig& config);
+
+/// Per-trial reduction of run_timeout_campaign (see account_erroneous_run).
+void account_timeout_run(TimeoutCampaignResult& out, const RunResult& result);
 
 }  // namespace parastack::harness

@@ -1,0 +1,71 @@
+#include "harness/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parastack::harness {
+
+int default_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int resolve_jobs(int jobs) noexcept {
+  if (jobs == 0) return default_jobs();
+  return jobs < 1 ? 1 : jobs;
+}
+
+std::uint64_t derive_trial_seed(std::uint64_t seed0, int trial) noexcept {
+  // Hash the campaign seed before indexing: splitmix64(seed0 + trial)
+  // alone would make campaign seed0+1 replay campaign seed0's trials
+  // shifted by one.
+  std::uint64_t state = seed0;
+  std::uint64_t indexed =
+      util::splitmix64(state) + static_cast<std::uint64_t>(trial);
+  return util::splitmix64(indexed);
+}
+
+void parallel_for(int n, int jobs, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int workers = std::min(resolve_jobs(jobs), n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Drain the remaining indices so the pool winds down promptly.
+        next.store(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace parastack::harness

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace parastack::harness {
+
+/// Worker count used for `jobs == 0` (auto): every hardware thread, at
+/// least one.
+int default_jobs() noexcept;
+
+/// Resolve a user-facing --jobs request: 0 means auto (default_jobs()),
+/// anything else is clamped to at least one worker.
+int resolve_jobs(int jobs) noexcept;
+
+/// Seed for trial `trial` of a campaign seeded with `seed0`.
+///
+/// The old scheme (`seed0 + trial * 7919`) walks a linear stride, so two
+/// campaigns whose seed0 differ by a multiple of 7919 replay each other's
+/// trials. This one indexes a SplitMix64 stream at `splitmix64(seed0) +
+/// trial` — a bijection per trial, so distinct trials of one campaign can
+/// never collide, and the pre-hash of seed0 keeps neighbouring campaigns
+/// in unrelated parts of the stream.
+std::uint64_t derive_trial_seed(std::uint64_t seed0, int trial) noexcept;
+
+/// Run fn(0), ..., fn(n-1) across up to `jobs` worker threads.
+///
+/// Scheduling is dynamic self-chunking: workers pull the next unclaimed
+/// index from a shared atomic counter, so long trials do not straggle
+/// behind a static partition. Callers own any cross-trial state; `fn` must
+/// only touch per-index slots. Blocks until every index ran; if any call
+/// threw, the first exception (in claim order) is rethrown after all
+/// workers joined. `jobs <= 1` (or n <= 1) degrades to a plain serial loop
+/// on the calling thread.
+void parallel_for(int n, int jobs, const std::function<void(int)>& fn);
+
+}  // namespace parastack::harness

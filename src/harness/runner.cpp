@@ -27,10 +27,36 @@ bool RunResult::detection_before_fault(sim::Time detection) const {
   return !fault.activated() || detection < fault.activated_at;
 }
 
+const core::HangReport* RunResult::first_hang_after_fault() const {
+  if (fault.type == faults::FaultType::kNone ||
+      fault.type == faults::FaultType::kTransientSlowdown ||
+      !fault.activated()) {
+    return nullptr;
+  }
+  for (const auto& report : hangs) {
+    if (report.detected_at >= fault.activated_at) return &report;
+  }
+  return nullptr;
+}
+
+const core::TimeoutDetector::Report* RunResult::first_timeout_after_fault()
+    const {
+  if (fault.type == faults::FaultType::kNone ||
+      fault.type == faults::FaultType::kTransientSlowdown ||
+      !fault.activated()) {
+    return nullptr;
+  }
+  for (const auto& report : timeout_reports) {
+    if (report.detected_at >= fault.activated_at) return &report;
+  }
+  return nullptr;
+}
+
 double RunResult::response_delay_seconds() const {
-  PS_CHECK(!hangs.empty() && fault.activated(),
+  const core::HangReport* report = first_hang_after_fault();
+  PS_CHECK(report != nullptr,
            "response delay needs a detected, activated fault");
-  return sim::to_seconds(hangs.front().detected_at - fault.activated_at);
+  return sim::to_seconds(report->detected_at - fault.activated_at);
 }
 
 sim::Time estimate_clean_runtime(const workloads::BenchmarkProfile& profile,

@@ -84,7 +84,16 @@ struct RunResult {
   std::optional<sim::Time> first_timeout_detection() const;
   /// A detection that fired although no hang was active at that instant.
   bool detection_before_fault(sim::Time detection) const;
-  /// Seconds from fault activation to ParaStack's report (detected runs).
+  /// First ParaStack report fired at/after the injected hang activated, or
+  /// nullptr when there is none (fault never activated, fault type cannot
+  /// hang, or every report pre-dates the fault). A run whose first report
+  /// is a pre-fault false positive can still carry a genuine detection
+  /// here — campaign accounting must not stop at hangs.front().
+  const core::HangReport* first_hang_after_fault() const;
+  /// Timeout-baseline counterpart of first_hang_after_fault().
+  const core::TimeoutDetector::Report* first_timeout_after_fault() const;
+  /// Seconds from fault activation to ParaStack's first post-fault report
+  /// (detected runs).
   double response_delay_seconds() const;
 };
 

@@ -72,7 +72,8 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     json_number(out, h.bucket_lo(0));
     out << ",\"hi\":";
     json_number(out, h.bucket_hi(h.bucket_count() - 1));
-    out << ",\"total\":" << h.total() << ",\"buckets\":[";
+    out << ",\"total\":" << h.total() << ",\"underflow\":" << h.underflow()
+        << ",\"overflow\":" << h.overflow() << ",\"buckets\":[";
     for (std::size_t b = 0; b < h.bucket_count(); ++b) {
       if (b > 0) out << ',';
       out << h.count(b);

@@ -1,0 +1,99 @@
+#include "obs/replay.hpp"
+
+namespace parastack::obs {
+
+std::string_view RecordingSink::intern(std::string_view view) {
+  if (view.empty()) return {};
+  arena_.emplace_back(view);
+  return arena_.back();
+}
+
+void RecordingSink::on_sample(const SampleEvent& e) { events_.push_back(e); }
+
+void RecordingSink::on_runs_test(const RunsTestEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_interval(const IntervalEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_streak(const StreakEvent& e) {
+  StreakEvent copy = e;
+  copy.reason = intern(e.reason);
+  events_.push_back(copy);
+}
+
+void RecordingSink::on_filter(const FilterEvent& e) { events_.push_back(e); }
+
+void RecordingSink::on_sweep(const SweepEvent& e) {
+  SweepEvent copy = e;
+  copy.purpose = intern(e.purpose);
+  events_.push_back(copy);
+}
+
+void RecordingSink::on_hang(const HangEvent& e) { events_.push_back(e); }
+
+void RecordingSink::on_slowdown(const SlowdownEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_monitor_sample(const MonitorSampleEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_phase_change(const PhaseChangeEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_fault(const FaultEvent& e) {
+  FaultEvent copy = e;
+  copy.type = intern(e.type);
+  events_.push_back(copy);
+}
+
+void RecordingSink::on_run_start(const RunStartEvent& e) {
+  RunStartEvent copy = e;
+  copy.bench = intern(e.bench);
+  copy.input = intern(e.input);
+  copy.platform = intern(e.platform);
+  copy.fault_planned = intern(e.fault_planned);
+  events_.push_back(copy);
+}
+
+void RecordingSink::on_run_end(const RunEndEvent& e) { events_.push_back(e); }
+
+void RecordingSink::on_rank_span(const RankSpanEvent& e) {
+  RankSpanEvent copy = e;
+  copy.func = intern(e.func);
+  events_.push_back(copy);
+}
+
+void RecordingSink::replay(TelemetrySink& target) const {
+  struct Dispatch {
+    TelemetrySink& target;
+    void operator()(const SampleEvent& e) const { target.on_sample(e); }
+    void operator()(const RunsTestEvent& e) const { target.on_runs_test(e); }
+    void operator()(const IntervalEvent& e) const { target.on_interval(e); }
+    void operator()(const StreakEvent& e) const { target.on_streak(e); }
+    void operator()(const FilterEvent& e) const { target.on_filter(e); }
+    void operator()(const SweepEvent& e) const { target.on_sweep(e); }
+    void operator()(const HangEvent& e) const { target.on_hang(e); }
+    void operator()(const SlowdownEvent& e) const { target.on_slowdown(e); }
+    void operator()(const MonitorSampleEvent& e) const {
+      target.on_monitor_sample(e);
+    }
+    void operator()(const PhaseChangeEvent& e) const {
+      target.on_phase_change(e);
+    }
+    void operator()(const FaultEvent& e) const { target.on_fault(e); }
+    void operator()(const RunStartEvent& e) const { target.on_run_start(e); }
+    void operator()(const RunEndEvent& e) const { target.on_run_end(e); }
+    void operator()(const RankSpanEvent& e) const { target.on_rank_span(e); }
+  };
+  for (const Event& event : events_) {
+    std::visit(Dispatch{target}, event);
+  }
+}
+
+}  // namespace parastack::obs

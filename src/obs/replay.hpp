@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace parastack::obs {
+
+/// Records a telemetry stream so it can be replayed into another sink
+/// later, in emission order and with identical field values.
+///
+/// This is what makes telemetry safe under the parallel campaign harness:
+/// each concurrent trial gets its own RecordingSink (no shared mutable
+/// state on the hot path), and the campaign replays the recordings into
+/// the real sink one trial at a time, in trial order — so a journal
+/// written through N workers is byte-identical to the serial one.
+///
+/// Event structs carry `std::string_view` fields that may reference
+/// run-local storage (the runner's input string, a platform name); the
+/// recorder deep-copies those into an internal arena so a recording
+/// outlives the run that produced it.
+class RecordingSink final : public TelemetrySink {
+ public:
+  /// `wants_rank_spans` must mirror the eventual replay target: producers
+  /// consult it before building span events, so a mismatch would record a
+  /// different stream than the target expects.
+  explicit RecordingSink(bool wants_rank_spans = false)
+      : wants_rank_spans_(wants_rank_spans) {}
+
+  /// Re-emit every recorded event into `target`, in recording order.
+  void replay(TelemetrySink& target) const;
+
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+  void on_sample(const SampleEvent& e) override;
+  void on_runs_test(const RunsTestEvent& e) override;
+  void on_interval(const IntervalEvent& e) override;
+  void on_streak(const StreakEvent& e) override;
+  void on_filter(const FilterEvent& e) override;
+  void on_sweep(const SweepEvent& e) override;
+  void on_hang(const HangEvent& e) override;
+  void on_slowdown(const SlowdownEvent& e) override;
+  void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_phase_change(const PhaseChangeEvent& e) override;
+  void on_fault(const FaultEvent& e) override;
+  void on_run_start(const RunStartEvent& e) override;
+  void on_run_end(const RunEndEvent& e) override;
+  void on_rank_span(const RankSpanEvent& e) override;
+  bool wants_rank_spans() const override { return wants_rank_spans_; }
+
+ private:
+  using Event =
+      std::variant<SampleEvent, RunsTestEvent, IntervalEvent, StreakEvent,
+                   FilterEvent, SweepEvent, HangEvent, SlowdownEvent,
+                   MonitorSampleEvent, PhaseChangeEvent, FaultEvent,
+                   RunStartEvent, RunEndEvent, RankSpanEvent>;
+
+  /// Copy `view` into the arena and return a view of the stable copy.
+  std::string_view intern(std::string_view view);
+
+  bool wants_rank_spans_;
+  std::deque<std::string> arena_;  ///< deque: stable addresses on growth
+  std::vector<Event> events_;
+};
+
+}  // namespace parastack::obs

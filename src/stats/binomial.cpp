@@ -18,9 +18,13 @@ double min_samples_for(double p, double e) {
 }
 
 OptimalPoint optimal_suspicion_point(double e) {
-  // f_max is the max of a decreasing (5/p) and an increasing-then-decreasing
-  // (parabola) function on (0, 0.5]; scan a fine grid then polish around the
-  // best cell. A 1e-4 grid is exact to the paper's two reported decimals.
+  // f_max is the max of a decreasing branch (5/p) and branches that
+  // increase toward p = 0.5 (the parabola, 5/(1-p)), so it is V-shaped
+  // (unimodal) on (0, 0.5]: scan a 1e-4 grid for the best cell, then
+  // polish inside the surrounding cells by golden-section search down to
+  // ~1e-10. The grid alone is already exact to the paper's two reported
+  // decimals; the polish pins the continuous optimum so n_m = ceil(f) is
+  // not an artifact of grid placement.
   double best_p = 0.5;
   double best_n = min_samples_for(0.5, e);
   for (int i = 1; i <= 5000; ++i) {
@@ -30,6 +34,36 @@ OptimalPoint optimal_suspicion_point(double e) {
       best_n = n;
       best_p = p;
     }
+  }
+
+  constexpr double kGridStep = 1e-4;
+  constexpr double kInvPhi = 0.6180339887498949;  // (sqrt(5) - 1) / 2
+  double lo = std::max(best_p - kGridStep, kGridStep / 2.0);
+  double hi = std::min(best_p + kGridStep, 0.5);
+  double a = hi - kInvPhi * (hi - lo);
+  double b = lo + kInvPhi * (hi - lo);
+  double fa = min_samples_for(a, e);
+  double fb = min_samples_for(b, e);
+  while (hi - lo > 1e-10) {
+    if (fa <= fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - kInvPhi * (hi - lo);
+      fa = min_samples_for(a, e);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + kInvPhi * (hi - lo);
+      fb = min_samples_for(b, e);
+    }
+  }
+  const double polished_p = fa <= fb ? a : b;
+  const double polished_n = std::min(fa, fb);
+  if (polished_n < best_n) {
+    best_p = polished_p;
+    best_n = polished_n;
   }
   return {best_p, static_cast<std::size_t>(std::ceil(best_n - 1e-9))};
 }

@@ -15,11 +15,20 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) noexcept {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(
-      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  // In-range values can still compute an index == size() through rounding
+  // (x just below hi with a coarse width); clamp that edge case only.
+  const auto idx = std::min(
+      static_cast<std::size_t>((x - lo_) / width_), counts_.size() - 1);
+  ++counts_[idx];
 }
 
 std::size_t Histogram::count(std::size_t bucket) const {
@@ -37,17 +46,33 @@ double Histogram::bucket_hi(std::size_t bucket) const {
 }
 
 std::string Histogram::ascii(std::size_t max_width) const {
-  const std::size_t peak =
+  std::size_t peak =
       counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  peak = std::max({peak, underflow_, overflow_});
   std::string out;
   char line[128];
+  const auto bar_for = [&](std::size_t count) {
+    return peak == 0 ? std::size_t{0} : count * max_width / peak;
+  };
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof line, "           < %8.2f  %6zu |", lo_,
+                  underflow_);
+    out += line;
+    out.append(bar_for(underflow_), '#');
+    out += '\n';
+  }
   for (std::size_t b = 0; b < counts_.size(); ++b) {
-    const std::size_t bar =
-        peak == 0 ? 0 : counts_[b] * max_width / peak;
     std::snprintf(line, sizeof line, "[%8.2f, %8.2f) %6zu |", bucket_lo(b),
                   bucket_hi(b), counts_[b]);
     out += line;
-    out.append(bar, '#');
+    out.append(bar_for(counts_[b]), '#');
+    out += '\n';
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "          >= %8.2f  %6zu |", hi_,
+                  overflow_);
+    out += line;
+    out.append(bar_for(overflow_), '#');
     out += '\n';
   }
   return out;

@@ -1,5 +1,6 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -29,16 +30,22 @@ LogLevel initial_level() {
   return LogLevel::kWarn;
 }
 
-LogLevel& level_ref() {
-  static LogLevel level = initial_level();
+// Atomic: the parallel campaign harness logs from worker threads while the
+// main thread may still adjust verbosity.
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
   return level;
 }
 
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { level_ref() = level; }
+void set_log_level(LogLevel level) noexcept {
+  level_ref().store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() noexcept { return level_ref(); }
+LogLevel log_level() noexcept {
+  return level_ref().load(std::memory_order_relaxed);
+}
 
 std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
   if (name == "debug") return LogLevel::kDebug;
@@ -51,7 +58,7 @@ std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
 
 void log(LogLevel level, std::string_view component,
          std::string_view message) {
-  if (level < level_ref()) return;
+  if (level < log_level()) return;
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

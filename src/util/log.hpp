@@ -11,8 +11,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// problems but campaigns stay quiet, overridable with the
 /// PARASTACK_LOG_LEVEL environment variable (read once, on first use) or
 /// explicitly via set_log_level (e.g. psim's --log-level flag, which wins
-/// over the environment). Not thread-safe by design: the simulator is
-/// single-threaded (determinism requirement).
+/// over the environment). The threshold is atomic: each simulated run is
+/// single-threaded, but the campaign harness executes runs on concurrent
+/// workers that all consult it.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 

@@ -1,0 +1,115 @@
+#include "harness/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace parastack::harness {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr int kN = 200;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(kN, 8, [&](int i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ParallelFor, MoreWorkersThanWork) {
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(3, 64, [&](int i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(visits[static_cast<std::size_t>(i)].load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroAndNegativeIterationsAreNoops) {
+  int calls = 0;
+  parallel_for(0, 4, [&](int) { ++calls; });
+  parallel_for(-3, 4, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SerialDegenerationRunsInOrder) {
+  std::vector<int> order;
+  parallel_for(5, 1, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesAnException) {
+  EXPECT_THROW(parallel_for(50, 4,
+                            [&](int i) {
+                              if (i == 17) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionStopsRemainingWork) {
+  // After the throw, workers drain: far fewer than n indices execute when
+  // the very first claimed index throws.
+  std::atomic<int> executed{0};
+  try {
+    parallel_for(100000, 2, [&](int i) {
+      if (i == 0) throw std::runtime_error("early");
+      executed.fetch_add(1);
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(ResolveJobs, AutoAndClamping) {
+  EXPECT_GE(default_jobs(), 1);
+  EXPECT_EQ(resolve_jobs(0), default_jobs());
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_EQ(resolve_jobs(-5), 1);
+}
+
+TEST(DeriveTrialSeed, TrialsNeverCollideWithinACampaign) {
+  std::set<std::uint64_t> seen;
+  for (int trial = 0; trial < 10000; ++trial) {
+    seen.insert(derive_trial_seed(42, trial));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(DeriveTrialSeed, NotALinearStride) {
+  // The old seed0 + 7919*i scheme made campaigns whose seed0 differ by a
+  // stride multiple replay each other's trials. The hashed stream must not
+  // have that aliasing: trial i of campaign s and trial i+1 of campaign
+  // s-7919 used to coincide; now they must not.
+  const std::uint64_t s = 424242;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(derive_trial_seed(s, i), derive_trial_seed(s - 7919, i + 1));
+    EXPECT_NE(derive_trial_seed(s, i + 1) - derive_trial_seed(s, i),
+              derive_trial_seed(s, i + 2) - derive_trial_seed(s, i + 1))
+        << "consecutive seeds form an arithmetic progression at i=" << i;
+  }
+}
+
+TEST(DeriveTrialSeed, NeighbouringCampaignsDoNotShareTrials) {
+  // Without the seed0 pre-hash, campaign s+1's trial i would equal
+  // campaign s's trial i+1.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(derive_trial_seed(9000, i + 1), derive_trial_seed(9001, i));
+  }
+}
+
+TEST(DeriveTrialSeed, IsAPureFunction) {
+  EXPECT_EQ(derive_trial_seed(9000, 3), derive_trial_seed(9000, 3));
+  EXPECT_NE(derive_trial_seed(9000, 3), derive_trial_seed(9001, 3));
+}
+
+}  // namespace
+}  // namespace parastack::harness

@@ -1,0 +1,98 @@
+#include "obs/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/journal.hpp"
+
+namespace parastack::obs {
+namespace {
+
+// Emit a representative event mix into a sink. String-view fields point
+// at a short-lived buffer on purpose: the recorder must deep-copy them.
+void emit_stream(TelemetrySink& sink) {
+  {
+    std::string bench = "lu";
+    std::string input = "C";
+    std::string platform = "tianhe2";
+    std::string fault = "compute_hang";
+    RunStartEvent start;
+    start.bench = bench;
+    start.input = input;
+    start.nranks = 32;
+    start.nnodes = 2;
+    start.platform = platform;
+    start.seed = 1234;
+    start.run_index = 3;
+    start.estimated_clean = 100 * sim::kSecond;
+    start.walltime = 200 * sim::kSecond;
+    start.fault_planned = fault;
+    sink.on_run_start(start);
+  }  // the backing strings die here
+
+  SampleEvent sample;
+  sample.time = 5 * sim::kSecond;
+  sample.observation = 1;
+  sample.scrout = 0.25;
+  sample.threshold = 0.1;
+  sink.on_sample(sample);
+
+  HangEvent hang;
+  hang.time = 50 * sim::kSecond;
+  hang.computation_error = true;
+  hang.faulty_ranks = {7, 9};
+  hang.streak = 4;
+  hang.q = 0.05;
+  hang.required_streak = 4;
+  sink.on_hang(hang);
+}
+
+std::string journal_of(const RecordingSink* recording) {
+  std::ostringstream out;
+  JsonlJournal journal(out);
+  if (recording != nullptr) {
+    recording->replay(journal);
+  } else {
+    emit_stream(journal);
+  }
+  return out.str();
+}
+
+TEST(RecordingSink, ReplayMatchesDirectEmissionByteForByte) {
+  RecordingSink recording;
+  emit_stream(recording);
+  EXPECT_EQ(recording.size(), 3u);
+  EXPECT_EQ(journal_of(&recording), journal_of(nullptr));
+}
+
+TEST(RecordingSink, SurvivesTheProducersStringsDying) {
+  // emit_stream's RunStartEvent views local strings that are gone by the
+  // time we replay; the interned copies must still render correctly.
+  RecordingSink recording;
+  emit_stream(recording);
+  const std::string text = journal_of(&recording);
+  EXPECT_NE(text.find("tianhe2"), std::string::npos);
+  EXPECT_NE(text.find("compute_hang"), std::string::npos);
+}
+
+TEST(RecordingSink, ReplayIsRepeatable) {
+  RecordingSink recording;
+  emit_stream(recording);
+  EXPECT_EQ(journal_of(&recording), journal_of(&recording));
+}
+
+TEST(RecordingSink, MirrorsRankSpanAppetite) {
+  EXPECT_FALSE(RecordingSink(false).wants_rank_spans());
+  EXPECT_TRUE(RecordingSink(true).wants_rank_spans());
+}
+
+TEST(RecordingSink, StartsEmpty) {
+  const RecordingSink recording;
+  EXPECT_TRUE(recording.empty());
+  EXPECT_EQ(recording.size(), 0u);
+}
+
+}  // namespace
+}  // namespace parastack::obs

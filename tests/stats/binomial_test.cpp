@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace parastack::stats {
@@ -39,6 +40,49 @@ TEST(OptimalSuspicionPoint, ReproducesPaperLadder) {
     const auto point = optimal_suspicion_point(expected.e);
     EXPECT_NEAR(point.p_m, expected.p_m, 0.011) << "e=" << expected.e;
     EXPECT_EQ(point.n_m, expected.n_m) << "e=" << expected.e;
+  }
+}
+
+TEST(OptimalSuspicionPoint, MatchesPaperOptimumToReportedPrecision) {
+  // The paper reports the optimum to two decimals; the polished point must
+  // round to exactly those values, and its sample bound must ceil to the
+  // paper's n_m.
+  const struct {
+    double e;
+    double p_m;
+    std::size_t n_m;
+  } paper[] = {
+      {0.3, 0.47, 11},
+      {0.2, 0.27, 19},
+      {0.1, 0.12, 42},
+      {0.05, 0.06, 86},
+  };
+  for (const auto& expected : paper) {
+    const auto point = optimal_suspicion_point(expected.e);
+    EXPECT_DOUBLE_EQ(std::round(point.p_m * 100.0) / 100.0, expected.p_m)
+        << "e=" << expected.e;
+    EXPECT_EQ(point.n_m, expected.n_m) << "e=" << expected.e;
+  }
+}
+
+TEST(OptimalSuspicionPoint, PolishBeatsTheScanGrid) {
+  // The local refinement promised by the implementation must actually
+  // land at (or below) the best 1e-4 grid cell — at the optimum the
+  // binding constraints cross, so the continuous minimum sits strictly
+  // between grid points almost surely.
+  for (const double e : kToleranceLadder) {
+    const auto point = optimal_suspicion_point(e);
+    const double at_point = min_samples_for(point.p_m, e);
+    double best_grid = min_samples_for(0.5, e);
+    for (int i = 1; i <= 5000; ++i) {
+      best_grid = std::min(best_grid,
+                           min_samples_for(static_cast<double>(i) / 10000.0, e));
+    }
+    EXPECT_LE(at_point, best_grid) << "e=" << e;
+    // And the refined point is a stationary point of the max(): the
+    // decreasing rule-of-thumb branch and the CI branch agree there.
+    const double rule = 5.0 / point.p_m;
+    EXPECT_NEAR(rule, at_point, at_point * 1e-5) << "e=" << e;
   }
 }
 

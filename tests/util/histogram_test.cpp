@@ -25,12 +25,48 @@ TEST(Histogram, AddsToCorrectBucket) {
   EXPECT_EQ(h.total(), 4u);
 }
 
-TEST(Histogram, ClampsOutOfRange) {
+TEST(Histogram, OutOfRangeTrackedSeparately) {
+  // Out-of-range samples must not be folded into the edge buckets — that
+  // silently corrupts the tails. They land in explicit flow counters.
   Histogram h(0.0, 1.0, 2);
   h.add(-5.0);
   h.add(42.0);
+  h.add(1.0);  // the range is half-open: hi itself overflows
+  h.add(0.25);
   EXPECT_EQ(h.count(0), 1u);
-  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.in_range(), 1u);
+}
+
+TEST(Histogram, AsciiRendersFlowRows) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(-1.0);
+  h.add(5.0);
+  h.add(5.5);
+  h.add(0.5);
+  const std::string art = h.ascii(10);
+  int lines = 0;
+  for (const char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // underflow + 2 buckets + overflow
+  EXPECT_NE(art.find("<"), std::string::npos);
+  EXPECT_NE(art.find(">="), std::string::npos);
+}
+
+TEST(Histogram, AsciiOmitsEmptyFlowRows) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string art = h.ascii(10);
+  int lines = 0;
+  for (const char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  EXPECT_EQ(art.find(">="), std::string::npos);
 }
 
 TEST(Histogram, AsciiRendersOneLinePerBucket) {

@@ -6,7 +6,8 @@
 //                 [--threads T] [--alpha A]
 //                 [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //                 [--trace-ranks N] [--log-level LEVEL]
-//   psim campaign --bench LU --runs 20 --fault compute-hang [...run options]
+//   psim campaign --bench LU --runs 20 --fault compute-hang [--jobs N]
+//                 [...run options]
 //   psim submit   --bench HPL --ranks 256 --platform Tardis [--system slurm]
 //   psim list     (available benchmarks, platforms, fault types)
 //
@@ -40,7 +41,9 @@ int usage() {
                "Tardis|Tianhe-2|Stampede --seed N\n"
                "  run:      --fault TYPE --no-parastack --timeout-baseline "
                "--threads T --alpha A\n"
-               "  campaign: --runs N --fault TYPE\n"
+               "  campaign: --runs N --fault TYPE --jobs N (0 = all "
+               "hardware threads; results and\n"
+               "            telemetry are byte-identical for any --jobs)\n"
                "  submit:   --system slurm|torque --walltime-min M\n"
                "  telemetry (run/campaign): --journal FILE --metrics FILE "
                "--chrome-trace FILE\n"
@@ -250,6 +253,8 @@ int cmd_campaign(const util::Args& args) {
   campaign.base.telemetry = telemetry.sink();
   campaign.runs = static_cast<int>(args.get_int("runs", 10));
   campaign.seed0 = campaign.base.seed * 1000 + 7;
+  // 0 = auto (one worker per hardware thread); identical output regardless.
+  campaign.jobs = static_cast<int>(args.get_int("jobs", 0));
   if (campaign.base.fault == faults::FaultType::kNone) {
     const auto result = harness::run_clean_campaign(campaign);
     std::fprintf(telemetry.human(), "%d clean runs: %d false positives, mean runtime %.1fs "
