@@ -22,7 +22,7 @@ Outcome evaluate(bool freeze, int nruns, std::uint64_t seed0) {
   harness::parallel_for(nruns, bench::jobs(), [&](int i) {
     auto config = bench::erroneous_config(workloads::Bench::kFT, "D", 256,
                                           sim::Platform::tardis());
-    config.detector.freeze_model_during_streak = freeze;
+    config.parastack_config().freeze_model_during_streak = freeze;
     config.seed = harness::derive_trial_seed(seed0, i);
     results[static_cast<std::size_t>(i)] = harness::run_one(config);
   });
@@ -34,7 +34,7 @@ Outcome evaluate(bool freeze, int nruns, std::uint64_t seed0) {
       } else {
         ++outcome.detected;
         outcome.mean_k +=
-            static_cast<double>(result.hangs.front().required_streak);
+            static_cast<double>(result.hangs().front().required_streak);
       }
     }
   }

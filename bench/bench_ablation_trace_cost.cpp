@@ -31,13 +31,14 @@ int main(int argc, char** argv) {
         config.nranks = 256;
         config.platform = platform;
         config.seed = harness::derive_trial_seed(45100, i);
-        config.detector.initial_interval = sim::from_millis(interval_ms);
-        config.detector.enable_interval_tuning = false;
+        config.parastack_config().initial_interval =
+            sim::from_millis(interval_ms);
+        config.parastack_config().enable_interval_tuning = false;
         config.trace_cost_override = sim::from_millis(cost_ms);
         const auto result = harness::run_one(config);
         if (result.completed) {
           runtimes[static_cast<std::size_t>(i)] =
-              sim::to_seconds(result.finish_time);
+              sim::to_seconds(*result.finish_time);
         }
       });
       util::Summary metric;

@@ -121,15 +121,17 @@ inline OverheadSeries measure_performance(workloads::Bench bench, int nranks,
     config.nranks = nranks;
     config.platform = platform;
     config.seed = harness::derive_trial_seed(seed0, i);
-    config.with_parastack = fixed_interval_ms > 0.0;
-    if (config.with_parastack) {
-      config.detector.initial_interval = sim::from_millis(fixed_interval_ms);
-      config.detector.enable_interval_tuning = false;
+    if (fixed_interval_ms > 0.0) {
+      config.parastack_config().initial_interval =
+          sim::from_millis(fixed_interval_ms);
+      config.parastack_config().enable_interval_tuning = false;
+    } else {
+      config.detectors.clear();  // unmonitored baseline run
     }
     const auto result = harness::run_one(config);
     if (!result.completed) return;  // walltime expiry would skew the mean
     Trial trial;
-    trial.value = sim::to_seconds(result.finish_time);
+    trial.value = sim::to_seconds(*result.finish_time);
     if (result.gflops > 0.0) {
       trial.value = result.gflops;
       trial.is_gflops = true;

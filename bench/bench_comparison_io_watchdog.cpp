@@ -2,12 +2,12 @@
 // watches write activity and times out (1-hour default). For the same
 // erroneous HPL runs, compare detection delay and wasted Service Units
 // between ParaStack and IO-Watchdog at several timeout guesses.
+//
+// A thin campaign driver: every variant is the same faulty-run
+// configuration with a different DetectorSpec list handed to run_one, so
+// the sim loop, fault plan, and accounting live in the shared harness.
 
 #include "bench_common.hpp"
-#include "core/io_watchdog.hpp"
-#include "faults/injector.hpp"
-#include "sched/scheduler.hpp"
-#include "workloads/synthetic.hpp"
 
 using namespace parastack;
 
@@ -19,64 +19,49 @@ struct Row {
   util::Summary delay_s;
 };
 
+harness::RunConfig faulty_hpl(std::uint64_t seed) {
+  harness::RunConfig config;
+  config.bench = workloads::Bench::kHPL;
+  config.input = "80000";
+  config.nranks = 256;
+  config.platform = sim::Platform::tardis();
+  config.seed = seed;
+  config.fault = faults::FaultType::kComputeHang;
+  // The comparison pins the hang to a fixed wall-clock window instead of a
+  // fraction of the estimated runtime.
+  config.fault_trigger_lo = 60 * sim::kSecond;
+  config.fault_trigger_hi = 200 * sim::kSecond;
+  config.walltime_override = 40 * sim::kMinute;
+  config.use_monitor_network = false;
+  return config;
+}
+
 /// Run the same seeded faulty jobs under a chosen watchdog timeout
 /// (0 = use ParaStack instead).
 Row evaluate(sim::Time watchdog_timeout, int nruns) {
+  std::vector<harness::RunResult> results(
+      static_cast<std::size_t>(nruns < 0 ? 0 : nruns));
+  harness::parallel_for(nruns, bench::jobs(), [&](int i) {
+    auto config = faulty_hpl(52000 + static_cast<std::uint64_t>(i) * 61);
+    if (watchdog_timeout != 0) {
+      core::IoWatchdog::Config watchdog;
+      watchdog.timeout = watchdog_timeout;
+      config.detectors = {harness::DetectorSpec::make_io_watchdog(watchdog)};
+    }
+    results[static_cast<std::size_t>(i)] = harness::run_one(config);
+  });
   Row row;
-  for (int i = 0; i < nruns; ++i) {
-    const std::uint64_t seed = 52000 + static_cast<std::uint64_t>(i) * 61;
-    const auto profile =
-        workloads::make_profile(workloads::Bench::kHPL, "80000", 256);
-    util::Rng rng(seed);
-    faults::FaultPlan plan;
-    plan.type = faults::FaultType::kComputeHang;
-    plan.victim = static_cast<simmpi::Rank>(rng.uniform_int(256));
-    plan.trigger_time = sim::from_seconds(rng.uniform(60.0, 200.0));
-    faults::FaultInjector injector(plan);
-    simmpi::WorldConfig world_config;
-    world_config.nranks = 256;
-    world_config.platform = sim::Platform::tardis();
-    world_config.seed = seed;
-    simmpi::World world(world_config,
-                        injector.wrap(workloads::make_factory(profile)));
-    injector.arm(world);
-    trace::StackInspector inspector(world);
-
-    std::unique_ptr<core::HangDetector> parastack;
-    std::unique_ptr<core::IoWatchdog> watchdog;
-    auto reported = [&] {
-      return (parastack && parastack->hang_reported()) ||
-             (watchdog && watchdog->hang_reported());
-    };
-    if (watchdog_timeout == 0) {
-      parastack = std::make_unique<core::HangDetector>(
-          world, inspector, core::DetectorConfig{});
-      parastack->start();
-    } else {
-      core::IoWatchdog::Config config;
-      config.timeout = watchdog_timeout;
-      watchdog = std::make_unique<core::IoWatchdog>(world, config);
-      watchdog->start();
-    }
-    world.start();
-    auto& engine = world.engine();
-    const sim::Time deadline = 40 * sim::kMinute;
-    while (!world.all_finished() && !reported() && engine.now() < deadline &&
-           engine.step()) {
-    }
-    const sim::Time detected_at =
-        parastack && parastack->hang_reported()
-            ? parastack->hang_reports().front().detected_at
-        : watchdog && watchdog->hang_reported()
-            ? watchdog->reports().front().detected_at
-            : -1;
-    if (detected_at < 0) continue;
-    if (detected_at < injector.record().activated_at) {
+  for (const auto& result : results) {
+    const auto& detections = result.detectors.front().detections;
+    if (detections.empty()) continue;
+    const sim::Time detected_at = detections.front().detected_at;
+    if (!result.fault.activated() ||
+        detected_at < result.fault.activated_at) {
       ++row.false_alarms;
     } else {
       ++row.detected;
-      row.delay_s.add(
-          sim::to_seconds(detected_at - injector.record().activated_at));
+      row.delay_s.add(sim::to_seconds(detected_at -
+                                      result.fault.activated_at));
     }
   }
   return row;

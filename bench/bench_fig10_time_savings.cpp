@@ -42,8 +42,7 @@ int main(int argc, char** argv) {
     const auto& result = results[static_cast<std::size_t>(i)];
     const auto charge = sched::settle(
         ticket,
-        result.completed ? std::optional<sim::Time>(result.finish_time)
-                         : std::nullopt,
+        result.finish_time,
         result.first_parastack_detection());
     const char* end_name =
         charge.end == sched::JobEnd::kCompleted ? "completed"

@@ -29,7 +29,7 @@ void fp_block(const char* platform_name, int nranks,
     total_runs += result.runs;
     hours += result.total_hours;
     for (const auto& run : result.results) {
-      slowdown_filter_saves += static_cast<int>(run.slowdowns.size());
+      slowdown_filter_saves += static_cast<int>(run.slowdowns().size());
     }
   }
   std::printf("%-10s @%5d: %3d clean runs, %6.1f simulated hours, "

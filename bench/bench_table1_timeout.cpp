@@ -58,11 +58,10 @@ int main(int argc, char** argv) {
       campaign.base = bench::erroneous_config(
           column.bench, column.input, 256,
           bench::platform_by_name(column.platform));
-      campaign.base.with_parastack = false;
-      campaign.base.with_timeout_baseline = true;
-      campaign.base.timeout.interval =
+      campaign.base.detectors = {harness::DetectorSpec::make_timeout()};
+      campaign.base.timeout_config().interval =
           sim::from_millis(setting.interval_ms);
-      campaign.base.timeout.k = setting.k;
+      campaign.base.timeout_config().k = setting.k;
       campaign.runs = nruns;
       campaign.seed0 = 11000 + static_cast<std::uint64_t>(setting.k) * 131 +
                        static_cast<std::uint64_t>(setting.interval_ms);

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       harness::CampaignConfig campaign;
       campaign.base = bench::erroneous_config(
           row.bench, row.input, 256, bench::platform_by_name(row.platform));
-      campaign.base.detector.initial_interval =
+      campaign.base.parastack_config().initial_interval =
           variant == 0 ? sim::from_millis(400) : sim::from_millis(10);
       campaign.runs = nruns;
       campaign.seed0 = 31000 + static_cast<std::uint64_t>(variant) * 17;

@@ -41,18 +41,12 @@ int main() {
   const auto detection = result.first_parastack_detection();
   const auto charge = sched::settle(
       ticket,
-      result.completed ? std::optional<sim::Time>(result.finish_time)
-                       : std::nullopt,
-      detection);
+      result.finish_time, detection);
   const auto no_monitor_charge =
-      sched::settle(ticket,
-                    result.completed
-                        ? std::optional<sim::Time>(result.finish_time)
-                        : std::nullopt,
-                    std::nullopt);
+      sched::settle(ticket, result.finish_time, std::nullopt);
 
   if (detection) {
-    std::printf("ParaStack: %s\n", result.hangs.front().to_string().c_str());
+    std::printf("ParaStack: %s\n", result.hangs().front().to_string().c_str());
   }
   std::printf("\n%-28s %12s %12s\n", "", "with ParaStack", "without");
   std::printf("%-28s %11.0fs %11.0fs\n", "billed wall-clock",

@@ -31,7 +31,7 @@ void triage(faults::FaultType fault_type, std::uint64_t seed) {
     std::printf("no hang detected\n\n");
     return;
   }
-  const auto& report = result.hangs.front();
+  const auto& report = result.hangs().front();
   std::printf("%s\n", report.to_string().c_str());
   switch (report.kind) {
     case core::HangKind::kCommunicationError:

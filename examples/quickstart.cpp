@@ -34,7 +34,7 @@ int main() {
     std::printf("no hang detected (unexpected for this demo)\n");
     return 1;
   }
-  const auto& report = result.hangs.front();
+  const auto& report = result.hangs().front();
   std::printf("ParaStack: %s\n", report.to_string().c_str());
   std::printf("response delay: %.2fs; job killed at t=%.2fs "
               "(allocated slot was %.0fs -> %.1f%% of the slot saved)\n",

@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <numeric>
 #include <string>
 
-#include "core/faulty_id.hpp"
 #include "core/slowdown_filter.hpp"
 #include "obs/telemetry.hpp"
-#include "stats/runs_test.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -28,11 +25,13 @@ void debug_log(const char* format, Args... args) {
 }
 
 void emit_streak(obs::TelemetrySink* sink, sim::Time now,
-                 obs::StreakEvent::Kind kind, std::size_t length,
-                 std::size_t required, std::string_view reason) {
+                 std::string_view detector, obs::StreakEvent::Kind kind,
+                 std::size_t length, std::size_t required,
+                 std::string_view reason) {
   if (sink == nullptr) return;
   obs::StreakEvent event;
   event.time = now;
+  event.detector = detector;
   event.kind = kind;
   event.length = length;
   event.required = required;
@@ -42,81 +41,77 @@ void emit_streak(obs::TelemetrySink* sink, sim::Time now,
 
 }  // namespace
 
+ScroutSampler::Config HangDetector::sampler_config(const DetectorConfig& c) {
+  ScroutSampler::Config config;
+  config.monitored_count = c.monitored_count;
+  config.enable_set_alternation = c.enable_set_alternation;
+  return config;
+}
+
+IntervalTuner::Config HangDetector::tuner_config(const DetectorConfig& c) {
+  IntervalTuner::Config config;
+  config.initial_interval = c.initial_interval;
+  config.max_interval = c.max_interval;
+  config.runs_test_batch = c.runs_test_batch;
+  config.enable = c.enable_interval_tuning;
+  return config;
+}
+
+SuspicionJudge::Config HangDetector::judge_config(const DetectorConfig& c) {
+  SuspicionJudge::Config config;
+  config.alpha = c.alpha;
+  config.freeze_model_during_streak = c.freeze_model_during_streak;
+  config.model_freeze_streak = c.model_freeze_streak;
+  return config;
+}
+
+TransientFilter::Config HangDetector::filter_config(const DetectorConfig& c) {
+  TransientFilter::Config config;
+  config.rounds = c.slowdown_filter_rounds;
+  config.enabled = c.enable_slowdown_filter;
+  return config;
+}
+
+FaultyIdentifier::Config HangDetector::identifier_config(
+    const DetectorConfig& c) {
+  FaultyIdentifier::Config config;
+  config.checks = c.faulty_checks;
+  config.gap = c.faulty_check_gap;
+  return config;
+}
+
 HangDetector::HangDetector(simmpi::World& world,
                            trace::StackInspector& inspector,
                            DetectorConfig config)
-    : world_(world), inspector_(inspector), config_(config),
-      rng_(config.seed), interval_(config.initial_interval) {
-  PS_CHECK(config_.monitored_count >= 1, "C must be >= 1");
-  PS_CHECK(config_.initial_interval > 0, "I must be positive");
+    : Detector(DetectorKind::kParastack), world_(world),
+      inspector_(inspector), config_(config), rng_(config.seed),
+      sampler_(world, inspector, sampler_config(config_), rng_),
+      tuner_(tuner_config(config_)), judge_(judge_config(config_)),
+      filter_(filter_config(config_)),
+      identifier_(identifier_config(config_)) {
   PS_CHECK(config_.alpha > 0.0 && config_.alpha < 1.0, "alpha in (0,1)");
-  choose_monitor_sets();
-}
-
-void HangDetector::choose_monitor_sets() {
-  // Two disjoint random process sets (§3.3 corner-case defence). If the job
-  // is smaller than 2C, split what is available.
-  const int nranks = world_.nranks();
-  std::vector<simmpi::Rank> all(static_cast<std::size_t>(nranks));
-  std::iota(all.begin(), all.end(), 0);
-  // Fisher-Yates with our deterministic RNG.
-  for (std::size_t i = all.size(); i > 1; --i) {
-    std::swap(all[i - 1], all[rng_.uniform_int(i)]);
-  }
-  const int per_set =
-      std::max(1, std::min(config_.monitored_count, nranks / 2));
-  sets_[0].assign(all.begin(), all.begin() + per_set);
-  sets_[1].assign(all.begin() + per_set, all.begin() + 2 * per_set);
-}
-
-const std::vector<simmpi::Rank>& HangDetector::monitor_set(int index) const {
-  PS_CHECK(index == 0 || index == 1, "two monitor sets exist");
-  return sets_[index];
 }
 
 void HangDetector::notify_phase_change(int phase_id) {
-  if (phase_id == current_phase_ || state_ == State::kDone) return;
-  const int from_phase = current_phase_;
-  // Save the learned state of the outgoing phase.
-  PhaseState outgoing;
-  outgoing.model = std::move(model_);
-  outgoing.interval = interval_;
-  outgoing.randomness_confirmed = randomness_confirmed_;
-  outgoing.doublings = doublings_;
-  outgoing.samples_since_runs_test = samples_since_runs_test_;
-  phase_stash_[current_phase_] = std::move(outgoing);
-  current_phase_ = phase_id;
+  if (phase_id == judge_.current_phase() || state_ == State::kDone) return;
+  const int from_phase = judge_.current_phase();
+  // Stash the outgoing phase's model + tuning, restore the incoming one's.
+  const bool resumed = judge_.switch_phase(phase_id, tuner_);
 
-  // Restore (or initialize) the incoming phase's state.
-  bool resumed = false;
-  if (const auto it = phase_stash_.find(phase_id); it != phase_stash_.end()) {
-    model_ = std::move(it->second.model);
-    interval_ = it->second.interval;
-    randomness_confirmed_ = it->second.randomness_confirmed;
-    doublings_ = it->second.doublings;
-    samples_since_runs_test_ = it->second.samples_since_runs_test;
-    phase_stash_.erase(it);
-    resumed = true;
-  } else {
-    model_.clear();
-    interval_ = config_.initial_interval;
-    randomness_confirmed_ = false;
-    doublings_ = 0;
-    samples_since_runs_test_ = 0;
-  }
   const sim::Time now = world_.engine().now();
   obs::TelemetrySink* sink = world_.engine().telemetry();
-  if (streak_ > 0) {
-    emit_streak(sink, now, obs::StreakEvent::Kind::kReset, streak_,
-                model_.decision(config_.alpha).k, "phase-change");
+  if (judge_.streak() > 0) {
+    emit_streak(sink, now, label(), obs::StreakEvent::Kind::kReset,
+                judge_.streak(), judge_.decision().k, "phase-change");
   }
-  streak_ = 0;  // samples across a phase boundary do not form one streak
+  judge_.reset_streak();  // samples across a phase boundary: not one streak
 
   debug_log("phase change %d -> %d (%s model)", from_phase, phase_id,
             resumed ? "resumed" : "fresh");
   if (sink != nullptr) {
     obs::PhaseChangeEvent event;
     event.time = now;
+    event.detector = label();
     event.from_phase = from_phase;
     event.to_phase = phase_id;
     event.resumed = resumed;
@@ -138,90 +133,13 @@ void HangDetector::start() {
 }
 
 void HangDetector::schedule_next_sample() {
-  // r_step = rand(I) + I/2: uniform over [I/2, 3I/2], mean I (§3.1).
-  const double step = rng_.uniform(0.5, 1.5) * static_cast<double>(interval_);
-  world_.engine().schedule_after(static_cast<sim::Time>(step),
+  world_.engine().schedule_after(sampler_.next_delay(tuner_.interval()),
                                  [this] { take_sample(); });
-}
-
-double HangDetector::measure_scrout() {
-  const auto& set = sets_[active_set_];
-  if (monitors_ != nullptr) return monitors_->measure(set).scrout;
-  int out = 0;
-  for (const simmpi::Rank r : set) {
-    const auto snapshot = inspector_.trace(r);
-    if (!snapshot.in_mpi) ++out;
-  }
-  return static_cast<double>(out) / static_cast<double>(set.size());
-}
-
-void HangDetector::run_runs_test_if_due() {
-  if (randomness_confirmed_ || !config_.enable_interval_tuning) return;
-  ++samples_since_runs_test_;
-  if (samples_since_runs_test_ <
-      static_cast<std::size_t>(config_.runs_test_batch)) {
-    return;
-  }
-  samples_since_runs_test_ = 0;
-  const auto result = stats::runs_test(model_.ecdf().samples());
-  obs::TelemetrySink* sink = world_.engine().telemetry();
-  const sim::Time now = world_.engine().now();
-  if (sink != nullptr) {
-    obs::RunsTestEvent event;
-    event.time = now;
-    event.sample_size = model_.size();
-    event.runs = result.runs;
-    event.n_pos = result.n_pos;
-    event.n_neg = result.n_neg;
-    event.random = result.random;
-    sink->on_runs_test(event);
-  }
-  if (result.random) {
-    randomness_confirmed_ = true;
-    debug_log("runs test passed at n=%zu; sampling confirmed random",
-              model_.size());
-    return;
-  }
-  const bool capped = interval_ * 2 > config_.max_interval;
-  if (capped) {
-    // The paper does not bound the doubling; we cap it so a pathologically
-    // regular waveform cannot disable detection outright.
-    util::log(util::LogLevel::kWarn, "parastack",
-              "interval cap reached; proceeding without confirmed randomness");
-    randomness_confirmed_ = true;
-    if (sink != nullptr) {
-      obs::IntervalEvent event;
-      event.time = now;
-      event.old_interval = interval_;
-      event.new_interval = interval_;
-      event.doublings = doublings_;
-      event.capped = true;
-      sink->on_interval(event);
-    }
-    return;
-  }
-  const sim::Time old_interval = interval_;
-  interval_ *= 2;
-  ++doublings_;
-  model_.thin_half();  // history now approximates samples at the doubled I
-  debug_log("runs test rejected randomness; I doubled to %.0fms (x%zu)",
-            sim::to_millis(interval_), doublings_);
-  if (sink != nullptr) {
-    obs::IntervalEvent event;
-    event.time = now;
-    event.old_interval = old_interval;
-    event.new_interval = interval_;
-    event.doublings = doublings_;
-    event.capped = false;
-    sink->on_interval(event);
-  }
 }
 
 void HangDetector::take_sample() {
   if (stopped_ || state_ != State::kSampling) return;
-  const double sample = measure_scrout();
-  ++observations_;
-  ++observations_since_switch_;
+  const double sample = sampler_.measure();
   obs::TelemetrySink* sink = world_.engine().telemetry();
   const sim::Time now = world_.engine().now();
   // §3.3: alternate between the two disjoint sets, staying on each long
@@ -231,76 +149,55 @@ void HangDetector::take_sample() {
   // time adapts to the current k.
   const std::size_t required_dwell = std::max<std::size_t>(
       static_cast<std::size_t>(config_.set_switch_period),
-      model_.decision(config_.alpha).k + 3);
-  if (config_.enable_set_alternation &&
-      observations_since_switch_ >= required_dwell) {
-    active_set_ ^= 1;
-    observations_since_switch_ = 0;
-    if (streak_ > 0) {
-      emit_streak(sink, now, obs::StreakEvent::Kind::kReset, streak_,
-                  model_.decision(config_.alpha).k, "set-switch");
+      judge_.decision().k + 3);
+  if (sampler_.count_observation(required_dwell)) {
+    if (judge_.streak() > 0) {
+      emit_streak(sink, now, label(), obs::StreakEvent::Kind::kReset,
+                  judge_.streak(), judge_.decision().k, "set-switch");
     }
-    streak_ = 0;  // suspicions must be observed on a single set
+    judge_.reset_streak();  // suspicions must be observed on a single set
   }
 
-  const bool freeze = (config_.freeze_model_during_streak && streak_ > 0) ||
-                      streak_ >= config_.model_freeze_streak;
+  const bool freeze = judge_.model_frozen();
   if (!freeze) {
-    model_.add_sample(sample);
-    run_runs_test_if_due();
+    judge_.model().add_sample(sample);
+    tuner_.on_model_sample(judge_.model(), sink, now, label());
   }
 
-  // Detection waits for BOTH readiness gates (paper §3.2: "ParaStack needs
-  // to accumulate at least n_m',0.3 *random* samples"): the sample-size
-  // ladder must be justified and the runs test must have accepted the
-  // sampling as random — q^k bounds the false-alarm probability only under
-  // independent sampling.
-  const auto decision = model_.decision(config_.alpha);
-  bool suspicious = false;
-  bool verify = false;
-  std::size_t ended_streak = 0;
-  if (decision.ready && randomness_confirmed_) {
-    if (sample <= decision.threshold + 1e-12) {
-      suspicious = true;
-      ++streak_;
-      verify = streak_ >= decision.k;
-    } else {
-      ended_streak = streak_;
-      streak_ = 0;
-    }
-  }
+  const auto verdict = judge_.judge(sample, tuner_.randomness_confirmed());
 
   if (sink != nullptr) {
     obs::SampleEvent event;
     event.time = now;
-    event.phase = current_phase_;
-    event.active_set = active_set_;
-    event.observation = observations_;
+    event.detector = label();
+    event.phase = judge_.current_phase();
+    event.active_set = sampler_.active_set();
+    event.observation = sampler_.observations();
     event.scrout = sample;
-    event.interval = interval_;
-    event.model_ready = decision.ready;
-    event.randomness_confirmed = randomness_confirmed_;
+    event.interval = tuner_.interval();
+    event.model_ready = verdict.decision.ready;
+    event.randomness_confirmed = tuner_.randomness_confirmed();
     event.model_frozen = freeze;
-    event.threshold = decision.threshold;
-    event.q = decision.q;
-    event.required_streak = decision.k;
-    event.suspicious = suspicious;
-    event.streak = streak_;
+    event.threshold = verdict.decision.threshold;
+    event.q = verdict.decision.q;
+    event.required_streak = verdict.decision.k;
+    event.suspicious = verdict.suspicious;
+    event.streak = judge_.streak();
     sink->on_sample(event);
-    if (suspicious) {
-      emit_streak(sink, now,
-                  verify ? obs::StreakEvent::Kind::kVerify
-                         : obs::StreakEvent::Kind::kAdvance,
-                  streak_, decision.k, "suspicious-sample");
-    } else if (ended_streak > 0) {
-      emit_streak(sink, now, obs::StreakEvent::Kind::kReset, ended_streak,
-                  decision.k, "healthy-sample");
+    if (verdict.suspicious) {
+      emit_streak(sink, now, label(),
+                  verdict.verify ? obs::StreakEvent::Kind::kVerify
+                                 : obs::StreakEvent::Kind::kAdvance,
+                  judge_.streak(), verdict.decision.k, "suspicious-sample");
+    } else if (verdict.ended_streak > 0) {
+      emit_streak(sink, now, label(), obs::StreakEvent::Kind::kReset,
+                  verdict.ended_streak, verdict.decision.k, "healthy-sample");
     }
   }
 
-  if (verify) {
+  if (verdict.verify) {
     debug_log("streak %zu/%zu complete at t=%.2fs; entering verification",
-              streak_, decision.k, sim::to_seconds(now));
+              judge_.streak(), verdict.decision.k, sim::to_seconds(now));
     begin_verification();
     return;
   }
@@ -311,7 +208,7 @@ sim::Time HangDetector::verification_gap() const {
   // Wide enough that a healthy app crossing a long collective (FT's
   // transposes) shows movement between the two rounds; a real hang is
   // static at any gap.
-  return std::clamp(interval_, config_.slowdown_recheck_gap,
+  return std::clamp(tuner_.interval(), config_.slowdown_recheck_gap,
                     4 * sim::kSecond);
 }
 
@@ -327,23 +224,24 @@ std::vector<trace::StackSnapshot> HangDetector::sweep_all_ranks() {
 void HangDetector::begin_verification() {
   state_ = State::kVerifying;
   obs::TelemetrySink* sink = world_.engine().telemetry();
-  if (!config_.enable_slowdown_filter) {
-    faulty_sweeps_.clear();
+  if (!filter_.enabled()) {
+    identifier_.reset();
     faulty_sweep_round();
     return;
   }
-  filter_rounds_done_ = 1;
-  filter_round1_ = sweep_all_ranks();
+  filter_.begin(sweep_all_ranks());
   const sim::Time now = world_.engine().now();
   debug_log("verification: filter round 1 swept %d ranks", world_.nranks());
   if (sink != nullptr) {
     obs::FilterEvent event;
     event.time = now;
+    event.detector = label();
     event.stage = obs::FilterEvent::Stage::kEnter;
     event.round = 1;
     sink->on_filter(event);
     obs::SweepEvent sweep;
     sweep.time = now;
+    sweep.detector = label();
     sweep.ranks = world_.nranks();
     sweep.purpose = "slowdown-filter";
     sweep.round = 1;
@@ -355,34 +253,35 @@ void HangDetector::begin_verification() {
 
 void HangDetector::continue_filter() {
   if (stopped_ || state_ != State::kVerifying) return;
-  const auto round = sweep_all_ranks();
+  auto round = sweep_all_ranks();
   obs::TelemetrySink* sink = world_.engine().telemetry();
   const sim::Time now = world_.engine().now();
   if (sink != nullptr) {
     obs::SweepEvent sweep;
     sweep.time = now;
+    sweep.detector = label();
     sweep.ranks = world_.nranks();
     sweep.purpose = "slowdown-filter";
-    sweep.round = filter_rounds_done_ + 1;
+    sweep.round = filter_.rounds_done() + 1;
     sink->on_sweep(sweep);
   }
-  SlowdownEvidence evidence;
-  if (is_transient_slowdown(filter_round1_, round, &evidence)) {
-    conclude_slowdown(evidence);
+  const auto check = filter_.check(std::move(round));
+  if (check.outcome == TransientFilter::Outcome::kSlowdown) {
+    conclude_slowdown(check.evidence);
     return;
   }
-  ++filter_rounds_done_;
-  if (filter_rounds_done_ >= config_.slowdown_filter_rounds) {
+  if (check.outcome == TransientFilter::Outcome::kHangConfirmed) {
     debug_log("filter: %d static rounds; hang confirmed",
-              filter_rounds_done_);
+              filter_.rounds_done());
     if (sink != nullptr) {
       obs::FilterEvent event;
       event.time = now;
+      event.detector = label();
       event.stage = obs::FilterEvent::Stage::kHangConfirmed;
-      event.round = filter_rounds_done_;
+      event.round = filter_.rounds_done();
       sink->on_filter(event);
     }
-    faulty_sweeps_.clear();
+    identifier_.reset();
     faulty_sweep_round();
     return;
   }
@@ -391,13 +290,13 @@ void HangDetector::continue_filter() {
   if (sink != nullptr) {
     obs::FilterEvent event;
     event.time = now;
+    event.detector = label();
     event.stage = obs::FilterEvent::Stage::kRetry;
-    event.round = filter_rounds_done_;
+    event.round = filter_.rounds_done();
     sink->on_filter(event);
   }
-  filter_round1_ = round;
   const sim::Time gap = std::min<sim::Time>(
-      verification_gap() << (filter_rounds_done_ - 1), 4 * sim::kSecond);
+      verification_gap() << (filter_.rounds_done() - 1), 4 * sim::kSecond);
   world_.engine().schedule_after(gap, [this] { continue_filter(); });
 }
 
@@ -407,7 +306,7 @@ void HangDetector::conclude_slowdown(const SlowdownEvidence& evidence) {
                      evidence.what;
   SlowdownReport report;
   report.detected_at = now;
-  report.filter_rounds = filter_rounds_done_ + 1;
+  report.filter_rounds = filter_.rounds_done() + 1;
   report.evidence = what;
   slowdown_reports_.push_back(report);
   debug_log("filter verdict: transient slowdown (%s); resuming sampling",
@@ -416,21 +315,23 @@ void HangDetector::conclude_slowdown(const SlowdownEvidence& evidence) {
   if (sink != nullptr) {
     obs::FilterEvent event;
     event.time = now;
+    event.detector = label();
     event.stage = obs::FilterEvent::Stage::kSlowdown;
-    event.round = filter_rounds_done_ + 1;
+    event.round = filter_.rounds_done() + 1;
     event.evidence = what;
     sink->on_filter(event);
     obs::SlowdownEvent slowdown;
     slowdown.time = now;
-    slowdown.rounds = filter_rounds_done_ + 1;
+    slowdown.detector = label();
+    slowdown.rounds = filter_.rounds_done() + 1;
     slowdown.evidence = what;
     sink->on_slowdown(slowdown);
-    if (streak_ > 0) {
-      emit_streak(sink, now, obs::StreakEvent::Kind::kReset, streak_,
-                  model_.decision(config_.alpha).k, "slowdown-verdict");
+    if (judge_.streak() > 0) {
+      emit_streak(sink, now, label(), obs::StreakEvent::Kind::kReset,
+                  judge_.streak(), judge_.decision().k, "slowdown-verdict");
     }
   }
-  streak_ = 0;
+  judge_.reset_streak();
   state_ = State::kSampling;
   if (on_slowdown) on_slowdown(report);
   schedule_next_sample();
@@ -438,19 +339,19 @@ void HangDetector::conclude_slowdown(const SlowdownEvidence& evidence) {
 
 void HangDetector::faulty_sweep_round() {
   if (stopped_ || state_ != State::kVerifying) return;
-  faulty_sweeps_.push_back(sweep_all_ranks());
+  const bool done = identifier_.add_sweep(sweep_all_ranks());
   if (obs::TelemetrySink* sink = world_.engine().telemetry();
       sink != nullptr) {
     obs::SweepEvent sweep;
     sweep.time = world_.engine().now();
+    sweep.detector = label();
     sweep.ranks = world_.nranks();
     sweep.purpose = "faulty-id";
-    sweep.round = static_cast<int>(faulty_sweeps_.size());
+    sweep.round = identifier_.rounds();
     sink->on_sweep(sweep);
   }
-  if (faulty_sweeps_.size() <
-      static_cast<std::size_t>(config_.faulty_checks)) {
-    world_.engine().schedule_after(config_.faulty_check_gap,
+  if (!done) {
+    world_.engine().schedule_after(identifier_.gap(),
                                    [this] { faulty_sweep_round(); });
     return;
   }
@@ -458,16 +359,16 @@ void HangDetector::faulty_sweep_round() {
 }
 
 void HangDetector::report_hang() {
-  const auto decision = model_.decision(config_.alpha);
+  const auto decision = judge_.decision();
   HangReport report;
   report.detected_at = world_.engine().now();
-  report.faulty_ranks = identify_faulty_ranks(faulty_sweeps_);
+  report.faulty_ranks = identifier_.identify();
   report.kind = report.faulty_ranks.empty() ? HangKind::kCommunicationError
                                             : HangKind::kComputationError;
-  report.suspicion_streak = streak_;
+  report.suspicion_streak = judge_.streak();
   report.q = decision.q;
   report.required_streak = decision.k;
-  report.interval = interval_;
+  report.interval = tuner_.interval();
   hang_reports_.push_back(report);
   state_ = State::kDone;
   debug_log("hang reported at t=%.2fs (%zu faulty ranks)",
@@ -476,6 +377,7 @@ void HangDetector::report_hang() {
       sink != nullptr) {
     obs::HangEvent event;
     event.time = report.detected_at;
+    event.detector = label();
     event.computation_error = report.kind == HangKind::kComputationError;
     event.faulty_ranks.assign(report.faulty_ranks.begin(),
                               report.faulty_ranks.end());
@@ -484,7 +386,16 @@ void HangDetector::report_hang() {
     event.required_streak = report.required_streak;
     event.interval = report.interval;
     sink->on_hang(event);
+    obs::DetectionEvent detection;
+    detection.time = report.detected_at;
+    detection.detector = label();
+    detection.kind = detector_kind_name(kind());
+    sink->on_detection(detection);
   }
+  Detection detection;
+  detection.detected_at = report.detected_at;
+  detection.kind = DetectorKind::kParastack;
+  record_detection(detection);
   if (on_hang) on_hang(hang_reports_.back());
 }
 

@@ -1,12 +1,13 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/detector_base.hpp"
 #include "core/model.hpp"
 #include "core/monitor_network.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "sim/time.hpp"
 #include "simmpi/world.hpp"
@@ -17,7 +18,11 @@ namespace parastack::core {
 
 struct SlowdownEvidence;  // core/slowdown_filter.hpp
 
-/// ParaStack's hang detector (paper §3).
+/// ParaStack's hang detector (paper §3) — the orchestrator over the
+/// pipeline stages in core/pipeline.hpp:
+///
+///   ScroutSampler -> IntervalTuner -> SuspicionJudge -> TransientFilter
+///                                                         -> FaultyIdentifier
 ///
 /// Samples S_crout — the OUT_MPI fraction of C randomly chosen monitored
 /// ranks — at randomized intervals r_step = rand(I) + I/2, tunes I with the
@@ -25,30 +30,33 @@ struct SlowdownEvidence;  // core/slowdown_filter.hpp
 /// ECDF model (ScroutModel), and reports a hang at confidence 1 - alpha
 /// after ceil(log_q alpha) consecutive suspicions. Before reporting it runs
 /// the transient-slowdown filter (§3.3) and, on a confirmed hang, the
-/// faulty-process identification sweeps (§4).
-class HangDetector {
+/// faulty-process identification sweeps (§4). The stages hold the state;
+/// this class owns the schedule, the telemetry, and the state machine that
+/// sequences them.
+class HangDetector final : public Detector {
  public:
   HangDetector(simmpi::World& world, trace::StackInspector& inspector,
                DetectorConfig config);
-
-  HangDetector(const HangDetector&) = delete;
-  HangDetector& operator=(const HangDetector&) = delete;
 
   /// Route S_crout measurements through a per-node monitor network (§3.3's
   /// active/idle monitor topology) instead of direct inspector calls. The
   /// observable values are identical; the network additionally accounts
   /// tool-internal traffic. Must outlive the detector. Optional.
   void use_monitor_network(MonitorNetwork* network) noexcept {
-    monitors_ = network;
+    sampler_.use_monitor_network(network);
   }
 
   /// Begin monitoring (schedules the first sample).
-  void start();
+  void start() override;
   /// Stop monitoring (job finished / killed).
-  void stop() noexcept { stopped_ = true; }
+  void stop() noexcept override { stopped_ = true; }
+  DetectorKind kind() const noexcept override {
+    return DetectorKind::kParastack;
+  }
 
   /// Invoked exactly once when a hang is verified (e.g. by the scheduler
-  /// integration to kill the job).
+  /// integration to kill the job). The base class's on_detection fires
+  /// first with the unified Detection record.
   std::function<void(const HangReport&)> on_hang;
   std::function<void(const SlowdownReport&)> on_slowdown;
 
@@ -58,7 +66,7 @@ class HangDetector {
   /// application does. A phase change observed mid-verification is treated
   /// as progress: the pending hang candidate is discarded.
   void notify_phase_change(int phase_id);
-  int current_phase() const noexcept { return current_phase_; }
+  int current_phase() const noexcept { return judge_.current_phase(); }
 
   bool hang_reported() const noexcept { return !hang_reports_.empty(); }
   const std::vector<HangReport>& hang_reports() const noexcept {
@@ -69,27 +77,38 @@ class HangDetector {
   }
 
   // --- Introspection (tests, benches, Figure 4) ---------------------------
-  sim::Time interval() const noexcept { return interval_; }
-  bool randomness_confirmed() const noexcept { return randomness_confirmed_; }
-  std::size_t interval_doublings() const noexcept { return doublings_; }
-  const ScroutModel& model() const noexcept { return model_; }
-  ScroutModel::Decision current_decision() const {
-    return model_.decision(config_.alpha);
+  sim::Time interval() const noexcept { return tuner_.interval(); }
+  bool randomness_confirmed() const noexcept {
+    return tuner_.randomness_confirmed();
   }
-  std::size_t observations() const noexcept { return observations_; }
-  std::size_t streak() const noexcept { return streak_; }
-  int active_set() const noexcept { return active_set_; }
-  const std::vector<simmpi::Rank>& monitor_set(int index) const;
+  std::size_t interval_doublings() const noexcept {
+    return tuner_.doublings();
+  }
+  const ScroutModel& model() const noexcept { return judge_.model(); }
+  ScroutModel::Decision current_decision() const { return judge_.decision(); }
+  std::size_t observations() const noexcept {
+    return sampler_.observations();
+  }
+  std::size_t streak() const noexcept { return judge_.streak(); }
+  int active_set() const noexcept { return sampler_.active_set(); }
+  const std::vector<simmpi::Rank>& monitor_set(int index) const {
+    return sampler_.monitor_set(index);
+  }
   const DetectorConfig& config() const noexcept { return config_; }
+  /// True while the §3.3/§4 verification sweeps are in flight.
+  bool verifying() const noexcept { return state_ == State::kVerifying; }
 
  private:
   enum class State { kIdle, kSampling, kVerifying, kDone };
 
-  void choose_monitor_sets();
+  static ScroutSampler::Config sampler_config(const DetectorConfig& c);
+  static IntervalTuner::Config tuner_config(const DetectorConfig& c);
+  static SuspicionJudge::Config judge_config(const DetectorConfig& c);
+  static TransientFilter::Config filter_config(const DetectorConfig& c);
+  static FaultyIdentifier::Config identifier_config(const DetectorConfig& c);
+
   void schedule_next_sample();
   void take_sample();
-  double measure_scrout();
-  void run_runs_test_if_due();
   sim::Time verification_gap() const;
   void begin_verification();
   void continue_filter();
@@ -98,38 +117,19 @@ class HangDetector {
   void faulty_sweep_round();
   void report_hang();
 
-  /// Everything that is learned per phase (§6 extension).
-  struct PhaseState {
-    ScroutModel model;
-    sim::Time interval = 0;
-    bool randomness_confirmed = false;
-    std::size_t doublings = 0;
-    std::size_t samples_since_runs_test = 0;
-  };
-
   simmpi::World& world_;
   trace::StackInspector& inspector_;
   DetectorConfig config_;
   util::Rng rng_;
-  MonitorNetwork* monitors_ = nullptr;
+
+  ScroutSampler sampler_;
+  IntervalTuner tuner_;
+  SuspicionJudge judge_;
+  TransientFilter filter_;
+  FaultyIdentifier identifier_;
 
   State state_ = State::kIdle;
   bool stopped_ = false;
-  sim::Time interval_;
-  bool randomness_confirmed_ = false;
-  std::size_t doublings_ = 0;
-  std::size_t samples_since_runs_test_ = 0;
-  ScroutModel model_;
-  std::size_t streak_ = 0;
-  std::size_t observations_ = 0;
-  std::size_t observations_since_switch_ = 0;
-  int active_set_ = 0;
-  std::vector<simmpi::Rank> sets_[2];
-  std::vector<trace::StackSnapshot> filter_round1_;
-  int filter_rounds_done_ = 0;
-  int current_phase_ = 0;
-  std::map<int, PhaseState> phase_stash_;
-  std::vector<std::vector<trace::StackSnapshot>> faulty_sweeps_;
   std::vector<HangReport> hang_reports_;
   std::vector<SlowdownReport> slowdown_reports_;
 };

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace parastack::core {
+
+/// Narrow interface every hang-detector variant implements (the paper's
+/// tool, the fixed-timeout strawman, the IO-Watchdog incumbent).
+///
+/// A detector attaches to one simulated job: start() schedules its first
+/// event on the job's engine, stop() makes any still-pending callbacks
+/// no-ops (the job finished or was killed), and each verdict lands in the
+/// unified detections() stream. Implementations keep their richer typed
+/// reports (e.g. HangDetector::hang_reports()) alongside; the Detection
+/// stream is what harness accounting and the DetectorBank consume without
+/// knowing the kind.
+class Detector {
+ public:
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+  virtual ~Detector() = default;
+
+  /// Begin monitoring (schedules the first sample/poll). Called once.
+  virtual void start() = 0;
+  /// Stop monitoring (job finished / killed). Idempotent.
+  virtual void stop() noexcept = 0;
+
+  virtual DetectorKind kind() const noexcept = 0;
+
+  /// Telemetry label stamped on every event this detector emits. Defaults
+  /// to the kind name; the DetectorBank uniquifies collisions ("#2", ...).
+  const std::string& label() const noexcept { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Unified verdict stream, in detection order.
+  const std::vector<Detection>& detections() const noexcept {
+    return detections_;
+  }
+  bool detected() const noexcept { return !detections_.empty(); }
+
+  /// Invoked after each detection is recorded (e.g. the harness's
+  /// kill-on-detection hook). Fires before any kind-specific callback.
+  std::function<void(const Detection&)> on_detection;
+
+ protected:
+  explicit Detector(DetectorKind kind)
+      : label_(detector_kind_name(kind)) {}
+
+  /// Append a verdict to the unified stream and fire on_detection.
+  void record_detection(const Detection& detection) {
+    detections_.push_back(detection);
+    if (on_detection) on_detection(detections_.back());
+  }
+
+ private:
+  std::string label_;
+  std::vector<Detection> detections_;
+};
+
+}  // namespace parastack::core

@@ -1,11 +1,12 @@
 #include "core/io_watchdog.hpp"
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace parastack::core {
 
 IoWatchdog::IoWatchdog(simmpi::World& world, Config config)
-    : world_(world), config_(config) {
+    : Detector(DetectorKind::kIoWatchdog), world_(world), config_(config) {
   PS_CHECK(config_.timeout > 0, "watchdog timeout must be positive");
   PS_CHECK(config_.poll_interval > 0, "watchdog poll interval must be positive");
 }
@@ -25,6 +26,20 @@ void IoWatchdog::poll() {
     done_ = true;
     Report report{world_.engine().now(), silence};
     reports_.push_back(report);
+    Detection detection;
+    detection.detected_at = report.detected_at;
+    detection.kind = DetectorKind::kIoWatchdog;
+    detection.silence = silence;
+    if (obs::TelemetrySink* sink = world_.engine().telemetry();
+        sink != nullptr) {
+      obs::DetectionEvent event;
+      event.time = report.detected_at;
+      event.detector = label();
+      event.kind = detector_kind_name(kind());
+      event.silence = silence;
+      sink->on_detection(event);
+    }
+    record_detection(detection);
     if (on_hang) on_hang(report);
     return;
   }

@@ -3,6 +3,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/detector_base.hpp"
 #include "sim/time.hpp"
 #include "simmpi/world.hpp"
 
@@ -16,7 +17,7 @@ namespace parastack::core {
 /// small and quiet-but-healthy phases false-alarm, too large and every hang
 /// burns up to the full timeout before detection; (2) it cannot say
 /// anything about *where* the hang is.
-class IoWatchdog {
+class IoWatchdog final : public Detector {
  public:
   struct Config {
     /// IO-Watchdog ships with a 1-hour default (paper §1).
@@ -31,8 +32,11 @@ class IoWatchdog {
 
   IoWatchdog(simmpi::World& world, Config config);
 
-  void start();
-  void stop() noexcept { stopped_ = true; }
+  void start() override;
+  void stop() noexcept override { stopped_ = true; }
+  DetectorKind kind() const noexcept override {
+    return DetectorKind::kIoWatchdog;
+  }
 
   std::function<void(const Report&)> on_hang;
 

@@ -4,6 +4,15 @@
 
 namespace parastack::core {
 
+std::string_view detector_kind_name(DetectorKind kind) noexcept {
+  switch (kind) {
+    case DetectorKind::kParastack: return "parastack";
+    case DetectorKind::kTimeout: return "timeout";
+    case DetectorKind::kIoWatchdog: return "io-watchdog";
+  }
+  return "?";
+}
+
 std::string HangReport::to_string() const {
   char head[160];
   std::snprintf(head, sizeof head,

@@ -2,12 +2,32 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "simmpi/types.hpp"
 
 namespace parastack::core {
+
+/// The detector variants this repo implements: the paper's tool, the
+/// fixed-(I,K) strawman of §3/Table 1, and the IO-Watchdog incumbent of §1.
+enum class DetectorKind { kParastack, kTimeout, kIoWatchdog };
+
+/// Stable lowercase name ("parastack" | "timeout" | "io-watchdog"); also the
+/// default telemetry label and the psim --detectors spelling.
+std::string_view detector_kind_name(DetectorKind kind) noexcept;
+
+/// One verdict in the unified per-detector report stream. Every Detector
+/// appends these, whatever its kind; kind-specific enrichment (the
+/// HangReport of a verified ParaStack hang, say) lives alongside in the
+/// concrete detector's typed report list.
+struct Detection {
+  sim::Time detected_at = 0;
+  DetectorKind kind = DetectorKind::kParastack;
+  /// IO-Watchdog only: how long output had been quiet at the verdict.
+  sim::Time silence = 0;
+};
 
 /// Hang classification (paper §4): if any process rests OUT_MPI the hang is
 /// blamed on a computation error in those processes; otherwise everyone is

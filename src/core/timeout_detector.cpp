@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace parastack::core {
@@ -9,8 +10,8 @@ namespace parastack::core {
 TimeoutDetector::TimeoutDetector(simmpi::World& world,
                                  trace::StackInspector& inspector,
                                  Config config)
-    : world_(world), inspector_(inspector), config_(config),
-      rng_(config.seed) {
+    : Detector(DetectorKind::kTimeout), world_(world), inspector_(inspector),
+      config_(config), rng_(config.seed) {
   PS_CHECK(config_.monitored_count >= 1, "C must be >= 1");
   PS_CHECK(config_.k >= 1, "K must be >= 1");
   std::vector<simmpi::Rank> all(static_cast<std::size_t>(world_.nranks()));
@@ -44,6 +45,18 @@ void TimeoutDetector::tick() {
     done_ = true;
     Report report{world_.engine().now()};
     reports_.push_back(report);
+    Detection detection;
+    detection.detected_at = report.detected_at;
+    detection.kind = DetectorKind::kTimeout;
+    if (obs::TelemetrySink* sink = world_.engine().telemetry();
+        sink != nullptr) {
+      obs::DetectionEvent event;
+      event.time = report.detected_at;
+      event.detector = label();
+      event.kind = detector_kind_name(kind());
+      sink->on_detection(event);
+    }
+    record_detection(detection);
     if (on_hang) on_hang(report);
     return;
   }

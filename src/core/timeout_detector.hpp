@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/detector_base.hpp"
 #include "sim/time.hpp"
 #include "simmpi/world.hpp"
 #include "trace/inspector.hpp"
@@ -14,7 +15,7 @@ namespace parastack::core {
 /// The fixed-(I, K) baseline of paper §3 / Table 1: check S_crout of C
 /// monitored ranks every I; report a hang after K consecutive "low"
 /// observations. No model, no tuning — the strawman ParaStack replaces.
-class TimeoutDetector {
+class TimeoutDetector final : public Detector {
  public:
   struct Config {
     int monitored_count = 10;
@@ -32,8 +33,11 @@ class TimeoutDetector {
   TimeoutDetector(simmpi::World& world, trace::StackInspector& inspector,
                   Config config);
 
-  void start();
-  void stop() noexcept { stopped_ = true; }
+  void start() override;
+  void stop() noexcept override { stopped_ = true; }
+  DetectorKind kind() const noexcept override {
+    return DetectorKind::kTimeout;
+  }
 
   std::function<void(const Report&)> on_hang;
 

@@ -137,9 +137,9 @@ CleanCampaignResult run_clean_campaign(const CampaignConfig& config) {
     ++out.runs;
     if (result.parastack_detected()) ++out.false_positives;
     if (result.completed) {
-      out.runtime_seconds.add(sim::to_seconds(result.finish_time));
+      out.runtime_seconds.add(sim::to_seconds(*result.finish_time));
       if (result.gflops > 0.0) out.gflops.add(result.gflops);
-      out.total_hours += sim::to_seconds(result.finish_time) / 3600.0;
+      out.total_hours += sim::to_seconds(*result.finish_time) / 3600.0;
     }
     out.results.push_back(std::move(result));
   }
@@ -164,8 +164,7 @@ void account_timeout_run(TimeoutCampaignResult& out, const RunResult& result) {
       first.has_value() && result.detection_before_fault(*first);
   // Same fix as account_erroneous_run: scan past a pre-fault report for
   // the first detection at/after the fault activated.
-  const core::TimeoutDetector::Report* genuine =
-      result.first_timeout_after_fault();
+  const core::Detection* genuine = result.first_timeout_after_fault();
   if (false_positive) ++out.false_positives;
   if (genuine != nullptr) {
     ++out.detected;
@@ -178,7 +177,7 @@ void account_timeout_run(TimeoutCampaignResult& out, const RunResult& result) {
 }
 
 TimeoutCampaignResult run_timeout_campaign(const CampaignConfig& config) {
-  PS_CHECK(config.base.with_timeout_baseline,
+  PS_CHECK(config.base.with(core::DetectorKind::kTimeout),
            "timeout campaign needs the baseline enabled");
   TimeoutCampaignResult out;
   for (const RunResult& result : execute_trials(config)) {

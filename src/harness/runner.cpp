@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
+#include "core/detector_bank.hpp"
+#include "core/monitor_network.hpp"
 #include "faults/injector.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -11,14 +14,120 @@
 
 namespace parastack::harness {
 
+DetectorSpec DetectorSpec::make_parastack(core::DetectorConfig config) {
+  DetectorSpec spec;
+  spec.kind = core::DetectorKind::kParastack;
+  spec.parastack = config;
+  return spec;
+}
+
+DetectorSpec DetectorSpec::make_timeout(core::TimeoutDetector::Config config) {
+  DetectorSpec spec;
+  spec.kind = core::DetectorKind::kTimeout;
+  spec.timeout = config;
+  return spec;
+}
+
+DetectorSpec DetectorSpec::make_io_watchdog(core::IoWatchdog::Config config) {
+  DetectorSpec spec;
+  spec.kind = core::DetectorKind::kIoWatchdog;
+  spec.io_watchdog = config;
+  return spec;
+}
+
+bool RunConfig::with(core::DetectorKind kind) const {
+  return find(kind) != nullptr;
+}
+
+const DetectorSpec* RunConfig::find(core::DetectorKind kind) const {
+  for (const auto& spec : detectors) {
+    if (spec.kind == kind) return &spec;
+  }
+  return nullptr;
+}
+
+DetectorSpec* RunConfig::find(core::DetectorKind kind) {
+  for (auto& spec : detectors) {
+    if (spec.kind == kind) return &spec;
+  }
+  return nullptr;
+}
+
+DetectorSpec& RunConfig::spec(core::DetectorKind kind) {
+  if (DetectorSpec* existing = find(kind)) return *existing;
+  DetectorSpec added;
+  added.kind = kind;
+  detectors.push_back(std::move(added));
+  return detectors.back();
+}
+
+void RunConfig::remove(core::DetectorKind kind) {
+  detectors.erase(std::remove_if(detectors.begin(), detectors.end(),
+                                 [kind](const DetectorSpec& spec) {
+                                   return spec.kind == kind;
+                                 }),
+                  detectors.end());
+}
+
+core::DetectorConfig& RunConfig::parastack_config() {
+  return spec(core::DetectorKind::kParastack).parastack;
+}
+
+core::TimeoutDetector::Config& RunConfig::timeout_config() {
+  return spec(core::DetectorKind::kTimeout).timeout;
+}
+
+core::IoWatchdog::Config& RunConfig::io_watchdog_config() {
+  return spec(core::DetectorKind::kIoWatchdog).io_watchdog;
+}
+
+const DetectorRunResult* RunResult::detector(core::DetectorKind kind) const {
+  for (const auto& entry : detectors) {
+    if (entry.kind == kind) return &entry;
+  }
+  return nullptr;
+}
+
+DetectorRunResult& RunResult::detector_entry(core::DetectorKind kind) {
+  for (auto& entry : detectors) {
+    if (entry.kind == kind) return entry;
+  }
+  DetectorRunResult entry;
+  entry.kind = kind;
+  entry.label = std::string(core::detector_kind_name(kind));
+  detectors.push_back(std::move(entry));
+  return detectors.back();
+}
+
+namespace {
+const std::vector<core::HangReport> kNoHangs;
+const std::vector<core::SlowdownReport> kNoSlowdowns;
+const std::vector<core::Detection> kNoDetections;
+}  // namespace
+
+const std::vector<core::HangReport>& RunResult::hangs() const {
+  const DetectorRunResult* entry = detector(core::DetectorKind::kParastack);
+  return entry == nullptr ? kNoHangs : entry->hang_reports;
+}
+
+const std::vector<core::SlowdownReport>& RunResult::slowdowns() const {
+  const DetectorRunResult* entry = detector(core::DetectorKind::kParastack);
+  return entry == nullptr ? kNoSlowdowns : entry->slowdown_reports;
+}
+
+const std::vector<core::Detection>& RunResult::timeout_reports() const {
+  const DetectorRunResult* entry = detector(core::DetectorKind::kTimeout);
+  return entry == nullptr ? kNoDetections : entry->detections;
+}
+
 std::optional<sim::Time> RunResult::first_parastack_detection() const {
-  if (hangs.empty()) return std::nullopt;
-  return hangs.front().detected_at;
+  if (hangs().empty()) return std::nullopt;
+  return hangs().front().detected_at;
 }
 
 std::optional<sim::Time> RunResult::first_timeout_detection() const {
-  if (timeout_reports.empty()) return std::nullopt;
-  return timeout_reports.front().detected_at;
+  if (timeout_reports().empty()) return std::nullopt;
+  return timeout_reports().front().detected_at;
 }
 
 bool RunResult::detection_before_fault(sim::Time detection) const {
@@ -33,21 +142,20 @@ const core::HangReport* RunResult::first_hang_after_fault() const {
       !fault.activated()) {
     return nullptr;
   }
-  for (const auto& report : hangs) {
+  for (const auto& report : hangs()) {
     if (report.detected_at >= fault.activated_at) return &report;
   }
   return nullptr;
 }
 
-const core::TimeoutDetector::Report* RunResult::first_timeout_after_fault()
-    const {
+const core::Detection* RunResult::first_timeout_after_fault() const {
   if (fault.type == faults::FaultType::kNone ||
       fault.type == faults::FaultType::kTransientSlowdown ||
       !fault.activated()) {
     return nullptr;
   }
-  for (const auto& report : timeout_reports) {
-    if (report.detected_at >= fault.activated_at) return &report;
+  for (const auto& detection : timeout_reports()) {
+    if (detection.detected_at >= fault.activated_at) return &detection;
   }
   return nullptr;
 }
@@ -121,12 +229,20 @@ RunResult run_one(const RunConfig& config) {
     plan.victim =
         static_cast<simmpi::Rank>(rng.uniform_int(
             static_cast<std::uint64_t>(config.nranks)));
-    const double lo = std::max(
-        static_cast<double>(config.min_fault_time),
-        config.fault_window_lo * static_cast<double>(result.estimated_clean));
-    const double hi = std::max(
-        lo + 1e9,
-        config.fault_window_hi * static_cast<double>(result.estimated_clean));
+    double lo;
+    double hi;
+    if (config.fault_trigger_lo && config.fault_trigger_hi) {
+      lo = static_cast<double>(*config.fault_trigger_lo);
+      hi = static_cast<double>(*config.fault_trigger_hi);
+    } else {
+      lo = std::max(
+          static_cast<double>(config.min_fault_time),
+          config.fault_window_lo *
+              static_cast<double>(result.estimated_clean));
+      hi = std::max(lo + 1e9,
+                    config.fault_window_hi *
+                        static_cast<double>(result.estimated_clean));
+    }
     plan.trigger_time = static_cast<sim::Time>(rng.uniform(lo, hi));
   }
   faults::FaultInjector injector(plan);
@@ -151,37 +267,52 @@ RunResult run_one(const RunConfig& config) {
   bool killed = false;
   sim::Time kill_time = 0;
 
-  std::unique_ptr<core::HangDetector> detector;
+  // Per-detector seeds are drawn in spec order so a fixed prefix of the
+  // detector list always receives the same stream regardless of what is
+  // appended after it.
+  core::DetectorBank bank;
   std::unique_ptr<core::MonitorNetwork> monitors;
-  if (config.with_parastack) {
-    auto det_config = config.detector;
-    det_config.seed = rng.next();
-    detector = std::make_unique<core::HangDetector>(world, inspector,
-                                                    det_config);
-    if (config.use_monitor_network) {
-      monitors = std::make_unique<core::MonitorNetwork>(world, inspector);
-      detector->use_monitor_network(monitors.get());
+  for (const DetectorSpec& spec : config.detectors) {
+    std::unique_ptr<core::Detector> detector;
+    switch (spec.kind) {
+      case core::DetectorKind::kParastack: {
+        auto det_config = spec.parastack;
+        det_config.seed = rng.next();
+        auto parastack = std::make_unique<core::HangDetector>(
+            world, inspector, det_config);
+        if (config.use_monitor_network) {
+          if (!monitors) {
+            monitors = std::make_unique<core::MonitorNetwork>(world,
+                                                              inspector);
+          }
+          parastack->use_monitor_network(monitors.get());
+        }
+        detector = std::move(parastack);
+        break;
+      }
+      case core::DetectorKind::kTimeout: {
+        auto base_config = spec.timeout;
+        base_config.seed = rng.next();
+        detector = std::make_unique<core::TimeoutDetector>(world, inspector,
+                                                           base_config);
+        break;
+      }
+      case core::DetectorKind::kIoWatchdog: {
+        detector = std::make_unique<core::IoWatchdog>(world,
+                                                      spec.io_watchdog);
+        break;
+      }
     }
-    if (config.kill_on_detection) {
-      detector->on_hang = [&](const core::HangReport& report) {
-        killed = true;
-        kill_time = report.detected_at;
-      };
-    }
+    PS_CHECK(detector != nullptr, "unknown detector kind");
+    if (!spec.label.empty()) detector->set_label(spec.label);
+    bank.add(std::move(detector));
   }
 
-  std::unique_ptr<core::TimeoutDetector> baseline;
-  if (config.with_timeout_baseline) {
-    auto base_config = config.timeout;
-    base_config.seed = rng.next();
-    baseline = std::make_unique<core::TimeoutDetector>(world, inspector,
-                                                       base_config);
-    if (config.kill_on_detection && !config.with_parastack) {
-      baseline->on_hang = [&](const core::TimeoutDetector::Report& report) {
-        killed = true;
-        kill_time = report.detected_at;
-      };
-    }
+  if (config.kill_on_detection && !bank.empty()) {
+    bank.at(0).on_detection = [&](const core::Detection& detection) {
+      killed = true;
+      kill_time = detection.detected_at;
+    };
   }
 
   if (config.telemetry != nullptr) {
@@ -200,33 +331,45 @@ RunResult run_one(const RunConfig& config) {
   }
 
   world.start();
-  if (detector) detector->start();
-  if (baseline) baseline->start();
+  bank.start_all();
 
   auto& engine = world.engine();
   while (!world.all_finished() && !killed && engine.now() <= result.walltime) {
     if (!engine.step()) break;
   }
 
-  if (detector) detector->stop();
-  if (baseline) baseline->stop();
+  bank.stop_all();
 
   result.completed = world.all_finished();
-  result.finish_time = world.finish_time();
+  if (result.completed) result.finish_time = world.finish_time();
   // A job that neither finished nor got killed sits hung until its slot
   // expires — the whole allocation is billed (paper §2).
-  result.end_time = result.completed ? result.finish_time
+  result.end_time = result.completed ? *result.finish_time
                     : killed         ? kill_time
                                      : result.walltime;
   result.fault = injector.record();
-  if (detector) {
-    result.hangs = detector->hang_reports();
-    result.slowdowns = detector->slowdown_reports();
-    result.final_interval = detector->interval();
-    result.interval_doublings = detector->interval_doublings();
-    result.model_samples = detector->model().size();
+
+  bool parastack_summarized = false;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const core::Detector& detector = bank.at(i);
+    DetectorRunResult entry;
+    entry.label = detector.label();
+    entry.kind = detector.kind();
+    entry.detections = detector.detections();
+    if (detector.kind() == core::DetectorKind::kParastack) {
+      const auto& parastack =
+          static_cast<const core::HangDetector&>(detector);
+      entry.hang_reports = parastack.hang_reports();
+      entry.slowdown_reports = parastack.slowdown_reports();
+      if (!parastack_summarized) {
+        parastack_summarized = true;
+        result.final_interval = parastack.interval();
+        result.interval_doublings = parastack.interval_doublings();
+        result.model_samples = parastack.model().size();
+      }
+    }
+    result.detectors.push_back(std::move(entry));
   }
-  if (baseline) result.timeout_reports = baseline->reports();
   result.traces = inspector.traces();
   result.trace_cost = inspector.total_cost_charged();
 
@@ -234,7 +377,7 @@ RunResult run_one(const RunConfig& config) {
     const double flops = profile->flops_per_iteration *
                          static_cast<double>(profile->iterations) *
                          static_cast<double>(config.nranks);
-    result.gflops = flops / sim::to_seconds(result.finish_time) / 1e9;
+    result.gflops = flops / sim::to_seconds(*result.finish_time) / 1e9;
   }
 
   if (config.telemetry != nullptr) {
@@ -243,12 +386,12 @@ RunResult run_one(const RunConfig& config) {
     event.run_index = config.run_index;
     event.completed = result.completed;
     event.killed = killed;
-    event.finish_time = result.finish_time;
+    event.finish_time = result.finish_time.value_or(-1);
     event.end_time = result.end_time;
     event.traces = result.traces;
     event.trace_cost = result.trace_cost;
-    event.hangs = static_cast<int>(result.hangs.size());
-    event.slowdowns = static_cast<int>(result.slowdowns.size());
+    event.hangs = static_cast<int>(result.hangs().size());
+    event.slowdowns = static_cast<int>(result.slowdowns().size());
     event.model_samples = result.model_samples;
     event.final_interval = result.final_interval;
     config.telemetry->on_run_end(event);

@@ -6,6 +6,8 @@
 
 #include "core/config.hpp"
 #include "core/detector.hpp"
+#include "core/io_watchdog.hpp"
+#include "core/report.hpp"
 #include "core/timeout_detector.hpp"
 #include "faults/fault.hpp"
 #include "obs/telemetry.hpp"
@@ -14,9 +16,24 @@
 
 namespace parastack::harness {
 
-/// One simulated batch job: a benchmark at a scale on a platform, optionally
-/// monitored by ParaStack and/or the fixed-timeout baseline, optionally with
-/// one injected fault.
+/// One detector to attach to a run: which kind, its per-kind configuration,
+/// and an optional telemetry label (empty = the kind's name; the bank
+/// uniquifies duplicates).
+struct DetectorSpec {
+  core::DetectorKind kind = core::DetectorKind::kParastack;
+  std::string label;
+  core::DetectorConfig parastack;         ///< used when kind == kParastack
+  core::TimeoutDetector::Config timeout;  ///< used when kind == kTimeout
+  core::IoWatchdog::Config io_watchdog;   ///< used when kind == kIoWatchdog
+
+  static DetectorSpec make_parastack(core::DetectorConfig config = {});
+  static DetectorSpec make_timeout(core::TimeoutDetector::Config config = {});
+  static DetectorSpec make_io_watchdog(core::IoWatchdog::Config config = {});
+};
+
+/// One simulated batch job: a benchmark at a scale on a platform, watched
+/// by any combination of detectors (ParaStack, the fixed-timeout baseline,
+/// the IO-Watchdog), optionally with one injected fault.
 struct RunConfig {
   workloads::Bench bench = workloads::Bench::kLU;
   std::string input;  ///< empty = paper default for the scale (Table 2)
@@ -24,11 +41,26 @@ struct RunConfig {
   sim::Platform platform = sim::Platform::tardis();
   std::uint64_t seed = 1;
 
-  bool with_parastack = true;
-  core::DetectorConfig detector;
+  /// Detectors attached to the run, in attachment order. The first spec is
+  /// the *primary*: when kill_on_detection is set, only its detections end
+  /// the job (the others keep observing until the run ends). Per-detector
+  /// seeds are drawn from the run seed in spec order, so a given list
+  /// prefix always sees the same stream. Default: ParaStack alone.
+  std::vector<DetectorSpec> detectors = {DetectorSpec::make_parastack()};
 
-  bool with_timeout_baseline = false;
-  core::TimeoutDetector::Config timeout;
+  /// Any spec of this kind attached?
+  bool with(core::DetectorKind kind) const;
+  /// First spec of this kind, or nullptr.
+  const DetectorSpec* find(core::DetectorKind kind) const;
+  DetectorSpec* find(core::DetectorKind kind);
+  /// First spec of this kind, appending a default-configured one if absent.
+  DetectorSpec& spec(core::DetectorKind kind);
+  /// Remove every spec of this kind.
+  void remove(core::DetectorKind kind);
+  /// Find-or-add convenience for the common per-kind config tweaks.
+  core::DetectorConfig& parastack_config();
+  core::TimeoutDetector::Config& timeout_config();
+  core::IoWatchdog::Config& io_watchdog_config();
 
   faults::FaultType fault = faults::FaultType::kNone;
   /// Fault trigger drawn uniformly in [lo, hi] x estimated clean runtime,
@@ -38,6 +70,10 @@ struct RunConfig {
   double fault_window_lo = 0.15;
   double fault_window_hi = 0.75;
   sim::Time min_fault_time = 25 * sim::kSecond;
+  /// Absolute trigger window override (both must be set): bench drivers
+  /// that fix a wall-clock window use this instead of the relative one.
+  std::optional<sim::Time> fault_trigger_lo;
+  std::optional<sim::Time> fault_trigger_hi;
 
   /// Requested slot = walltime_factor x estimated runtime (users
   /// over-request, §2), unless overridden.
@@ -62,16 +98,28 @@ struct RunConfig {
   int run_index = 0;
 };
 
+/// Per-detector slice of a run: the unified detection stream every kind
+/// produces, plus the typed ParaStack reports (hang verdicts, faulty-rank
+/// lists, absorbed slowdowns) when the detector is a ParaStack instance.
+struct DetectorRunResult {
+  std::string label;
+  core::DetectorKind kind = core::DetectorKind::kParastack;
+  std::vector<core::Detection> detections;
+  std::vector<core::HangReport> hang_reports;          ///< kParastack only
+  std::vector<core::SlowdownReport> slowdown_reports;  ///< kParastack only
+
+  bool detected() const noexcept { return !detections.empty(); }
+};
+
 struct RunResult {
   bool completed = false;
-  sim::Time finish_time = -1;
+  std::optional<sim::Time> finish_time;  ///< set iff the job completed
   sim::Time end_time = 0;  ///< kill / completion / walltime expiry
   sim::Time estimated_clean = 0;
   sim::Time walltime = 0;
   faults::FaultRecord fault;
-  std::vector<core::HangReport> hangs;
-  std::vector<core::SlowdownReport> slowdowns;
-  std::vector<core::TimeoutDetector::Report> timeout_reports;
+  /// One entry per attached detector, in attachment order.
+  std::vector<DetectorRunResult> detectors;
   double gflops = 0.0;  ///< HPCG-style metric when the profile defines FLOPs
   std::uint64_t traces = 0;
   sim::Time trace_cost = 0;
@@ -79,7 +127,21 @@ struct RunResult {
   std::size_t interval_doublings = 0;
   std::size_t model_samples = 0;
 
-  bool parastack_detected() const noexcept { return !hangs.empty(); }
+  /// First entry of this kind, or nullptr.
+  const DetectorRunResult* detector(core::DetectorKind kind) const;
+  /// First entry of this kind, appending an empty one if absent (used by
+  /// the runner and by tests that synthesize results).
+  DetectorRunResult& detector_entry(core::DetectorKind kind);
+
+  /// ParaStack hang reports from the first ParaStack entry (empty
+  /// reference when none is attached).
+  const std::vector<core::HangReport>& hangs() const;
+  /// Absorbed-slowdown reports, same sourcing as hangs().
+  const std::vector<core::SlowdownReport>& slowdowns() const;
+  /// Timeout-baseline detections from the first timeout entry.
+  const std::vector<core::Detection>& timeout_reports() const;
+
+  bool parastack_detected() const noexcept { return !hangs().empty(); }
   std::optional<sim::Time> first_parastack_detection() const;
   std::optional<sim::Time> first_timeout_detection() const;
   /// A detection that fired although no hang was active at that instant.
@@ -88,10 +150,10 @@ struct RunResult {
   /// nullptr when there is none (fault never activated, fault type cannot
   /// hang, or every report pre-dates the fault). A run whose first report
   /// is a pre-fault false positive can still carry a genuine detection
-  /// here — campaign accounting must not stop at hangs.front().
+  /// here — campaign accounting must not stop at hangs().front().
   const core::HangReport* first_hang_after_fault() const;
   /// Timeout-baseline counterpart of first_hang_after_fault().
-  const core::TimeoutDetector::Report* first_timeout_after_fault() const;
+  const core::Detection* first_timeout_after_fault() const;
   /// Seconds from fault activation to ParaStack's first post-fault report
   /// (detected runs).
   double response_delay_seconds() const;

@@ -41,8 +41,9 @@ const char* span_kind_name(RankSpanEvent::Kind kind) {
 
 void JsonlJournal::on_sample(const SampleEvent& e) {
   JsonObject line(out_);
-  line.field("ev", "sample")
-      .field("t_ns", e.time)
+  line.field("ev", "sample");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("phase", e.phase)
       .field("set", e.active_set)
       .field("n", e.observation)
@@ -63,8 +64,9 @@ void JsonlJournal::on_sample(const SampleEvent& e) {
 
 void JsonlJournal::on_runs_test(const RunsTestEvent& e) {
   JsonObject line(out_);
-  line.field("ev", "runs_test")
-      .field("t_ns", e.time)
+  line.field("ev", "runs_test");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("sample_size", e.sample_size)
       .field("runs", e.runs)
       .field("n_pos", e.n_pos)
@@ -77,8 +79,9 @@ void JsonlJournal::on_runs_test(const RunsTestEvent& e) {
 
 void JsonlJournal::on_interval(const IntervalEvent& e) {
   JsonObject line(out_);
-  line.field("ev", "interval_doubled")
-      .field("t_ns", e.time)
+  line.field("ev", "interval_doubled");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("old_ns", e.old_interval)
       .field("new_ns", e.new_interval)
       .field("doublings", e.doublings)
@@ -90,8 +93,9 @@ void JsonlJournal::on_interval(const IntervalEvent& e) {
 
 void JsonlJournal::on_streak(const StreakEvent& e) {
   JsonObject line(out_);
-  line.field("ev", "streak")
-      .field("t_ns", e.time)
+  line.field("ev", "streak");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("kind", streak_kind_name(e.kind))
       .field("len", e.length)
       .field("k", e.required)
@@ -103,8 +107,9 @@ void JsonlJournal::on_streak(const StreakEvent& e) {
 
 void JsonlJournal::on_filter(const FilterEvent& e) {
   JsonObject line(out_);
-  line.field("ev", "filter")
-      .field("t_ns", e.time)
+  line.field("ev", "filter");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("stage", filter_stage_name(e.stage))
       .field("round", e.round);
   if (!e.evidence.empty()) line.field("evidence", e.evidence);
@@ -115,8 +120,9 @@ void JsonlJournal::on_filter(const FilterEvent& e) {
 
 void JsonlJournal::on_sweep(const SweepEvent& e) {
   JsonObject line(out_);
-  line.field("ev", "sweep")
-      .field("t_ns", e.time)
+  line.field("ev", "sweep");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("ranks", e.ranks)
       .field("purpose", e.purpose)
       .field("round", e.round);
@@ -134,8 +140,9 @@ void JsonlJournal::on_hang(const HangEvent& e) {
   }
   ranks << ']';
   JsonObject line(out_);
-  line.field("ev", "hang")
-      .field("t_ns", e.time)
+  line.field("ev", "hang");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("kind", e.computation_error ? "computation" : "communication")
       .raw("faulty_ranks", ranks.str())
       .field("streak", e.streak)
@@ -149,10 +156,22 @@ void JsonlJournal::on_hang(const HangEvent& e) {
 
 void JsonlJournal::on_slowdown(const SlowdownEvent& e) {
   JsonObject line(out_);
-  line.field("ev", "slowdown")
-      .field("t_ns", e.time)
+  line.field("ev", "slowdown");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("rounds", e.rounds);
   if (!e.evidence.empty()) line.field("evidence", e.evidence);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_detection(const DetectionEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "detection");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time).field("kind", e.kind);
+  if (e.silence > 0) line.field("silence_ns", e.silence);
   line.done();
   out_ << '\n';
   ++lines_;
@@ -175,8 +194,9 @@ void JsonlJournal::on_monitor_sample(const MonitorSampleEvent& e) {
 
 void JsonlJournal::on_phase_change(const PhaseChangeEvent& e) {
   JsonObject line(out_);
-  line.field("ev", "phase_change")
-      .field("t_ns", e.time)
+  line.field("ev", "phase_change");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
       .field("from", e.from_phase)
       .field("to", e.to_phase)
       .field("resumed", e.resumed)

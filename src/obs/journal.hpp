@@ -32,6 +32,7 @@ class JsonlJournal final : public TelemetrySink {
   void on_sweep(const SweepEvent& e) override;
   void on_hang(const HangEvent& e) override;
   void on_slowdown(const SlowdownEvent& e) override;
+  void on_detection(const DetectionEvent& e) override;
   void on_monitor_sample(const MonitorSampleEvent& e) override;
   void on_phase_change(const PhaseChangeEvent& e) override;
   void on_fault(const FaultEvent& e) override;

@@ -150,6 +150,13 @@ void MetricsSink::on_slowdown(const SlowdownEvent&) {
   ++registry_.counter("detector.slowdowns_absorbed");
 }
 
+void MetricsSink::on_detection(const DetectionEvent& e) {
+  ++registry_.counter("detector.detections");
+  if (!e.detector.empty()) {
+    ++registry_.counter("detector." + std::string(e.detector) + ".detections");
+  }
+}
+
 void MetricsSink::on_monitor_sample(const MonitorSampleEvent& e) {
   ++registry_.counter("monitor.samples");
   registry_.counter("monitor.ranks_traced") +=

@@ -8,34 +8,61 @@ std::string_view RecordingSink::intern(std::string_view view) {
   return arena_.back();
 }
 
-void RecordingSink::on_sample(const SampleEvent& e) { events_.push_back(e); }
+void RecordingSink::on_sample(const SampleEvent& e) {
+  SampleEvent copy = e;
+  copy.detector = intern(e.detector);
+  events_.push_back(copy);
+}
 
 void RecordingSink::on_runs_test(const RunsTestEvent& e) {
-  events_.push_back(e);
+  RunsTestEvent copy = e;
+  copy.detector = intern(e.detector);
+  events_.push_back(copy);
 }
 
 void RecordingSink::on_interval(const IntervalEvent& e) {
-  events_.push_back(e);
+  IntervalEvent copy = e;
+  copy.detector = intern(e.detector);
+  events_.push_back(copy);
 }
 
 void RecordingSink::on_streak(const StreakEvent& e) {
   StreakEvent copy = e;
+  copy.detector = intern(e.detector);
   copy.reason = intern(e.reason);
   events_.push_back(copy);
 }
 
-void RecordingSink::on_filter(const FilterEvent& e) { events_.push_back(e); }
+void RecordingSink::on_filter(const FilterEvent& e) {
+  FilterEvent copy = e;
+  copy.detector = intern(e.detector);
+  events_.push_back(copy);
+}
 
 void RecordingSink::on_sweep(const SweepEvent& e) {
   SweepEvent copy = e;
+  copy.detector = intern(e.detector);
   copy.purpose = intern(e.purpose);
   events_.push_back(copy);
 }
 
-void RecordingSink::on_hang(const HangEvent& e) { events_.push_back(e); }
+void RecordingSink::on_hang(const HangEvent& e) {
+  HangEvent copy = e;
+  copy.detector = intern(e.detector);
+  events_.push_back(copy);
+}
 
 void RecordingSink::on_slowdown(const SlowdownEvent& e) {
-  events_.push_back(e);
+  SlowdownEvent copy = e;
+  copy.detector = intern(e.detector);
+  events_.push_back(copy);
+}
+
+void RecordingSink::on_detection(const DetectionEvent& e) {
+  DetectionEvent copy = e;
+  copy.detector = intern(e.detector);
+  copy.kind = intern(e.kind);
+  events_.push_back(copy);
 }
 
 void RecordingSink::on_monitor_sample(const MonitorSampleEvent& e) {
@@ -43,7 +70,9 @@ void RecordingSink::on_monitor_sample(const MonitorSampleEvent& e) {
 }
 
 void RecordingSink::on_phase_change(const PhaseChangeEvent& e) {
-  events_.push_back(e);
+  PhaseChangeEvent copy = e;
+  copy.detector = intern(e.detector);
+  events_.push_back(copy);
 }
 
 void RecordingSink::on_fault(const FaultEvent& e) {
@@ -80,6 +109,7 @@ void RecordingSink::replay(TelemetrySink& target) const {
     void operator()(const SweepEvent& e) const { target.on_sweep(e); }
     void operator()(const HangEvent& e) const { target.on_hang(e); }
     void operator()(const SlowdownEvent& e) const { target.on_slowdown(e); }
+    void operator()(const DetectionEvent& e) const { target.on_detection(e); }
     void operator()(const MonitorSampleEvent& e) const {
       target.on_monitor_sample(e);
     }

@@ -45,6 +45,7 @@ class RecordingSink final : public TelemetrySink {
   void on_sweep(const SweepEvent& e) override;
   void on_hang(const HangEvent& e) override;
   void on_slowdown(const SlowdownEvent& e) override;
+  void on_detection(const DetectionEvent& e) override;
   void on_monitor_sample(const MonitorSampleEvent& e) override;
   void on_phase_change(const PhaseChangeEvent& e) override;
   void on_fault(const FaultEvent& e) override;
@@ -57,7 +58,7 @@ class RecordingSink final : public TelemetrySink {
   using Event =
       std::variant<SampleEvent, RunsTestEvent, IntervalEvent, StreakEvent,
                    FilterEvent, SweepEvent, HangEvent, SlowdownEvent,
-                   MonitorSampleEvent, PhaseChangeEvent, FaultEvent,
+                   DetectionEvent, MonitorSampleEvent, PhaseChangeEvent, FaultEvent,
                    RunStartEvent, RunEndEvent, RankSpanEvent>;
 
   /// Copy `view` into the arena and return a view of the stable copy.

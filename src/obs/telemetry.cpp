@@ -40,6 +40,9 @@ void MultiSink::on_hang(const HangEvent& e) {
 void MultiSink::on_slowdown(const SlowdownEvent& e) {
   for (auto* s : sinks_) s->on_slowdown(e);
 }
+void MultiSink::on_detection(const DetectionEvent& e) {
+  for (auto* s : sinks_) s->on_detection(e);
+}
 void MultiSink::on_monitor_sample(const MonitorSampleEvent& e) {
   for (auto* s : sinks_) s->on_monitor_sample(e);
 }

@@ -21,6 +21,7 @@ namespace parastack::obs {
 /// One S_crout sample and everything the detector decided with it (§3).
 struct SampleEvent {
   sim::Time time = 0;
+  std::string_view detector;  ///< emitting detector's telemetry label
   int phase = 0;            ///< §6 phase the model belongs to
   int active_set = 0;       ///< which of the two disjoint monitor sets
   std::size_t observation = 0;  ///< 1-based sample index
@@ -39,6 +40,7 @@ struct SampleEvent {
 /// Wald–Wolfowitz verdict on the accumulated samples (§3.1).
 struct RunsTestEvent {
   sim::Time time = 0;
+  std::string_view detector;
   std::size_t sample_size = 0;
   std::size_t runs = 0;
   std::size_t n_pos = 0;
@@ -49,6 +51,7 @@ struct RunsTestEvent {
 /// Interval auto-tuning step: I doubled (or hit its safety cap).
 struct IntervalEvent {
   sim::Time time = 0;
+  std::string_view detector;
   sim::Time old_interval = 0;
   sim::Time new_interval = 0;
   std::size_t doublings = 0;
@@ -58,6 +61,7 @@ struct IntervalEvent {
 /// Suspicion-streak transition.
 struct StreakEvent {
   sim::Time time = 0;
+  std::string_view detector;
   enum class Kind { kAdvance, kReset, kVerify } kind = Kind::kAdvance;
   /// kAdvance/kVerify: the streak length reached. kReset: the length the
   /// ended streak had (what the streak-length histogram wants).
@@ -71,6 +75,7 @@ struct StreakEvent {
 /// Transient-slowdown filter progress (§3.3).
 struct FilterEvent {
   sim::Time time = 0;
+  std::string_view detector;
   enum class Stage {
     kEnter,          ///< streak reached k; first full sweep taken
     kRetry,          ///< no movement yet; re-checking after a longer gap
@@ -85,6 +90,7 @@ struct FilterEvent {
 /// One full-job stack-trace sweep (filter round or faulty-id round).
 struct SweepEvent {
   sim::Time time = 0;
+  std::string_view detector;
   int ranks = 0;
   std::string_view purpose;  ///< "slowdown-filter" | "faulty-id"
   int round = 0;
@@ -93,6 +99,7 @@ struct SweepEvent {
 /// Verified hang (flattened HangReport; obs cannot depend on core).
 struct HangEvent {
   sim::Time time = 0;
+  std::string_view detector;
   bool computation_error = false;
   std::vector<int> faulty_ranks;
   std::size_t streak = 0;
@@ -104,8 +111,20 @@ struct HangEvent {
 /// The filter absorbed a suspicion streak as a transient slowdown.
 struct SlowdownEvent {
   sim::Time time = 0;
+  std::string_view detector;
   int rounds = 0;          ///< filter rounds taken to see movement
   std::string evidence;
+};
+
+/// One verdict in the unified detection stream — emitted by every detector
+/// kind (ParaStack alongside its richer `hang` event, the fixed-timeout
+/// baseline, IO-Watchdog), so a journal consumer can compare detectors on
+/// one run without knowing their internals.
+struct DetectionEvent {
+  sim::Time time = 0;
+  std::string_view detector;  ///< emitting detector's telemetry label
+  std::string_view kind;      ///< "parastack" | "timeout" | "io-watchdog"
+  sim::Time silence = 0;      ///< IO-Watchdog: observed output silence
 };
 
 /// One S_crout sample routed through the per-node monitor topology (§5).
@@ -122,6 +141,7 @@ struct MonitorSampleEvent {
 /// §6 multi-phase application announced a phase switch.
 struct PhaseChangeEvent {
   sim::Time time = 0;
+  std::string_view detector;
   int from_phase = 0;
   int to_phase = 0;
   bool resumed = false;  ///< the incoming phase had a stashed model
@@ -197,6 +217,7 @@ class TelemetrySink {
   virtual void on_sweep(const SweepEvent&) {}
   virtual void on_hang(const HangEvent&) {}
   virtual void on_slowdown(const SlowdownEvent&) {}
+  virtual void on_detection(const DetectionEvent&) {}
   virtual void on_monitor_sample(const MonitorSampleEvent&) {}
   virtual void on_phase_change(const PhaseChangeEvent&) {}
   virtual void on_fault(const FaultEvent&) {}
@@ -232,6 +253,7 @@ class MultiSink final : public TelemetrySink {
   void on_sweep(const SweepEvent& e) override;
   void on_hang(const HangEvent& e) override;
   void on_slowdown(const SlowdownEvent& e) override;
+  void on_detection(const DetectionEvent& e) override;
   void on_monitor_sample(const MonitorSampleEvent& e) override;
   void on_phase_change(const PhaseChangeEvent& e) override;
   void on_fault(const FaultEvent& e) override;

@@ -1,16 +1,24 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace parastack::sim {
 
+namespace {
+/// Compaction is only worth the O(n) rebuild when tombstones dominate and
+/// the heap is big enough for the memory to matter.
+constexpr std::size_t kCompactMinTombstones = 64;
+}  // namespace
+
 Engine::EventId Engine::schedule_at(Time t, Callback cb) {
   PS_CHECK(t >= now_, "cannot schedule events in the past");
   PS_CHECK(static_cast<bool>(cb), "null event callback");
   const EventId id = next_id_++;
-  queue_.push(Event{t, id});
+  heap_.push_back(Event{t, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   callbacks_.emplace(id, std::move(cb));
   return id;
 }
@@ -20,15 +28,35 @@ Engine::EventId Engine::schedule_after(Time dt, Callback cb) {
   return schedule_at(now_ + dt, std::move(cb));
 }
 
-void Engine::cancel(EventId id) { callbacks_.erase(id); }
+void Engine::cancel(EventId id) {
+  if (callbacks_.erase(id) == 0) return;  // already fired or unknown
+  ++cancelled_in_heap_;
+  compact_if_worthwhile();
+}
+
+void Engine::compact_if_worthwhile() {
+  if (cancelled_in_heap_ <= kCompactMinTombstones ||
+      cancelled_in_heap_ <= callbacks_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [this](const Event& ev) {
+    return callbacks_.find(ev.id) == callbacks_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  cancelled_in_heap_ = 0;
+}
 
 bool Engine::step() {
   if (stopped_) return false;
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const Event ev = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
     auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // cancelled
+    if (it == callbacks_.end()) {  // cancelled
+      if (cancelled_in_heap_ > 0) --cancelled_in_heap_;
+      continue;
+    }
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     PS_CHECK(ev.time >= now_, "event queue time went backwards");
@@ -41,7 +69,15 @@ bool Engine::step() {
 }
 
 void Engine::run_until(Time t) {
-  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+  while (!stopped_ && !heap_.empty()) {
+    // Drop tombstones first so the cutoff below tests the next *live* event.
+    if (callbacks_.find(heap_.front().id) == callbacks_.end()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
+      if (cancelled_in_heap_ > 0) --cancelled_in_heap_;
+      continue;
+    }
+    if (heap_.front().time > t) break;
     if (!step()) break;
   }
   if (!stopped_ && now_ < t) now_ = t;

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +36,10 @@ class Engine {
   EventId schedule_after(Time dt, Callback cb);
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op (the id space is never reused within one Engine).
+  /// no-op (the id space is never reused within one Engine). Cancelled
+  /// entries stay in the heap as tombstones; once they outnumber live
+  /// events the heap is compacted in place, so queue memory stays
+  /// proportional to the live event count even under cancel-heavy load.
   void cancel(EventId id);
 
   /// Fire the next event. Returns false when the queue is empty or the
@@ -59,6 +61,9 @@ class Engine {
 
   std::uint64_t events_fired() const noexcept { return fired_; }
   std::size_t events_pending() const;
+  /// Heap entries including tombstones of cancelled events; bounded to
+  /// O(events_pending()) by lazy compaction.
+  std::size_t queue_depth() const noexcept { return heap_.size(); }
 
   /// The run's telemetry sink, reachable by everything that shares this
   /// clock (detector, monitor network, rank processes, fault injector).
@@ -78,12 +83,15 @@ class Engine {
     }
   };
 
+  void compact_if_worthwhile();
+
   Time now_ = 0;
   obs::TelemetrySink* telemetry_ = nullptr;
   EventId next_id_ = 1;
   bool stopped_ = false;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::size_t cancelled_in_heap_ = 0;
+  std::vector<Event> heap_;  ///< min-heap on (time, id) via std::greater
   std::unordered_map<EventId, Callback> callbacks_;
 };
 

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/detector.hpp"
 #include "faults/injector.hpp"
+#include "obs/telemetry.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace parastack::core {
@@ -143,6 +146,74 @@ TEST(PhaseModel, PhaseChangeAbortsPendingVerification) {
   // The hang persists, so it is still (re-)detected afterwards in phase 7.
   ASSERT_TRUE(rig.detector.hang_reported());
   EXPECT_EQ(rig.detector.current_phase(), 7);
+}
+
+/// Captures phase-change telemetry so the abort is observable from outside.
+struct PhaseChangeRecorder final : obs::TelemetrySink {
+  void on_phase_change(const obs::PhaseChangeEvent& event) override {
+    events.push_back(event);
+  }
+  std::vector<obs::PhaseChangeEvent> events;
+};
+
+TEST(PhaseModel, PhaseChangeMidVerificationDiscardsTheCandidate) {
+  // Stronger than the streak-abort case above: wait until the detector has
+  // actually ENTERED verification (full-sweep rounds in flight), then
+  // announce a phase change. The in-flight candidate must be discarded —
+  // no hang report from it — and the abort must be visible in telemetry
+  // (PhaseChangeEvent.aborted_verification). Both phases learn healthy
+  // samples before the fault so the post-abort phase still has a ready
+  // model and can convict the (persistent) hang on its own.
+  faults::FaultPlan plan;
+  plan.type = faults::FaultType::kComputeHang;
+  plan.victim = 11;
+  plan.trigger_time = 60 * sim::kSecond;
+  PhaseRig rig(904, plan);
+  PhaseChangeRecorder recorder;
+  rig.world.engine().set_telemetry(&recorder);
+  rig.world.start();
+  rig.detector.start();
+  auto& engine = rig.world.engine();
+  bool announced_phase3 = false;
+  bool aborted_once = false;
+  std::size_t reports_at_abort = 0;
+  while (!rig.detector.hang_reported() && engine.now() < 5 * sim::kMinute &&
+         engine.step()) {
+    // Healthy mid-run phase change: phase 3 learns its own model from
+    // t=30s until the hang strikes.
+    if (!announced_phase3 && engine.now() >= 30 * sim::kSecond) {
+      rig.detector.notify_phase_change(3);
+      announced_phase3 = true;
+    }
+    // The hang drives phase 3 into verification; switching back to the
+    // stashed phase 0 mid-verification aborts the candidate.
+    if (!aborted_once && rig.detector.verifying()) {
+      reports_at_abort = rig.detector.hang_reports().size();
+      rig.detector.notify_phase_change(0);
+      aborted_once = true;
+      // The candidate is gone: back to sampling, streak cleared.
+      EXPECT_FALSE(rig.detector.verifying());
+      EXPECT_EQ(rig.detector.streak(), 0u);
+      EXPECT_EQ(rig.detector.hang_reports().size(), reports_at_abort);
+    }
+  }
+  ASSERT_TRUE(aborted_once) << "detector never entered verification";
+  // Telemetry recorded both switches; only the 3 -> 0 one aborted a
+  // verification, and it resumed phase 0's stashed model.
+  ASSERT_EQ(recorder.events.size(), 2u);
+  EXPECT_EQ(recorder.events[0].from_phase, 0);
+  EXPECT_EQ(recorder.events[0].to_phase, 3);
+  EXPECT_FALSE(recorder.events[0].aborted_verification);
+  EXPECT_EQ(recorder.events[1].from_phase, 3);
+  EXPECT_EQ(recorder.events[1].to_phase, 0);
+  EXPECT_TRUE(recorder.events[1].aborted_verification);
+  EXPECT_TRUE(recorder.events[1].resumed);
+  // The hang is real and persistent: phase 0's restored model rebuilds the
+  // streak and convicts it from scratch.
+  ASSERT_TRUE(rig.detector.hang_reported());
+  EXPECT_GT(rig.detector.hang_reports().front().detected_at,
+            rig.injector.record().activated_at);
+  EXPECT_EQ(rig.detector.current_phase(), 0);
 }
 
 }  // namespace

@@ -75,10 +75,9 @@ TEST(Campaign, SeedsVaryAcrossRuns) {
 TEST(Campaign, TimeoutBaselineCampaign) {
   auto config = small_campaign(3);
   config.base.fault = faults::FaultType::kComputeHang;
-  config.base.with_parastack = false;
-  config.base.with_timeout_baseline = true;
-  config.base.timeout.interval = sim::from_millis(800);
-  config.base.timeout.k = 10;
+  config.base.detectors = {DetectorSpec::make_timeout()};
+  config.base.timeout_config().interval = sim::from_millis(800);
+  config.base.timeout_config().k = 10;
   const auto result = run_timeout_campaign(config);
   EXPECT_EQ(result.runs, 3);
   EXPECT_EQ(result.detected + result.false_positives + result.missed, 3);
@@ -139,8 +138,9 @@ TEST(Accounting, PreFaultFpThenGenuineDetectionCountsBoth) {
   // whose pre-fault false positive preceded the real detection count as
   // FP-only, deflating accuracy and the faulty-id stats.
   RunResult result = synthetic_faulted_run();
-  result.hangs.push_back(hang_at(50 * sim::kSecond, 3));   // pre-fault FP
-  result.hangs.push_back(hang_at(130 * sim::kSecond, 7));  // genuine
+  auto& parastack = result.detector_entry(core::DetectorKind::kParastack);
+  parastack.hang_reports.push_back(hang_at(50 * sim::kSecond, 3));   // FP
+  parastack.hang_reports.push_back(hang_at(130 * sim::kSecond, 7));  // real
 
   ErroneousCampaignResult out;
   account_erroneous_run(out, std::move(result));
@@ -159,7 +159,8 @@ TEST(Accounting, PreFaultFpThenGenuineDetectionCountsBoth) {
 
 TEST(Accounting, PreFaultFpAloneIsNotADetection) {
   RunResult result = synthetic_faulted_run();
-  result.hangs.push_back(hang_at(50 * sim::kSecond, 3));
+  result.detector_entry(core::DetectorKind::kParastack)
+      .hang_reports.push_back(hang_at(50 * sim::kSecond, 3));
 
   ErroneousCampaignResult out;
   account_erroneous_run(out, std::move(result));
@@ -180,8 +181,11 @@ TEST(Accounting, SilentRunIsMissed) {
 
 TEST(Accounting, TimeoutMirrorsTheSameSemantics) {
   RunResult result = synthetic_faulted_run();
-  result.timeout_reports.push_back({60 * sim::kSecond});   // pre-fault FP
-  result.timeout_reports.push_back({150 * sim::kSecond});  // genuine
+  auto& timeout = result.detector_entry(core::DetectorKind::kTimeout);
+  timeout.detections.push_back(
+      {60 * sim::kSecond, core::DetectorKind::kTimeout});   // pre-fault FP
+  timeout.detections.push_back(
+      {150 * sim::kSecond, core::DetectorKind::kTimeout});  // genuine
 
   TimeoutCampaignResult out;
   account_timeout_run(out, result);
@@ -246,6 +250,32 @@ TEST(Campaign, JournalIsByteIdenticalForAnyJobsCount) {
   const std::string parallel = journal_with_jobs(8);
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
+}
+
+TEST(Campaign, MultiDetectorJournalIsByteIdenticalForAnyJobsCount) {
+  // The per-detector telemetry labels ("parastack", "timeout",
+  // "io-watchdog") must survive the parallel record/replay path unchanged:
+  // a bank of three detectors per trial still merges to one deterministic
+  // journal.
+  const auto journal_with_jobs = [](int jobs) {
+    std::ostringstream out;
+    obs::JsonlJournal journal(out);
+    auto config = small_campaign(4);
+    config.base.fault = faults::FaultType::kComputeHang;
+    config.base.detectors = {DetectorSpec::make_parastack(),
+                             DetectorSpec::make_timeout(),
+                             DetectorSpec::make_io_watchdog()};
+    config.base.telemetry = &journal;
+    config.jobs = jobs;
+    (void)run_erroneous_campaign(config);
+    return out.str();
+  };
+  const std::string serial = journal_with_jobs(1);
+  const std::string parallel = journal_with_jobs(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"det\":\"parastack\""), std::string::npos);
+  EXPECT_NE(serial.find("\"det\":\"timeout\""), std::string::npos);
 }
 
 TEST(Campaign, AutoJobsMatchesSerial) {

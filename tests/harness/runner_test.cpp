@@ -19,7 +19,8 @@ RunConfig small_lu(std::uint64_t seed = 1) {
 TEST(Runner, CleanRunCompletesWithoutReports) {
   const auto result = run_one(small_lu());
   EXPECT_TRUE(result.completed);
-  EXPECT_GT(result.finish_time, 0);
+  ASSERT_TRUE(result.finish_time.has_value());
+  EXPECT_GT(*result.finish_time, 0);
   EXPECT_FALSE(result.parastack_detected());
   EXPECT_EQ(result.fault.type, faults::FaultType::kNone);
   EXPECT_GT(result.traces, 0u);
@@ -48,12 +49,12 @@ TEST(Runner, ComputeHangDetectedAndJobKilled) {
   ASSERT_TRUE(result.fault.activated());
   ASSERT_TRUE(result.parastack_detected());
   EXPECT_FALSE(result.completed);
-  EXPECT_EQ(result.end_time, result.hangs.front().detected_at);
+  EXPECT_EQ(result.end_time, result.hangs().front().detected_at);
   EXPECT_LT(result.end_time, result.walltime);  // the whole point: SUs saved
   EXPECT_GT(result.response_delay_seconds(), 0.0);
-  EXPECT_EQ(result.hangs.front().kind, core::HangKind::kComputationError);
-  ASSERT_FALSE(result.hangs.front().faulty_ranks.empty());
-  EXPECT_EQ(result.hangs.front().faulty_ranks.front(), result.fault.victim);
+  EXPECT_EQ(result.hangs().front().kind, core::HangKind::kComputationError);
+  ASSERT_FALSE(result.hangs().front().faulty_ranks.empty());
+  EXPECT_EQ(result.hangs().front().faulty_ranks.front(), result.fault.victim);
 }
 
 TEST(Runner, FaultTriggerRespectsWindow) {
@@ -74,16 +75,16 @@ TEST(Runner, DeterministicUnderSeed) {
   const auto b = run_one(config);
   EXPECT_EQ(a.end_time, b.end_time);
   EXPECT_EQ(a.fault.victim, b.fault.victim);
-  ASSERT_EQ(a.hangs.size(), b.hangs.size());
-  if (!a.hangs.empty()) {
-    EXPECT_EQ(a.hangs.front().detected_at, b.hangs.front().detected_at);
+  ASSERT_EQ(a.hangs().size(), b.hangs().size());
+  if (!a.hangs().empty()) {
+    EXPECT_EQ(a.hangs().front().detected_at, b.hangs().front().detected_at);
   }
 }
 
 TEST(Runner, WithoutParastackHangBurnsWalltime) {
   auto config = small_lu(5);
   config.fault = faults::FaultType::kComputeHang;
-  config.with_parastack = false;
+  config.detectors.clear();
   const auto result = run_one(config);
   EXPECT_FALSE(result.completed);
   EXPECT_FALSE(result.parastack_detected());
@@ -93,15 +94,71 @@ TEST(Runner, WithoutParastackHangBurnsWalltime) {
 TEST(Runner, TimeoutBaselineReportsAlone) {
   auto config = small_lu(6);
   config.fault = faults::FaultType::kComputeHang;
-  config.with_parastack = false;
-  config.with_timeout_baseline = true;
-  config.timeout.interval = sim::from_millis(400);
-  config.timeout.k = 10;
+  config.detectors = {DetectorSpec::make_timeout()};
+  config.timeout_config().interval = sim::from_millis(400);
+  config.timeout_config().k = 10;
   const auto result = run_one(config);
   ASSERT_TRUE(result.fault.activated());
-  ASSERT_FALSE(result.timeout_reports.empty());
-  EXPECT_GT(result.timeout_reports.front().detected_at,
+  ASSERT_FALSE(result.timeout_reports().empty());
+  EXPECT_GT(result.timeout_reports().front().detected_at,
             result.fault.activated_at);
+}
+
+TEST(Runner, ThreeDetectorsWatchOneTrial) {
+  auto config = small_lu(9);
+  config.fault = faults::FaultType::kComputeHang;
+  core::IoWatchdog::Config watchdog;
+  watchdog.timeout = 2 * sim::kMinute;
+  watchdog.poll_interval = 5 * sim::kSecond;
+  config.detectors = {DetectorSpec::make_parastack(),
+                      DetectorSpec::make_timeout(),
+                      DetectorSpec::make_io_watchdog(watchdog)};
+  const auto result = run_one(config);
+  ASSERT_TRUE(result.fault.activated());
+  ASSERT_EQ(result.detectors.size(), 3u);
+  EXPECT_EQ(result.detectors[0].kind, core::DetectorKind::kParastack);
+  EXPECT_EQ(result.detectors[0].label, "parastack");
+  EXPECT_EQ(result.detectors[1].kind, core::DetectorKind::kTimeout);
+  EXPECT_EQ(result.detectors[1].label, "timeout");
+  EXPECT_EQ(result.detectors[2].kind, core::DetectorKind::kIoWatchdog);
+  EXPECT_EQ(result.detectors[2].label, "io-watchdog");
+  // The primary (first) detector killed the job at ITS verdict; the others
+  // kept watching the same trial but had no kill authority.
+  ASSERT_TRUE(result.detectors[0].detected());
+  EXPECT_FALSE(result.completed);
+  const sim::Time kill_at =
+      result.detectors[0].detections.front().detected_at;
+  EXPECT_EQ(result.end_time, kill_at);
+  ASSERT_FALSE(result.hangs().empty());
+  EXPECT_EQ(result.hangs().front().detected_at, kill_at);
+  // Every verdict any detector reached happened while the job was alive.
+  for (const auto& entry : result.detectors) {
+    for (const auto& detection : entry.detections) {
+      EXPECT_EQ(detection.kind, entry.kind);
+      EXPECT_LE(detection.detected_at, result.end_time);
+    }
+  }
+}
+
+TEST(Runner, SecondaryDetectorDoesNotPerturbThePrimary) {
+  // Attaching observers must not change the primary's verdict: the
+  // detectors share the trial but draw independent seeds from the config.
+  auto alone = small_lu(10);
+  alone.fault = faults::FaultType::kComputeHang;
+  const auto baseline = run_one(alone);
+
+  auto watched = small_lu(10);
+  watched.fault = faults::FaultType::kComputeHang;
+  watched.detectors = {DetectorSpec::make_parastack(),
+                       DetectorSpec::make_io_watchdog()};
+  const auto result = run_one(watched);
+
+  ASSERT_TRUE(baseline.parastack_detected());
+  ASSERT_TRUE(result.parastack_detected());
+  EXPECT_EQ(*baseline.first_parastack_detection(),
+            *result.first_parastack_detection());
+  EXPECT_EQ(baseline.fault.victim, result.fault.victim);
+  EXPECT_EQ(baseline.fault.activated_at, result.fault.activated_at);
 }
 
 TEST(Runner, HpcgReportsGflops) {
@@ -119,7 +176,7 @@ TEST(Runner, HpcgReportsGflops) {
 TEST(Runner, EstimateTracksActualRuntime) {
   const auto result = run_one(small_lu(7));
   ASSERT_TRUE(result.completed);
-  const double ratio = static_cast<double>(result.finish_time) /
+  const double ratio = static_cast<double>(*result.finish_time) /
                        static_cast<double>(result.estimated_clean);
   EXPECT_GT(ratio, 0.6);
   EXPECT_LT(ratio, 1.6);

@@ -16,8 +16,8 @@ RunConfig fixed_interval_config(std::uint64_t seed, double interval_ms) {
   config.platform = sim::Platform::tianhe2();
   config.seed = seed;
   config.background_slowdowns = false;
-  config.detector.initial_interval = sim::from_millis(interval_ms);
-  config.detector.enable_interval_tuning = false;
+  config.parastack_config().initial_interval = sim::from_millis(interval_ms);
+  config.parastack_config().enable_interval_tuning = false;
   return config;
 }
 

@@ -43,7 +43,7 @@ TEST_P(HangSweep, ComputeHangDetectedAndAttributed) {
       << "fault never activated; estimate="
       << sim::to_seconds(result.estimated_clean);
   ASSERT_TRUE(result.parastack_detected());
-  const auto& report = result.hangs.front();
+  const auto& report = result.hangs().front();
   EXPECT_GT(report.detected_at, result.fault.activated_at);
   EXPECT_EQ(report.kind, core::HangKind::kComputationError);
   ASSERT_FALSE(report.faulty_ranks.empty());
@@ -72,8 +72,8 @@ TEST_P(HangSweep, CommDeadlockDetectedAsCommunication) {
   const auto result = run_one(config);
   ASSERT_TRUE(result.fault.activated());
   ASSERT_TRUE(result.parastack_detected());
-  EXPECT_EQ(result.hangs.front().kind, core::HangKind::kCommunicationError);
-  EXPECT_TRUE(result.hangs.front().faulty_ranks.empty());
+  EXPECT_EQ(result.hangs().front().kind, core::HangKind::kCommunicationError);
+  EXPECT_TRUE(result.hangs().front().faulty_ranks.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -104,7 +104,7 @@ TEST_P(SeedSweep, LuHangDetectionIsSeedRobust) {
   ASSERT_TRUE(result.fault.activated());
   EXPECT_TRUE(result.parastack_detected());
   if (result.parastack_detected()) {
-    EXPECT_GT(result.hangs.front().detected_at, result.fault.activated_at);
+    EXPECT_GT(result.hangs().front().detected_at, result.fault.activated_at);
   }
 }
 
@@ -143,7 +143,7 @@ TEST(EndToEnd, NodeFreezeCaughtOnRealTopology) {
   const auto result = run_one(config);
   ASSERT_TRUE(result.fault.activated());
   ASSERT_TRUE(result.parastack_detected());
-  const auto& report = result.hangs.front();
+  const auto& report = result.hangs().front();
   EXPECT_EQ(report.kind, core::HangKind::kComputationError);
   // Every attributed rank lives on the frozen node.
   const int frozen_node = result.fault.victim / 24;

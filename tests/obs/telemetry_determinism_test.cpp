@@ -121,7 +121,7 @@ TEST(TelemetryDeterminism, JournalTellsTheDetectionStory) {
 TEST(TelemetryDeterminism, MetricsAgreeWithTheRunResult) {
   const auto capture = capture_run(11, faults::FaultType::kComputeHang);
   std::ostringstream expected;
-  expected << "\"detector.hangs\":" << capture.result.hangs.size();
+  expected << "\"detector.hangs\":" << capture.result.hangs().size();
   EXPECT_NE(capture.metrics.find(expected.str()), std::string::npos)
       << capture.metrics;
   std::ostringstream traces;
@@ -136,11 +136,11 @@ TEST(TelemetryDeterminism, NoSinkMatchesAttachedSinkVerdicts) {
   plain.fault = faults::FaultType::kComputeHang;
   const auto without = harness::run_one(plain);
   const auto with = capture_run(11, faults::FaultType::kComputeHang);
-  ASSERT_EQ(without.hangs.size(), with.result.hangs.size());
-  EXPECT_EQ(without.hangs.front().detected_at,
-            with.result.hangs.front().detected_at);
-  EXPECT_EQ(without.hangs.front().faulty_ranks,
-            with.result.hangs.front().faulty_ranks);
+  ASSERT_EQ(without.hangs().size(), with.result.hangs().size());
+  EXPECT_EQ(without.hangs().front().detected_at,
+            with.result.hangs().front().detected_at);
+  EXPECT_EQ(without.hangs().front().faulty_ranks,
+            with.result.hangs().front().faulty_ranks);
   EXPECT_EQ(without.traces, with.result.traces);
 }
 

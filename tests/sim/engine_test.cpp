@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace parastack::sim {
@@ -113,6 +114,73 @@ TEST(EngineDeath, RejectsPastScheduling) {
   engine.schedule_at(10, [] {});
   engine.run_until_idle();
   EXPECT_DEATH(engine.schedule_at(5, [] {}), "past");
+}
+
+TEST(Engine, CancelHeavyChurnKeepsHeapBounded) {
+  // Detectors schedule-then-cancel constantly (set switches, verification
+  // aborts). Tombstones must be compacted lazily, not accumulate for the
+  // life of the run.
+  Engine engine;
+  bool live_fired = false;
+  engine.schedule_at(1'000'000, [&] { live_fired = true; });
+  std::size_t max_depth = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const Engine::EventId id = engine.schedule_at(500'000 + i, [] {});
+    engine.cancel(id);
+    max_depth = std::max(max_depth, engine.queue_depth());
+  }
+  EXPECT_EQ(engine.events_pending(), 1u);
+  // Compaction triggers past ~64 tombstones; the heap never grows anywhere
+  // near the 100k cancels issued.
+  EXPECT_LE(max_depth, 200u);
+  EXPECT_LE(engine.queue_depth(), 200u);
+  engine.run_until_idle();
+  EXPECT_TRUE(live_fired);
+  EXPECT_EQ(engine.events_fired(), 1u);
+}
+
+TEST(Engine, CompactionPreservesFiringOrder) {
+  Engine engine;
+  std::vector<int> order;
+  std::vector<Engine::EventId> doomed;
+  for (int i = 0; i < 300; ++i) {
+    engine.schedule_at(1000 + i, [&order, i] { order.push_back(i); });
+    doomed.push_back(engine.schedule_at(500 + i, [] {}));
+  }
+  for (const Engine::EventId id : doomed) engine.cancel(id);  // forces compactions
+  engine.run_until_idle();
+  ASSERT_EQ(order.size(), 300u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(engine.events_fired(), 300u);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+}
+
+TEST(Engine, DoubleCancelDoesNotCorruptAccounting) {
+  Engine engine;
+  const Engine::EventId id = engine.schedule_at(10, [] {});
+  engine.cancel(id);
+  engine.cancel(id);  // no-op: must not count a second tombstone
+  bool fired = false;
+  engine.schedule_at(20, [&] { fired = true; });
+  EXPECT_EQ(engine.events_pending(), 1u);
+  engine.run_until_idle();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+}
+
+TEST(Engine, RunUntilSkipsTombstonesAtTheCutoff) {
+  // A cancelled event sitting at the heap front with time <= t must not
+  // stall run_until or leak into the next window.
+  Engine engine;
+  const Engine::EventId id = engine.schedule_at(5, [] {});
+  bool later = false;
+  engine.schedule_at(20, [&] { later = true; });
+  engine.cancel(id);
+  engine.run_until(10);
+  EXPECT_EQ(engine.now(), 10);
+  EXPECT_FALSE(later);
+  engine.run_until(30);
+  EXPECT_TRUE(later);
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 //
 //   psim run      --bench LU --input D --ranks 256 --platform Tardis
 //                 [--fault compute-hang|comm-deadlock|slowdown|freeze]
-//                 [--seed N] [--no-parastack] [--timeout-baseline I,K]
+//                 [--seed N] [--detectors parastack,timeout,io-watchdog]
+//                 [--no-parastack] [--timeout-baseline I,K]
 //                 [--threads T] [--alpha A]
 //                 [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //                 [--trace-ranks N] [--log-level LEVEL]
@@ -14,6 +15,7 @@
 // Everything is deterministic under --seed: rerunning with the same seed
 // produces byte-identical journals and metrics files.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,8 +41,11 @@ int usage() {
                "usage: psim <run|campaign|submit|list> [options]\n"
                "  common: --bench NAME --input SIZE --ranks N --platform "
                "Tardis|Tianhe-2|Stampede --seed N\n"
-               "  run:      --fault TYPE --no-parastack --timeout-baseline "
-               "--threads T --alpha A\n"
+               "  run:      --fault TYPE --detectors LIST (comma-separated "
+               "parastack|timeout|io-watchdog;\n"
+               "            first entry is the primary that kills the job) "
+               "--no-parastack\n"
+               "            --timeout-baseline --threads T --alpha A\n"
                "  campaign: --runs N --fault TYPE --jobs N (0 = all "
                "hardware threads; results and\n"
                "            telemetry are byte-identical for any --jobs)\n"
@@ -189,9 +194,37 @@ harness::RunConfig build_config(const util::Args& args, bool& ok) {
                  args.get("fault").c_str());
     return config;
   }
-  config.with_parastack = !args.has("no-parastack");
-  config.detector.alpha = args.get_double("alpha", 0.001);
-  if (args.has("timeout-baseline")) config.with_timeout_baseline = true;
+  if (const std::string list = args.get("detectors", ""); !list.empty()) {
+    // Explicit bank: attachment order is the listed order, first = primary.
+    config.detectors.clear();
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string name = list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (name == "parastack") {
+        config.detectors.push_back(harness::DetectorSpec::make_parastack());
+      } else if (name == "timeout") {
+        config.detectors.push_back(harness::DetectorSpec::make_timeout());
+      } else if (name == "io-watchdog") {
+        config.detectors.push_back(harness::DetectorSpec::make_io_watchdog());
+      } else {
+        std::fprintf(stderr,
+                     "unknown detector '%s' "
+                     "(expected parastack|timeout|io-watchdog)\n",
+                     name.c_str());
+        ok = false;
+        return config;
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (args.has("no-parastack")) config.remove(core::DetectorKind::kParastack);
+  if (args.has("timeout-baseline")) config.spec(core::DetectorKind::kTimeout);
+  if (auto* parastack = config.find(core::DetectorKind::kParastack)) {
+    parastack->parastack.alpha = args.get_double("alpha", 0.001);
+  }
   return config;
 }
 
@@ -218,21 +251,34 @@ int cmd_run(const util::Args& args) {
                 sim::to_seconds(result.fault.activated_at));
   }
   if (result.completed) {
-    std::fprintf(telemetry.human(), "job completed at t=%.1fs", sim::to_seconds(result.finish_time));
+    std::fprintf(telemetry.human(), "job completed at t=%.1fs", sim::to_seconds(*result.finish_time));
     if (result.gflops > 0.0) std::fprintf(telemetry.human(), " (%.1f GFLOPS)", result.gflops);
     std::fprintf(telemetry.human(), "\n");
   }
-  for (const auto& report : result.hangs) {
+  for (const auto& report : result.hangs()) {
     std::fprintf(telemetry.human(), "ParaStack: %s\n", report.to_string().c_str());
   }
-  for (const auto& report : result.slowdowns) {
+  for (const auto& report : result.slowdowns()) {
     std::fprintf(telemetry.human(), "ParaStack: %s\n", report.to_string().c_str());
   }
-  if (!result.timeout_reports.empty()) {
+  if (!result.timeout_reports().empty()) {
     std::fprintf(telemetry.human(), "timeout baseline fired at t=%.1fs\n",
-                sim::to_seconds(result.timeout_reports.front().detected_at));
+                sim::to_seconds(result.timeout_reports().front().detected_at));
   }
-  if (!result.completed && result.hangs.empty()) {
+  if (const auto* watchdog =
+          result.detector(core::DetectorKind::kIoWatchdog);
+      watchdog != nullptr && watchdog->detected()) {
+    std::fprintf(telemetry.human(),
+                "io-watchdog fired at t=%.1fs (%.0fs of output silence)\n",
+                sim::to_seconds(watchdog->detections.front().detected_at),
+                sim::to_seconds(watchdog->detections.front().silence));
+  }
+  const bool any_detection =
+      std::any_of(result.detectors.begin(), result.detectors.end(),
+                  [](const harness::DetectorRunResult& entry) {
+                    return entry.detected();
+                  });
+  if (!result.completed && !any_detection) {
     std::fprintf(telemetry.human(), "job did not complete; walltime expired at t=%.1fs\n",
                 sim::to_seconds(result.end_time));
   }
