@@ -67,6 +67,15 @@ struct DetectorConfig {
   /// small.
   std::size_t model_freeze_streak = 8;
 
+  /// Tool-health quorum (tool-fault model): samples whose monitor coverage
+  /// falls below this fraction are judged with an extra streak surcharge
+  /// and are withheld from the model; `degraded_mode_after` consecutive
+  /// below-quorum samples flip the detector into explicit degraded mode.
+  /// All three are inert while coverage stays at 1 (no tool faults).
+  double coverage_quorum = 0.55;
+  std::size_t low_coverage_extra_streak = 3;
+  std::size_t degraded_mode_after = 8;
+
   std::uint64_t seed = 0xde7ec702;
 };
 

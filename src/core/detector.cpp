@@ -62,6 +62,9 @@ SuspicionJudge::Config HangDetector::judge_config(const DetectorConfig& c) {
   config.alpha = c.alpha;
   config.freeze_model_during_streak = c.freeze_model_during_streak;
   config.model_freeze_streak = c.model_freeze_streak;
+  config.coverage_quorum = c.coverage_quorum;
+  config.low_coverage_extra_streak = c.low_coverage_extra_streak;
+  config.degraded_mode_after = c.degraded_mode_after;
   return config;
 }
 
@@ -139,7 +142,12 @@ void HangDetector::schedule_next_sample() {
 
 void HangDetector::take_sample() {
   if (stopped_ || state_ != State::kSampling) return;
-  const double sample = sampler_.measure();
+  const auto qualified = sampler_.measure_qualified();
+  // Coverage-scaled estimate: unseen ranks count as IN_MPI — conservative
+  // for hang detection (a hung rank that went unobserved can only make the
+  // sample look *more* suspicious, never less). Exact identity when the
+  // tool is healthy (coverage == 1).
+  const double sample = qualified.scrout * qualified.coverage;
   obs::TelemetrySink* sink = world_.engine().telemetry();
   const sim::Time now = world_.engine().now();
   // §3.3: alternate between the two disjoint sets, staying on each long
@@ -159,12 +167,17 @@ void HangDetector::take_sample() {
   }
 
   const bool freeze = judge_.model_frozen();
-  if (!freeze) {
+  // Below-quorum samples are withheld from the model: a half-blind tool
+  // must not teach the model that low S_crout values are normal.
+  const bool meets_quorum = qualified.coverage >= config_.coverage_quorum;
+  if (!freeze && meets_quorum) {
     judge_.model().add_sample(sample);
     tuner_.on_model_sample(judge_.model(), sink, now, label());
   }
 
-  const auto verdict = judge_.judge(sample, tuner_.randomness_confirmed());
+  const auto verdict = judge_.judge(sample, tuner_.randomness_confirmed(),
+                                    qualified.coverage);
+  if (verdict.entered_degraded) ++degraded_entries_;
 
   if (sink != nullptr) {
     obs::SampleEvent event;
@@ -183,16 +196,34 @@ void HangDetector::take_sample() {
     event.required_streak = verdict.decision.k;
     event.suspicious = verdict.suspicious;
     event.streak = judge_.streak();
+    event.coverage = qualified.coverage;
+    event.degraded = judge_.degraded_mode();
     sink->on_sample(event);
     if (verdict.suspicious) {
       emit_streak(sink, now, label(),
                   verdict.verify ? obs::StreakEvent::Kind::kVerify
                                  : obs::StreakEvent::Kind::kAdvance,
-                  judge_.streak(), verdict.decision.k, "suspicious-sample");
+                  judge_.streak(), verdict.required, "suspicious-sample");
     } else if (verdict.ended_streak > 0) {
       emit_streak(sink, now, label(), obs::StreakEvent::Kind::kReset,
                   verdict.ended_streak, verdict.decision.k, "healthy-sample");
     }
+  }
+
+  if (verdict.entered_degraded || verdict.exited_degraded) {
+    debug_log("degraded mode %s at t=%.2fs (coverage %.2f)",
+              verdict.entered_degraded ? "entered" : "exited",
+              sim::to_seconds(now), qualified.coverage);
+    if (sink != nullptr) {
+      obs::DegradedModeEvent event;
+      event.time = now;
+      event.detector = label();
+      event.entered = verdict.entered_degraded;
+      event.coverage = qualified.coverage;
+      event.consecutive_low = judge_.consecutive_low_coverage();
+      sink->on_degraded_mode(event);
+    }
+    if (on_degraded) on_degraded(verdict.entered_degraded);
   }
 
   if (verdict.verify) {

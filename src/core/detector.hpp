@@ -59,6 +59,11 @@ class HangDetector final : public Detector {
   /// first with the unified Detection record.
   std::function<void(const HangReport&)> on_hang;
   std::function<void(const SlowdownReport&)> on_slowdown;
+  /// Degraded-mode transitions (tool-fault model): invoked with `true` when
+  /// monitor coverage has been below quorum for the configured number of
+  /// consecutive samples, `false` when coverage recovers. The harness uses
+  /// the entry transition to start a fallback TimeoutDetector.
+  std::function<void(bool entered)> on_degraded;
 
   /// §6 "Applications with multiple phases": an instrumented application
   /// (or its launcher) may announce phase changes; the detector then keeps
@@ -97,6 +102,9 @@ class HangDetector final : public Detector {
   const DetectorConfig& config() const noexcept { return config_; }
   /// True while the §3.3/§4 verification sweeps are in flight.
   bool verifying() const noexcept { return state_ == State::kVerifying; }
+  /// Degraded-mode introspection (tool-fault model).
+  bool degraded() const noexcept { return judge_.degraded_mode(); }
+  std::size_t degraded_entries() const noexcept { return degraded_entries_; }
 
  private:
   enum class State { kIdle, kSampling, kVerifying, kDone };
@@ -130,6 +138,7 @@ class HangDetector final : public Detector {
 
   State state_ = State::kIdle;
   bool stopped_ = false;
+  std::size_t degraded_entries_ = 0;
   std::vector<HangReport> hang_reports_;
   std::vector<SlowdownReport> slowdown_reports_;
 };

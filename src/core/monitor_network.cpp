@@ -22,9 +22,108 @@ int MonitorNetwork::active_monitors_for(
   return static_cast<int>(nodes.size());
 }
 
+bool MonitorNetwork::monitor_alive(int node) const {
+  if (!plan_) return true;
+  return node >= 0 && node < static_cast<int>(dead_.size()) &&
+         !dead_[static_cast<std::size_t>(node)];
+}
+
+void MonitorNetwork::set_tool_faults(const faults::ToolFaultPlan& plan) {
+  if (!plan.active()) return;  // inactive plan: keep the zero-cost path
+  PS_CHECK(samples_ == 0,
+           "set_tool_faults must be called before the first sample");
+  plan_ = plan;
+  tool_rng_ = util::Rng(plan.seed);
+  dead_.assign(static_cast<std::size_t>(world_.nnodes()), false);
+  lead_ = 0;
+  // Resolve random victims now, in plan order, so the crash pattern is a
+  // pure function of the plan seed (not of sampling timing).
+  crash_schedule_.clear();
+  std::vector<int> candidates;  // non-lead monitors still unassigned
+  for (int node = 1; node < world_.nnodes(); ++node) candidates.push_back(node);
+  for (const auto& crash : plan.monitor_crashes) {
+    faults::MonitorCrash resolved = crash;
+    if (resolved.monitor < 0) {
+      if (candidates.empty()) continue;  // no non-lead monitor left to kill
+      const auto pick = static_cast<std::size_t>(
+          tool_rng_.uniform_int(static_cast<std::uint64_t>(candidates.size())));
+      resolved.monitor = candidates[pick];
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    PS_CHECK(resolved.monitor < world_.nnodes(),
+             "monitor crash victim out of range");
+    crash_schedule_.push_back(resolved);
+  }
+  std::stable_sort(crash_schedule_.begin(), crash_schedule_.end(),
+                   [](const faults::MonitorCrash& a,
+                      const faults::MonitorCrash& b) { return a.at < b.at; });
+  next_crash_ = 0;
+  lead_crash_applied_ = false;
+}
+
+void MonitorNetwork::crash_monitor(int node, sim::Time at) {
+  if (node < 0 || !monitor_alive(node)) return;  // already dead: no-op
+  dead_[static_cast<std::size_t>(node)] = true;
+  ++crashes_;
+  const bool was_lead = node == lead_;
+  int alive = 0;
+  for (const bool dead : dead_) alive += dead ? 0 : 1;
+  if (obs::TelemetrySink* sink = world_.engine().telemetry();
+      sink != nullptr) {
+    obs::MonitorCrashEvent event;
+    event.time = at;
+    event.monitor = node;
+    event.was_lead = was_lead;
+    event.alive = alive;
+    sink->on_monitor_crash(event);
+  }
+  if (!was_lead) return;
+  // Deterministic failover: the lowest surviving monitor id takes over and
+  // every survivor re-registers with it (charged to the next sample).
+  const int old_lead = lead_;
+  lead_ = -1;
+  for (int candidate = 0; candidate < world_.nnodes(); ++candidate) {
+    if (monitor_alive(candidate)) {
+      lead_ = candidate;
+      break;
+    }
+  }
+  ++failovers_;
+  pending_reregistration_ += plan_->reregistration_latency;
+  if (obs::TelemetrySink* sink = world_.engine().telemetry();
+      sink != nullptr) {
+    obs::LeadFailoverEvent event;
+    event.time = at;
+    event.from = old_lead;
+    event.to = lead_;
+    event.reregistration_latency = plan_->reregistration_latency;
+    sink->on_lead_failover(event);
+  }
+}
+
+void MonitorNetwork::advance_tool_state(sim::Time now) {
+  while (next_crash_ < crash_schedule_.size() &&
+         crash_schedule_[next_crash_].at <= now) {
+    const auto& crash = crash_schedule_[next_crash_];
+    crash_monitor(crash.monitor, crash.at);
+    ++next_crash_;
+  }
+  if (!lead_crash_applied_ && plan_->lead_crash_at.has_value() &&
+      *plan_->lead_crash_at <= now) {
+    lead_crash_applied_ = true;
+    crash_monitor(lead_, *plan_->lead_crash_at);
+  }
+}
+
 MonitorNetwork::Measurement MonitorNetwork::measure(
     const std::vector<simmpi::Rank>& set) {
   PS_CHECK(!set.empty(), "cannot measure an empty monitor set");
+  if (!plan_) return measure_healthy(set);
+  return measure_under_faults(set);
+}
+
+MonitorNetwork::Measurement MonitorNetwork::measure_healthy(
+    const std::vector<simmpi::Rank>& set) {
   Measurement measurement;
   int out = 0;
   for (const auto rank : set) {
@@ -48,19 +147,151 @@ MonitorNetwork::Measurement MonitorNetwork::measure(
       static_cast<sim::Time>(depth) * world_.platform().network_latency;
   traced_ += static_cast<std::uint64_t>(measurement.ranks_traced);
   ++samples_;
-  if (obs::TelemetrySink* sink = world_.engine().telemetry();
-      sink != nullptr) {
-    obs::MonitorSampleEvent event;
-    event.time = world_.engine().now();
-    event.ranks_traced = measurement.ranks_traced;
-    event.active_monitors = measurement.active_monitors;
-    event.monitor_count = monitor_count();
-    event.messages = partials;
-    event.bytes = partials * 8;
-    event.aggregation_latency = measurement.aggregation_latency;
-    sink->on_monitor_sample(event);
-  }
+  emit_sample_event(measurement, partials, partials * 8);
   return measurement;
+}
+
+MonitorNetwork::Measurement MonitorNetwork::measure_under_faults(
+    const std::vector<simmpi::Rank>& set) {
+  const sim::Time now = world_.engine().now();
+  advance_tool_state(now);
+
+  Measurement measurement;
+  measurement.active_monitors = active_monitors_for(set);
+  measurement.coverage = 0.0;
+
+  // Group the set by hosting node, in ascending node order (the order the
+  // lead polls partials in — also the RNG draw order, so the loss pattern
+  // is a pure function of the plan seed and the sample sequence).
+  std::vector<std::pair<int, std::vector<simmpi::Rank>>> by_node;
+  for (const auto rank : set) {
+    const int node = world_.node_of(rank);
+    auto it = std::find_if(by_node.begin(), by_node.end(),
+                           [node](const auto& entry) {
+                             return entry.first == node;
+                           });
+    if (it == by_node.end()) {
+      by_node.emplace_back(node, std::vector<simmpi::Rank>{rank});
+    } else {
+      it->second.push_back(rank);
+    }
+  }
+  std::sort(by_node.begin(), by_node.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::uint64_t sample_messages = 0;
+  sim::Time worst_penalty = 0;
+  int covered = 0;
+  int out_covered = 0;
+  int alive_active = 0;
+
+  if (lead_ < 0) {
+    // Every monitor is dead: nobody traces, nothing is aggregated.
+    measurement.partials_missing = measurement.active_monitors;
+    measurement.degraded = true;
+  } else {
+    for (const auto& [node, ranks] : by_node) {
+      if (!monitor_alive(node)) {
+        ++measurement.partials_missing;  // this monitor's partial never comes
+        continue;
+      }
+      ++alive_active;
+      // The local monitor traces its targets (ptrace cost is charged even
+      // when the resulting count is later lost in flight).
+      int node_out = 0;
+      for (const auto rank : ranks) {
+        const auto snapshot = inspector_.trace(rank);
+        if (!snapshot.in_mpi) ++node_out;
+        ++measurement.ranks_traced;
+      }
+      if (node == lead_) {
+        // The lead counts its own ranks locally; no message involved.
+        covered += static_cast<int>(ranks.size());
+        out_covered += node_out;
+        continue;
+      }
+      // One 8-byte partial count to the lead; lost messages are re-requested
+      // after `sample_timeout` with exponentially growing backoff.
+      ++sample_messages;
+      bool delivered = !tool_rng_.bernoulli(plan_->loss_probability);
+      int attempts_retried = 0;
+      sim::Time penalty = 0;
+      while (!delivered && attempts_retried < plan_->max_retries) {
+        ++attempts_retried;
+        ++sample_messages;
+        penalty += plan_->sample_timeout +
+                   (plan_->retry_backoff << (attempts_retried - 1));
+        delivered = !tool_rng_.bernoulli(plan_->loss_probability);
+      }
+      if (delivered && plan_->delay_mean > 0) {
+        penalty += static_cast<sim::Time>(
+            tool_rng_.exponential(static_cast<double>(plan_->delay_mean)));
+      }
+      if (!delivered) {
+        penalty += plan_->sample_timeout;  // the lead's final wait
+        ++measurement.partials_missing;
+        ++lost_;
+      } else {
+        covered += static_cast<int>(ranks.size());
+        out_covered += node_out;
+      }
+      measurement.retries += attempts_retried;
+      retries_total_ += static_cast<std::uint64_t>(attempts_retried);
+      worst_penalty = std::max(worst_penalty, penalty);
+      if (attempts_retried > 0) {
+        if (obs::TelemetrySink* sink = world_.engine().telemetry();
+            sink != nullptr) {
+          obs::SampleTimeoutEvent event;
+          event.time = now;
+          event.monitor = node;
+          event.retries = attempts_retried;
+          event.recovered = delivered;
+          sink->on_sample_timeout(event);
+        }
+      }
+    }
+    measurement.coverage =
+        static_cast<double>(covered) / static_cast<double>(set.size());
+    measurement.degraded = covered == 0;
+  }
+
+  measurement.scrout =
+      covered > 0 ? static_cast<double>(out_covered) /
+                        static_cast<double>(covered)
+                  : 0.0;
+  const int depth = std::bit_width(
+      static_cast<unsigned>(std::max(alive_active - 1, 1)));
+  measurement.aggregation_latency =
+      static_cast<sim::Time>(depth) * world_.platform().network_latency +
+      worst_penalty + pending_reregistration_;
+  pending_reregistration_ = 0;
+
+  messages_ += sample_messages;
+  bytes_ += sample_messages * 8;
+  traced_ += static_cast<std::uint64_t>(measurement.ranks_traced);
+  ++samples_;
+  emit_sample_event(measurement, sample_messages, sample_messages * 8);
+  return measurement;
+}
+
+void MonitorNetwork::emit_sample_event(const Measurement& measurement,
+                                       std::uint64_t messages,
+                                       std::uint64_t bytes) {
+  obs::TelemetrySink* sink = world_.engine().telemetry();
+  if (sink == nullptr) return;
+  obs::MonitorSampleEvent event;
+  event.time = world_.engine().now();
+  event.ranks_traced = measurement.ranks_traced;
+  event.active_monitors = measurement.active_monitors;
+  event.monitor_count = monitor_count();
+  event.messages = messages;
+  event.bytes = bytes;
+  event.aggregation_latency = measurement.aggregation_latency;
+  event.partials_missing = measurement.partials_missing;
+  event.retries = measurement.retries;
+  event.coverage = measurement.coverage;
+  event.degraded = measurement.degraded;
+  sink->on_monitor_sample(event);
 }
 
 }  // namespace parastack::core

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "faults/fault.hpp"
 #include "simmpi/types.hpp"
 #include "simmpi/world.hpp"
 #include "trace/inspector.hpp"
+#include "util/rng.hpp"
 
 namespace parastack::core {
 
@@ -18,18 +21,31 @@ namespace parastack::core {
 ///   - at most C processes are traced per sample,
 ///   - at most C monitor messages cross the network per sample,
 ///   - idle monitors consume (simulated) nothing.
+///
+/// The network can additionally carry a faults::ToolFaultPlan
+/// (set_tool_faults): partial-count messages may then be lost or delayed,
+/// monitors may crash on a schedule, and a dead lead triggers deterministic
+/// failover to the lowest surviving monitor id. With no plan (or an
+/// inactive one) the original zero-fault path runs unchanged — no extra RNG
+/// draws, identical accounting, identical telemetry.
 class MonitorNetwork {
  public:
   explicit MonitorNetwork(simmpi::World& world,
                           trace::StackInspector& inspector);
 
   struct Measurement {
-    double scrout = 0.0;
-    int ranks_traced = 0;
-    int active_monitors = 0;
+    double scrout = 0.0;      ///< over the partials that reached the lead
+    int ranks_traced = 0;     ///< ranks actually ptraced this sample
+    int active_monitors = 0;  ///< distinct nodes hosting the set
     /// Tool-internal latency to gather the partial counts at the lead
-    /// monitor (tree over the active monitors).
+    /// monitor (tree over the active monitors, plus timeout/retry/failover
+    /// penalties under an active tool-fault plan).
     sim::Time aggregation_latency = 0;
+    // Tool-fault bookkeeping; defaults describe a healthy sample.
+    int partials_missing = 0;  ///< partial counts that never arrived
+    int retries = 0;           ///< retransmissions this sample
+    double coverage = 1.0;     ///< counted ranks / set size
+    bool degraded = false;     ///< nothing arrived: the sample is blind
   };
 
   /// One S_crout sample of `set`, performed the way the real tool does it:
@@ -38,9 +54,18 @@ class MonitorNetwork {
   /// inspector.
   Measurement measure(const std::vector<simmpi::Rank>& set);
 
+  /// Arm the tool-side fault model. Call before the first sample; an
+  /// inactive plan is ignored (the healthy path stays byte-identical).
+  void set_tool_faults(const faults::ToolFaultPlan& plan);
+  bool tool_faults_active() const noexcept { return plan_.has_value(); }
+
   int monitor_count() const noexcept { return world_.nnodes(); }
   /// Monitors that would be active for `set` (distinct hosting nodes).
   int active_monitors_for(const std::vector<simmpi::Rank>& set) const;
+  /// Current aggregation root (lowest surviving monitor id; -1 = none
+  /// left). Without a fault plan the lead is monitor 0 and immortal.
+  int lead_monitor() const noexcept { return lead_; }
+  bool monitor_alive(int node) const;
 
   /// Cumulative tool-internal traffic (for the scalability accounting).
   std::uint64_t messages_sent() const noexcept { return messages_; }
@@ -50,13 +75,42 @@ class MonitorNetwork {
   /// sweeps go directly through the inspector and are one-off O(P)).
   std::uint64_t ranks_traced_total() const noexcept { return traced_; }
 
+  /// Tool-fault outcome counters (all zero without an active plan).
+  std::uint64_t monitor_crashes() const noexcept { return crashes_; }
+  std::uint64_t lead_failovers() const noexcept { return failovers_; }
+  std::uint64_t partials_lost() const noexcept { return lost_; }
+  std::uint64_t retransmissions() const noexcept { return retries_total_; }
+
  private:
+  Measurement measure_healthy(const std::vector<simmpi::Rank>& set);
+  Measurement measure_under_faults(const std::vector<simmpi::Rank>& set);
+  /// Apply every scheduled crash whose instant has passed; maintains the
+  /// lead and emits crash/failover telemetry.
+  void advance_tool_state(sim::Time now);
+  void crash_monitor(int node, sim::Time at);
+  void emit_sample_event(const Measurement& measurement, std::uint64_t messages,
+                         std::uint64_t bytes);
+
   simmpi::World& world_;
   trace::StackInspector& inspector_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t samples_ = 0;
   std::uint64_t traced_ = 0;
+
+  // Tool-fault state (untouched unless set_tool_faults armed a plan).
+  std::optional<faults::ToolFaultPlan> plan_;
+  util::Rng tool_rng_;
+  std::vector<bool> dead_;
+  std::vector<faults::MonitorCrash> crash_schedule_;  ///< victims resolved
+  std::size_t next_crash_ = 0;
+  bool lead_crash_applied_ = false;
+  int lead_ = 0;
+  sim::Time pending_reregistration_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t retries_total_ = 0;
 };
 
 }  // namespace parastack::core

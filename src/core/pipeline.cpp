@@ -56,15 +56,26 @@ const std::vector<simmpi::Rank>& ScroutSampler::monitor_set(int index) const {
   return sets_[index];
 }
 
-double ScroutSampler::measure() {
+double ScroutSampler::measure() { return measure_qualified().scrout; }
+
+ScroutSampler::Sample ScroutSampler::measure_qualified() {
   const auto& set = sets_[active_set_];
-  if (monitors_ != nullptr) return monitors_->measure(set).scrout;
+  Sample sample;
+  if (monitors_ != nullptr) {
+    const auto measurement = monitors_->measure(set);
+    sample.scrout = measurement.scrout;
+    sample.coverage = measurement.coverage;
+    sample.degraded = measurement.degraded;
+    sample.partials_missing = measurement.partials_missing;
+    return sample;
+  }
   int out = 0;
   for (const simmpi::Rank r : set) {
     const auto snapshot = inspector_.trace(r);
     if (!snapshot.in_mpi) ++out;
   }
-  return static_cast<double>(out) / static_cast<double>(set.size());
+  sample.scrout = static_cast<double>(out) / static_cast<double>(set.size());
+  return sample;
 }
 
 sim::Time ScroutSampler::next_delay(sim::Time interval) {
@@ -164,25 +175,56 @@ void IntervalTuner::on_model_sample(ScroutModel& model,
 // --- SuspicionJudge --------------------------------------------------------
 
 SuspicionJudge::Verdict SuspicionJudge::judge(double sample,
-                                              bool randomness_confirmed) {
+                                              bool randomness_confirmed,
+                                              double coverage) {
   Verdict verdict;
   verdict.decision = model_.decision(config_.alpha);
+  verdict.required = verdict.decision.k;
+
+  // Tool-health bookkeeping first: degraded mode is about the monitoring
+  // substrate, independent of what the (possibly blind) value says.
+  const bool below_quorum = coverage < config_.coverage_quorum;
+  if (below_quorum) {
+    ++low_coverage_run_;
+    if (!degraded_ && low_coverage_run_ >= config_.degraded_mode_after) {
+      degraded_ = true;
+      verdict.entered_degraded = true;
+    }
+  } else {
+    low_coverage_run_ = 0;
+    if (degraded_) {
+      degraded_ = false;
+      verdict.exited_degraded = true;
+    }
+  }
+  // A zero-coverage sample cannot distinguish a hung application from a
+  // blind tool: it neither advances nor ends the streak.
+  if (coverage <= 0.0) return verdict;
+
   // Detection waits for BOTH readiness gates (paper §3.2: "ParaStack needs
   // to accumulate at least n_m',0.3 *random* samples").
   if (verdict.decision.ready && randomness_confirmed) {
     if (sample <= verdict.decision.threshold + 1e-12) {
       verdict.suspicious = true;
       ++streak_;
-      verdict.verify = streak_ >= verdict.decision.k;
+      if (below_quorum) ++streak_low_samples_;
+      // Below-quorum evidence is weaker: the streak must run past k by the
+      // configured surcharge before verification starts.
+      verdict.required =
+          verdict.decision.k +
+          (streak_low_samples_ > 0 ? config_.low_coverage_extra_streak : 0);
+      verdict.verify = streak_ >= verdict.required;
     } else {
       verdict.ended_streak = streak_;
       streak_ = 0;
+      streak_low_samples_ = 0;
     }
   }
   return verdict;
 }
 
 std::size_t SuspicionJudge::reset_streak() noexcept {
+  streak_low_samples_ = 0;
   return std::exchange(streak_, 0);
 }
 

@@ -56,8 +56,23 @@ class ScroutSampler {
     monitors_ = network;
   }
 
+  /// One coverage-qualified S_crout observation. `scrout` is computed over
+  /// the ranks whose partial counts actually reached the lead monitor;
+  /// `coverage` says how much of the set that was. Without a monitor
+  /// network (or without tool faults) coverage is always 1.
+  struct Sample {
+    double scrout = 0.0;
+    double coverage = 1.0;
+    bool degraded = false;     ///< nothing arrived: the sample is blind
+    int partials_missing = 0;
+  };
+
   /// S_crout of the active set.
   double measure();
+
+  /// Like measure(), but keeps the tool-health qualifiers the monitor
+  /// network attaches to the sample.
+  Sample measure_qualified();
 
   /// r_step = rand(I) + I/2: uniform over [I/2, 3I/2], mean I (§3.1).
   sim::Time next_delay(sim::Time interval);
@@ -141,6 +156,18 @@ class SuspicionJudge {
     double alpha = 0.001;
     bool freeze_model_during_streak = false;
     std::size_t model_freeze_streak = 8;
+    /// Tool-health quorum: a sample whose coverage is below this fraction
+    /// is "below quorum" — it still advances the streak (missing ranks are
+    /// treated as IN_MPI via coverage scaling) but verification then needs
+    /// `low_coverage_extra_streak` additional consecutive suspicious
+    /// observations, because q^k bounds the false-alarm rate only for
+    /// fully observed samples.
+    double coverage_quorum = 0.55;
+    std::size_t low_coverage_extra_streak = 3;
+    /// After this many consecutive below-quorum samples the judge enters
+    /// explicit degraded mode (journaled; the harness can start a fallback
+    /// TimeoutDetector on the transition).
+    std::size_t degraded_mode_after = 8;
   };
 
   explicit SuspicionJudge(const Config& config) : config_(config) {}
@@ -165,12 +192,29 @@ class SuspicionJudge {
     bool suspicious = false;     ///< counted toward the streak
     bool verify = false;         ///< streak reached k: start verification
     std::size_t ended_streak = 0;  ///< >0 when a healthy sample reset one
+    /// Streak length verification actually required (k, plus the
+    /// low-coverage surcharge when the streak saw below-quorum samples).
+    std::size_t required = 0;
+    bool entered_degraded = false;  ///< this sample tripped degraded mode
+    bool exited_degraded = false;   ///< coverage recovered on this sample
   };
 
   /// Judge one S_crout sample. Detection is gated on BOTH the ladder being
   /// ready and the runs test having accepted the sampling as random — q^k
   /// bounds the false-alarm probability only under independent sampling.
-  Verdict judge(double sample, bool randomness_confirmed);
+  /// `coverage` qualifies the sample's tool health (see Config): callers
+  /// pass the coverage-scaled estimate as `sample` and the raw coverage
+  /// here. A zero-coverage sample carries no signal at all — it neither
+  /// advances nor resets the streak, it only counts toward degraded mode.
+  Verdict judge(double sample, bool randomness_confirmed,
+                double coverage = 1.0);
+
+  /// True while coverage has been below quorum for degraded_mode_after
+  /// consecutive samples (and has not recovered yet).
+  bool degraded_mode() const noexcept { return degraded_; }
+  std::size_t consecutive_low_coverage() const noexcept {
+    return low_coverage_run_;
+  }
 
   /// End the current streak (set switch, slowdown verdict, phase change);
   /// returns the length it had.
@@ -194,6 +238,10 @@ class SuspicionJudge {
   std::size_t streak_ = 0;
   int current_phase_ = 0;
   std::map<int, PhaseState> stash_;
+  // Tool-health state (all quiescent while coverage stays at 1).
+  std::size_t low_coverage_run_ = 0;   ///< consecutive below-quorum samples
+  std::size_t streak_low_samples_ = 0;  ///< below-quorum samples in streak
+  bool degraded_ = false;
 };
 
 /// Stage 4 (§3.3): once a streak completes, full stack-trace sweeps decide

@@ -18,6 +18,8 @@ std::string_view fault_type_name(FaultType type) noexcept {
     case FaultType::kCommDeadlock: return "comm-deadlock";
     case FaultType::kTransientSlowdown: return "transient-slowdown";
     case FaultType::kNodeFreeze: return "node-freeze";
+    case FaultType::kMonitorCrash: return "monitor-crash";
+    case FaultType::kLeadCrash: return "lead-crash";
   }
   return "?";
 }
@@ -99,12 +101,13 @@ FaultInjector::FaultInjector(FaultPlan plan)
   record_->planned_trigger = plan_.trigger_time;
 }
 
-simmpi::ProgramFactory FaultInjector::wrap(simmpi::ProgramFactory inner) const {
+simmpi::ProgramFactory FaultInjector::wrap(simmpi::ProgramFactory inner) {
   if (plan_.type != FaultType::kComputeHang &&
       plan_.type != FaultType::kCommDeadlock) {
     return inner;
   }
   PS_CHECK(plan_.victim >= 0, "program fault needs a victim rank");
+  wrapped_ = true;
   auto plan = plan_;
   auto record = record_;
   auto clock = clock_;
@@ -120,7 +123,17 @@ simmpi::ProgramFactory FaultInjector::wrap(simmpi::ProgramFactory inner) const {
   };
 }
 
-void FaultInjector::arm(simmpi::World& world) const {
+void FaultInjector::arm(simmpi::World& world) {
+  PS_CHECK(!armed_,
+           "FaultInjector::arm called twice: re-arming would double-schedule "
+           "node faults and mis-record activation");
+  if (plan_.type == FaultType::kComputeHang ||
+      plan_.type == FaultType::kCommDeadlock) {
+    PS_CHECK(wrapped_,
+             "FaultInjector::arm: program-driven fault but wrap() was never "
+             "called — build the World from the wrapped factory first");
+  }
+  armed_ = true;
   *clock_ = [engine = &world.engine()] { return engine->now(); };
   *notify_ = [engine = &world.engine(), plan = plan_](sim::Time now) {
     if (obs::TelemetrySink* sink = engine->telemetry(); sink != nullptr) {

@@ -25,11 +25,16 @@ class FaultInjector {
   explicit FaultInjector(FaultPlan plan);
 
   /// Wrap a program factory so the victim's stream carries the fault.
-  simmpi::ProgramFactory wrap(simmpi::ProgramFactory inner) const;
+  /// Must be called (and the World built from the wrapped factory) before
+  /// arm() for program-driven fault types.
+  simmpi::ProgramFactory wrap(simmpi::ProgramFactory inner);
 
   /// Bind the world: arms node-level faults and gives program-driven faults
-  /// access to the virtual clock.
-  void arm(simmpi::World& world) const;
+  /// access to the virtual clock. Fails loudly (PS_CHECK) when called twice
+  /// — re-arming would double-schedule node faults and mis-record the
+  /// activation — or when a program-driven fault was never wrapped, which
+  /// would otherwise silently inject nothing.
+  void arm(simmpi::World& world);
 
   const FaultRecord& record() const noexcept { return *record_; }
 
@@ -40,6 +45,8 @@ class FaultInjector {
   std::shared_ptr<std::function<sim::Time()>> clock_;
   /// Set by arm(); invoked once when the fault activates (telemetry).
   std::shared_ptr<std::function<void(sim::Time)>> notify_;
+  bool wrapped_ = false;  ///< wrap() installed the hanging program
+  bool armed_ = false;    ///< arm() already bound a world
 };
 
 }  // namespace parastack::faults

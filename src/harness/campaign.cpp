@@ -115,6 +115,11 @@ void account_erroneous_run(ErroneousCampaignResult& out, RunResult result) {
   } else if (!false_positive) {
     ++out.missed;
   }
+  out.monitor_crashes += result.monitor_crashes;
+  out.lead_failovers += result.lead_failovers;
+  out.partials_lost += result.partials_lost;
+  out.sample_retries += result.sample_retries;
+  out.degraded_entries += result.degraded_entries;
   out.results.push_back(std::move(result));
 }
 

@@ -50,6 +50,13 @@ struct ErroneousCampaignResult {
   int communication_verdicts = 0;
   int victim_identified = 0;
   double precision_sum = 0.0;
+  /// Tool-fault aggregates over all trials (all zero when the campaign ran
+  /// without an active ToolFaultPlan).
+  std::uint64_t monitor_crashes = 0;
+  std::uint64_t lead_failovers = 0;
+  std::uint64_t partials_lost = 0;
+  std::uint64_t sample_retries = 0;
+  std::size_t degraded_entries = 0;
   std::vector<RunResult> results;
 
   double accuracy() const;

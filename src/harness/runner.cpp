@@ -272,6 +272,7 @@ RunResult run_one(const RunConfig& config) {
   // appended after it.
   core::DetectorBank bank;
   std::unique_ptr<core::MonitorNetwork> monitors;
+  core::HangDetector* primary_parastack = nullptr;
   for (const DetectorSpec& spec : config.detectors) {
     std::unique_ptr<core::Detector> detector;
     switch (spec.kind) {
@@ -287,6 +288,7 @@ RunResult run_one(const RunConfig& config) {
           }
           parastack->use_monitor_network(monitors.get());
         }
+        if (primary_parastack == nullptr) primary_parastack = parastack.get();
         detector = std::move(parastack);
         break;
       }
@@ -315,6 +317,43 @@ RunResult run_one(const RunConfig& config) {
     };
   }
 
+  // Tool-fault plan: the plan seed is drawn only when a plan is active so
+  // faults-off runs keep their exact RNG stream (byte-identical journals).
+  if (monitors && config.tool_faults.active()) {
+    faults::ToolFaultPlan tool_plan = config.tool_faults;
+    if (tool_plan.seed == 0) tool_plan.seed = rng.next();
+    monitors->set_tool_faults(tool_plan);
+  }
+
+  // Degraded-mode fallback: a plain TimeoutDetector held in reserve and
+  // started the first time the primary ParaStack instance loses quorum for
+  // long enough — a hang striking while the tool is blind still ends the
+  // job eventually. Owned outside the bank: it is not part of the run's
+  // detector roster unless it was actually requested.
+  std::unique_ptr<core::TimeoutDetector> fallback;
+  if (config.degraded_fallback_timeout && primary_parastack != nullptr) {
+    core::TimeoutDetector::Config fallback_config;
+    fallback_config.seed = rng.next();
+    fallback = std::make_unique<core::TimeoutDetector>(world, inspector,
+                                                       fallback_config);
+    fallback->set_label("timeout-fallback");
+    if (config.kill_on_detection) {
+      fallback->on_detection = [&](const core::Detection& detection) {
+        if (!killed) {
+          killed = true;
+          kill_time = detection.detected_at;
+        }
+      };
+    }
+    primary_parastack->on_degraded = [detector = fallback.get(),
+                                      started = false](bool entered) mutable {
+      if (entered && !started) {
+        started = true;
+        detector->start();
+      }
+    };
+  }
+
   if (config.telemetry != nullptr) {
     obs::RunStartEvent event;
     event.bench = workloads::bench_name(config.bench);
@@ -339,6 +378,7 @@ RunResult run_one(const RunConfig& config) {
   }
 
   bank.stop_all();
+  if (fallback) fallback->stop();
 
   result.completed = world.all_finished();
   if (result.completed) result.finish_time = world.finish_time();
@@ -366,9 +406,23 @@ RunResult run_one(const RunConfig& config) {
         result.final_interval = parastack.interval();
         result.interval_doublings = parastack.interval_doublings();
         result.model_samples = parastack.model().size();
+        result.degraded_entries = parastack.degraded_entries();
       }
     }
     result.detectors.push_back(std::move(entry));
+  }
+  if (fallback) {
+    DetectorRunResult entry;
+    entry.label = fallback->label();
+    entry.kind = fallback->kind();
+    entry.detections = fallback->detections();
+    result.detectors.push_back(std::move(entry));
+  }
+  if (monitors) {
+    result.monitor_crashes = monitors->monitor_crashes();
+    result.lead_failovers = monitors->lead_failovers();
+    result.partials_lost = monitors->partials_lost();
+    result.sample_retries = monitors->retransmissions();
   }
   result.traces = inspector.traces();
   result.trace_cost = inspector.total_cost_charged();

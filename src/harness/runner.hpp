@@ -90,6 +90,16 @@ struct RunConfig {
   /// tool's own traffic is accounted (observable values are identical).
   bool use_monitor_network = true;
 
+  /// Tool-side fault plan (monitor crashes, partial loss, delays). Applied
+  /// to the monitor network when active(); inert by default. The plan seed
+  /// is drawn from the run seed when left at 0 — and that draw only happens
+  /// for an active plan, so faults-off runs keep their exact RNG stream.
+  faults::ToolFaultPlan tool_faults;
+  /// When the primary ParaStack detector enters degraded mode (coverage
+  /// below quorum for too long), start a fallback TimeoutDetector so a hang
+  /// striking while the tool is blind is still eventually caught.
+  bool degraded_fallback_timeout = false;
+
   /// Telemetry sink attached to the run's engine for its whole lifetime
   /// (journal / metrics / trace). Not owned; may be null. The runner emits
   /// run_start / run_end itself; everything else comes from the components.
@@ -126,6 +136,12 @@ struct RunResult {
   sim::Time final_interval = 0;
   std::size_t interval_doublings = 0;
   std::size_t model_samples = 0;
+  /// Tool-fault accounting (all zero when no tool-fault plan was active).
+  std::uint64_t monitor_crashes = 0;
+  std::uint64_t lead_failovers = 0;
+  std::uint64_t partials_lost = 0;
+  std::uint64_t sample_retries = 0;
+  std::size_t degraded_entries = 0;
 
   /// First entry of this kind, or nullptr.
   const DetectorRunResult* detector(core::DetectorKind kind) const;

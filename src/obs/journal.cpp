@@ -57,6 +57,9 @@ void JsonlJournal::on_sample(const SampleEvent& e) {
       .field("k", e.required_streak)
       .field("suspicious", e.suspicious)
       .field("streak", e.streak);
+  if (e.coverage < 1.0 || e.degraded) {
+    line.field("coverage", e.coverage).field("degraded", e.degraded);
+  }
   line.done();
   out_ << '\n';
   ++lines_;
@@ -187,6 +190,64 @@ void JsonlJournal::on_monitor_sample(const MonitorSampleEvent& e) {
       .field("messages", e.messages)
       .field("bytes", e.bytes)
       .field("agg_latency_ns", e.aggregation_latency);
+  // Tool-fault fields appear only on impaired samples: healthy journals
+  // stay byte-identical to the pre-fault-model format.
+  if (e.partials_missing > 0 || e.retries > 0 || e.coverage < 1.0 ||
+      e.degraded) {
+    line.field("missing", e.partials_missing)
+        .field("retries", e.retries)
+        .field("coverage", e.coverage)
+        .field("degraded", e.degraded);
+  }
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_monitor_crash(const MonitorCrashEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "monitor_crash")
+      .field("t_ns", e.time)
+      .field("monitor", e.monitor)
+      .field("was_lead", e.was_lead)
+      .field("alive", e.alive);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_lead_failover(const LeadFailoverEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "lead_failover")
+      .field("t_ns", e.time)
+      .field("from", e.from)
+      .field("to", e.to)
+      .field("rereg_ns", e.reregistration_latency);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_sample_timeout(const SampleTimeoutEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "sample_timeout")
+      .field("t_ns", e.time)
+      .field("monitor", e.monitor)
+      .field("retries", e.retries)
+      .field("recovered", e.recovered);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_degraded_mode(const DegradedModeEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "degraded_mode");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
+      .field("entered", e.entered)
+      .field("coverage", e.coverage)
+      .field("low_streak", e.consecutive_low);
   line.done();
   out_ << '\n';
   ++lines_;

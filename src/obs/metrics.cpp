@@ -167,6 +167,39 @@ void MetricsSink::on_monitor_sample(const MonitorSampleEvent& e) {
       .add(static_cast<double>(e.aggregation_latency) / 1e3);
   registry_.summary("monitor.active_monitors")
       .add(static_cast<double>(e.active_monitors));
+  // Guarded so a healthy run's metrics document is byte-identical to the
+  // pre-fault-model one (create-on-first-use keeps the keys absent).
+  if (e.partials_missing > 0) {
+    registry_.counter("monitor.partials_missing") +=
+        static_cast<std::uint64_t>(e.partials_missing);
+  }
+  if (e.retries > 0) {
+    registry_.counter("monitor.retries") +=
+        static_cast<std::uint64_t>(e.retries);
+  }
+  if (e.coverage < 1.0) registry_.summary("monitor.coverage").add(e.coverage);
+  if (e.degraded) ++registry_.counter("monitor.degraded_samples");
+}
+
+void MetricsSink::on_monitor_crash(const MonitorCrashEvent&) {
+  ++registry_.counter("monitor.crashes");
+}
+
+void MetricsSink::on_lead_failover(const LeadFailoverEvent&) {
+  ++registry_.counter("monitor.lead_failovers");
+}
+
+void MetricsSink::on_sample_timeout(const SampleTimeoutEvent& e) {
+  ++registry_.counter("monitor.sample_timeouts");
+  if (!e.recovered) ++registry_.counter("monitor.partials_lost");
+}
+
+void MetricsSink::on_degraded_mode(const DegradedModeEvent& e) {
+  if (e.entered) {
+    ++registry_.counter("detector.degraded_entries");
+  } else {
+    ++registry_.counter("detector.degraded_exits");
+  }
 }
 
 void MetricsSink::on_phase_change(const PhaseChangeEvent&) {

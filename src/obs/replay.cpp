@@ -69,6 +69,24 @@ void RecordingSink::on_monitor_sample(const MonitorSampleEvent& e) {
   events_.push_back(e);
 }
 
+void RecordingSink::on_monitor_crash(const MonitorCrashEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_lead_failover(const LeadFailoverEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_sample_timeout(const SampleTimeoutEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_degraded_mode(const DegradedModeEvent& e) {
+  DegradedModeEvent copy = e;
+  copy.detector = intern(e.detector);
+  events_.push_back(copy);
+}
+
 void RecordingSink::on_phase_change(const PhaseChangeEvent& e) {
   PhaseChangeEvent copy = e;
   copy.detector = intern(e.detector);
@@ -112,6 +130,18 @@ void RecordingSink::replay(TelemetrySink& target) const {
     void operator()(const DetectionEvent& e) const { target.on_detection(e); }
     void operator()(const MonitorSampleEvent& e) const {
       target.on_monitor_sample(e);
+    }
+    void operator()(const MonitorCrashEvent& e) const {
+      target.on_monitor_crash(e);
+    }
+    void operator()(const LeadFailoverEvent& e) const {
+      target.on_lead_failover(e);
+    }
+    void operator()(const SampleTimeoutEvent& e) const {
+      target.on_sample_timeout(e);
+    }
+    void operator()(const DegradedModeEvent& e) const {
+      target.on_degraded_mode(e);
     }
     void operator()(const PhaseChangeEvent& e) const {
       target.on_phase_change(e);

@@ -46,6 +46,18 @@ void MultiSink::on_detection(const DetectionEvent& e) {
 void MultiSink::on_monitor_sample(const MonitorSampleEvent& e) {
   for (auto* s : sinks_) s->on_monitor_sample(e);
 }
+void MultiSink::on_monitor_crash(const MonitorCrashEvent& e) {
+  for (auto* s : sinks_) s->on_monitor_crash(e);
+}
+void MultiSink::on_lead_failover(const LeadFailoverEvent& e) {
+  for (auto* s : sinks_) s->on_lead_failover(e);
+}
+void MultiSink::on_sample_timeout(const SampleTimeoutEvent& e) {
+  for (auto* s : sinks_) s->on_sample_timeout(e);
+}
+void MultiSink::on_degraded_mode(const DegradedModeEvent& e) {
+  for (auto* s : sinks_) s->on_degraded_mode(e);
+}
 void MultiSink::on_phase_change(const PhaseChangeEvent& e) {
   for (auto* s : sinks_) s->on_phase_change(e);
 }

@@ -35,6 +35,10 @@ struct SampleEvent {
   std::size_t required_streak = 0;  ///< k = ceil(log_q alpha)
   bool suspicious = false;  ///< counted toward the streak
   std::size_t streak = 0;   ///< streak length after this sample
+  /// Tool-health qualifiers (tool-fault model); defaults on healthy
+  /// samples, and the journal omits them then.
+  double coverage = 1.0;    ///< monitor coverage behind this sample
+  bool degraded = false;    ///< detector was in degraded mode
 };
 
 /// Wald–Wolfowitz verdict on the accumulated samples (§3.1).
@@ -136,6 +140,46 @@ struct MonitorSampleEvent {
   std::uint64_t messages = 0;      ///< tool messages this sample
   std::uint64_t bytes = 0;         ///< tool bytes this sample
   sim::Time aggregation_latency = 0;
+  // Tool-fault bookkeeping; all stay at their defaults on a healthy sample
+  // (and the journal omits them, keeping faults-off output byte-identical).
+  int partials_missing = 0;  ///< partial counts that never reached the lead
+  int retries = 0;           ///< partial-count retransmissions this sample
+  double coverage = 1.0;     ///< fraction of the monitored set counted
+  bool degraded = false;     ///< no partial arrived: sample carries no signal
+};
+
+/// A per-node monitor process died (tool-side fault model).
+struct MonitorCrashEvent {
+  sim::Time time = 0;
+  int monitor = -1;      ///< node id of the dead monitor
+  bool was_lead = false;
+  int alive = 0;         ///< monitors still alive afterwards
+};
+
+/// The lead monitor died; aggregation re-rooted at the lowest survivor.
+struct LeadFailoverEvent {
+  sim::Time time = 0;
+  int from = -1;
+  int to = -1;           ///< -1: no survivor, the tool is blind
+  sim::Time reregistration_latency = 0;
+};
+
+/// A partial count missed the lead's gather deadline and was re-requested.
+struct SampleTimeoutEvent {
+  sim::Time time = 0;
+  int monitor = -1;      ///< sender whose partial went missing
+  int retries = 0;       ///< retransmissions attempted
+  bool recovered = false;  ///< a retry eventually delivered the count
+};
+
+/// The detector entered or left degraded mode (sample coverage stayed
+/// below the quorum for the configured number of consecutive samples).
+struct DegradedModeEvent {
+  sim::Time time = 0;
+  std::string_view detector;
+  bool entered = false;        ///< false = coverage recovered
+  double coverage = 0.0;       ///< coverage of the sample that flipped it
+  std::size_t consecutive_low = 0;  ///< below-quorum run length at the flip
 };
 
 /// §6 multi-phase application announced a phase switch.
@@ -219,6 +263,10 @@ class TelemetrySink {
   virtual void on_slowdown(const SlowdownEvent&) {}
   virtual void on_detection(const DetectionEvent&) {}
   virtual void on_monitor_sample(const MonitorSampleEvent&) {}
+  virtual void on_monitor_crash(const MonitorCrashEvent&) {}
+  virtual void on_lead_failover(const LeadFailoverEvent&) {}
+  virtual void on_sample_timeout(const SampleTimeoutEvent&) {}
+  virtual void on_degraded_mode(const DegradedModeEvent&) {}
   virtual void on_phase_change(const PhaseChangeEvent&) {}
   virtual void on_fault(const FaultEvent&) {}
   virtual void on_run_start(const RunStartEvent&) {}
@@ -255,6 +303,10 @@ class MultiSink final : public TelemetrySink {
   void on_slowdown(const SlowdownEvent& e) override;
   void on_detection(const DetectionEvent& e) override;
   void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_monitor_crash(const MonitorCrashEvent& e) override;
+  void on_lead_failover(const LeadFailoverEvent& e) override;
+  void on_sample_timeout(const SampleTimeoutEvent& e) override;
+  void on_degraded_mode(const DegradedModeEvent& e) override;
   void on_phase_change(const PhaseChangeEvent& e) override;
   void on_fault(const FaultEvent& e) override;
   void on_run_start(const RunStartEvent& e) override;

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# CLI contract test for psim: bad enum-style flag values must name the valid
+# set and exit non-zero (a typo must not silently run a different
+# experiment), and --tool-faults must round-trip through a real run.
+# Usage: psim_cli_test.sh /path/to/psim
+set -u
+
+PSIM=${1:?usage: psim_cli_test.sh /path/to/psim}
+failures=0
+
+# expect_reject NAME EXPECTED_STDERR_SNIPPET ARGS...
+# Asserts exit code 2 and that stderr mentions the valid choices.
+expect_reject() {
+  local name=$1 snippet=$2
+  shift 2
+  local err
+  err=$("$PSIM" "$@" 2>&1 >/dev/null)
+  local rc=$?
+  if [[ $rc -ne 2 ]]; then
+    echo "FAIL $name: exit code $rc, expected 2" >&2
+    failures=$((failures + 1))
+  elif [[ $err != *"$snippet"* ]]; then
+    echo "FAIL $name: stderr missing '$snippet': $err" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok $name"
+  fi
+}
+
+expect_reject unknown-benchmark "unknown benchmark 'QR'" \
+  run --bench QR --ranks 32
+expect_reject unknown-platform "expected Tardis|Tianhe-2|Stampede" \
+  run --bench LU --ranks 32 --platform BlueGene
+expect_reject unknown-fault "unknown fault type 'fire'" \
+  run --bench LU --ranks 32 --fault fire
+expect_reject unknown-detector "expected parastack|timeout|io-watchdog" \
+  run --bench LU --ranks 32 --detectors parastack,sentinel
+expect_reject unknown-tool-fault-key "unknown tool-fault key 'los'" \
+  run --bench LU --ranks 32 --tool-faults los=0.05
+expect_reject malformed-crash "expected NODE@SEC or rand@SEC" \
+  run --bench LU --ranks 32 --tool-faults crash=3
+expect_reject garbage-tool-fault-value "bad --tool-faults value" \
+  run --bench LU --ranks 32 --tool-faults loss=lots
+expect_reject unknown-batch-system "expected slurm|torque" \
+  submit --bench LU --ranks 32 --system lsf
+
+# A valid faulty run with tool faults: exits 0 and reports the tool-fault
+# accounting line on stdout.
+out=$("$PSIM" run --bench LU --input C --ranks 32 --seed 11 \
+  --fault compute-hang --tool-faults loss=0.1,crash=rand@30 2>&1)
+rc=$?
+if [[ $rc -ne 0 ]]; then
+  echo "FAIL tool-fault-run: exit code $rc, expected 0" >&2
+  echo "$out" >&2
+  failures=$((failures + 1))
+elif [[ $out != *"tool faults:"* ]]; then
+  echo "FAIL tool-fault-run: stdout missing 'tool faults:' line" >&2
+  echo "$out" >&2
+  failures=$((failures + 1))
+else
+  echo "ok tool-fault-run"
+fi
+
+# Faults-off runs must NOT print the tool-fault accounting line.
+out=$("$PSIM" run --bench LU --input C --ranks 32 --seed 11 \
+  --fault compute-hang 2>&1)
+rc=$?
+if [[ $rc -ne 0 ]]; then
+  echo "FAIL clean-run: exit code $rc, expected 0" >&2
+  failures=$((failures + 1))
+elif [[ $out == *"tool faults:"* ]]; then
+  echo "FAIL clean-run: unexpected 'tool faults:' line in faults-off run" >&2
+  failures=$((failures + 1))
+else
+  echo "ok clean-run"
+fi
+
+if [[ $failures -ne 0 ]]; then
+  echo "$failures CLI check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI checks passed"

@@ -395,6 +395,81 @@ std::vector<trace::StackSnapshot> static_round() {
           snap(2, {"main", "solver", "MPI_Allreduce"})};
 }
 
+TEST(SuspicionJudge, BelowQuorumStreakNeedsTheSurcharge) {
+  SuspicionJudge judge({.alpha = 0.001,
+                        .coverage_quorum = 0.55,
+                        .low_coverage_extra_streak = 2,
+                        .degraded_mode_after = 100});
+  fill_healthy(judge.model());
+  const std::size_t k = judge.decision().k;
+  // All-suspicious streak at below-quorum coverage: verification must wait
+  // for k + 2 observations, not k.
+  for (std::size_t i = 1; i <= k + 2; ++i) {
+    const auto verdict = judge.judge(0.0, true, /*coverage=*/0.4);
+    EXPECT_TRUE(verdict.suspicious);
+    EXPECT_EQ(verdict.required, k + 2);
+    EXPECT_EQ(verdict.verify, i >= k + 2) << "streak " << i;
+  }
+}
+
+TEST(SuspicionJudge, AtQuorumCoverageNeedsNoSurcharge) {
+  SuspicionJudge judge({.alpha = 0.001});
+  fill_healthy(judge.model());
+  const std::size_t k = judge.decision().k;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const auto verdict = judge.judge(0.0, true, /*coverage=*/0.8);
+    EXPECT_EQ(verdict.required, k);
+    EXPECT_EQ(verdict.verify, i >= k);
+  }
+}
+
+TEST(SuspicionJudge, ZeroCoverageSampleIsStreakNeutral) {
+  SuspicionJudge judge({.alpha = 0.001});
+  fill_healthy(judge.model());
+  judge.judge(0.0, true);
+  judge.judge(0.0, true);
+  ASSERT_EQ(judge.streak(), 2u);
+  // A blind sample carries no signal: the streak neither advances nor ends.
+  const auto verdict = judge.judge(0.0, true, /*coverage=*/0.0);
+  EXPECT_FALSE(verdict.suspicious);
+  EXPECT_EQ(verdict.ended_streak, 0u);
+  EXPECT_EQ(judge.streak(), 2u);
+}
+
+TEST(SuspicionJudge, DegradedModeEntersAfterConsecutiveLowAndExits) {
+  SuspicionJudge judge({.alpha = 0.001,
+                        .coverage_quorum = 0.55,
+                        .degraded_mode_after = 3});
+  fill_healthy(judge.model());
+  EXPECT_FALSE(judge.degraded_mode());
+  EXPECT_FALSE(judge.judge(0.9, true, 0.4).entered_degraded);
+  EXPECT_FALSE(judge.judge(0.9, true, 0.4).entered_degraded);
+  EXPECT_EQ(judge.consecutive_low_coverage(), 2u);
+  const auto third = judge.judge(0.9, true, 0.4);
+  EXPECT_TRUE(third.entered_degraded);
+  EXPECT_TRUE(judge.degraded_mode());
+  // Still degraded on the next low sample, but the transition fired once.
+  EXPECT_FALSE(judge.judge(0.9, true, 0.4).entered_degraded);
+  // First at-quorum sample recovers.
+  const auto recovered = judge.judge(0.9, true, 1.0);
+  EXPECT_TRUE(recovered.exited_degraded);
+  EXPECT_FALSE(judge.degraded_mode());
+  EXPECT_EQ(judge.consecutive_low_coverage(), 0u);
+}
+
+TEST(SuspicionJudge, AnInterveningHealthySampleClearsTheSurcharge) {
+  SuspicionJudge judge({.alpha = 0.001,
+                        .coverage_quorum = 0.55,
+                        .low_coverage_extra_streak = 3,
+                        .degraded_mode_after = 100});
+  fill_healthy(judge.model());
+  const std::size_t k = judge.decision().k;
+  judge.judge(0.0, true, 0.4);  // below-quorum suspicion taints the streak
+  EXPECT_EQ(judge.judge(0.0, true, 1.0).required, k + 3);
+  judge.judge(0.9, true, 1.0);  // healthy sample resets streak + taint
+  EXPECT_EQ(judge.judge(0.0, true, 1.0).required, k);
+}
+
 TEST(TransientFilter, MovementBetweenRoundsIsASlowdown) {
   TransientFilter filter({.rounds = 5});
   filter.begin(static_round());

@@ -156,5 +156,44 @@ TEST(FaultInjector, VictimOutsideWrapUnaffected) {
   EXPECT_FALSE(injector.record().activated());
 }
 
+TEST(FaultInjectorDeath, ArmTwiceFailsLoudly) {
+  FaultPlan plan;
+  plan.type = FaultType::kComputeHang;
+  plan.victim = 1;
+  plan.trigger_time = sim::from_millis(100);
+  FaultInjector injector(plan);
+  simmpi::World world(config8(),
+                      injector.wrap(workloads::make_factory(looping_profile())));
+  injector.arm(world);
+  EXPECT_DEATH(injector.arm(world), "arm called twice");
+}
+
+TEST(FaultInjectorDeath, ArmWithoutWrapFailsLoudly) {
+  FaultPlan plan;
+  plan.type = FaultType::kComputeHang;
+  plan.victim = 1;
+  plan.trigger_time = sim::from_millis(100);
+  FaultInjector injector(plan);
+  // World built from the RAW factory: the injector never instrumented the
+  // victim, so arming would silently produce a fault that cannot fire.
+  simmpi::World world(config8(), workloads::make_factory(looping_profile()));
+  EXPECT_DEATH(injector.arm(world), "never called");
+}
+
+TEST(FaultInjector, NodeFreezeArmsWithoutWrap) {
+  // Node-level faults are injected via the engine, not the rank program, so
+  // an unwrapped factory is legitimate for them.
+  FaultPlan plan;
+  plan.type = FaultType::kNodeFreeze;
+  plan.victim = 0;
+  plan.trigger_time = sim::from_millis(100);
+  FaultInjector injector(plan);
+  simmpi::World world(config8(), workloads::make_factory(looping_profile()));
+  injector.arm(world);
+  world.start();
+  EXPECT_FALSE(world.run_until_done(sim::kMinute));
+  EXPECT_TRUE(injector.record().activated());
+}
+
 }  // namespace
 }  // namespace parastack::faults

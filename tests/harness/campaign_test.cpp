@@ -278,6 +278,32 @@ TEST(Campaign, MultiDetectorJournalIsByteIdenticalForAnyJobsCount) {
   EXPECT_NE(serial.find("\"det\":\"timeout\""), std::string::npos);
 }
 
+TEST(Campaign, ToolFaultJournalIsByteIdenticalForAnyJobsCount) {
+  // Determinism extends to the lossy message model: the tool-fault RNG is
+  // derived from each trial's positional seed, never from scheduling.
+  const auto journal_with_jobs = [](int jobs) {
+    std::ostringstream out;
+    obs::JsonlJournal journal(out);
+    auto config = small_campaign(4);
+    config.base.fault = faults::FaultType::kComputeHang;
+    config.base.tool_faults.loss_probability = 0.25;
+    config.base.tool_faults.monitor_crashes.push_back(
+        {.monitor = -1, .at = 30 * sim::kSecond});
+    config.base.telemetry = &journal;
+    config.jobs = jobs;
+    const auto result = run_erroneous_campaign(config);
+    EXPECT_EQ(result.monitor_crashes, 4u);  // one per trial
+    EXPECT_GT(result.sample_retries, 0u);
+    return out.str();
+  };
+  const std::string serial = journal_with_jobs(1);
+  const std::string parallel = journal_with_jobs(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"ev\":\"monitor_crash\""), std::string::npos);
+  EXPECT_NE(serial.find("\"ev\":\"sample_timeout\""), std::string::npos);
+}
+
 TEST(Campaign, AutoJobsMatchesSerial) {
   auto config = small_campaign(3);
   config.base.fault = faults::FaultType::kCommDeadlock;

@@ -129,6 +129,74 @@ TEST(TelemetryDeterminism, MetricsAgreeWithTheRunResult) {
   EXPECT_NE(capture.metrics.find(traces.str()), std::string::npos);
 }
 
+// --- Tool-fault vocabulary (robustness extension) --------------------------
+
+Capture capture_tool_fault_run(std::uint64_t seed) {
+  std::ostringstream journal_out;
+  obs::JsonlJournal journal(journal_out);
+  obs::MetricsRegistry registry;
+  obs::MetricsSink metrics(registry);
+  obs::MultiSink multi;
+  multi.add(&journal);
+  multi.add(&metrics);
+
+  auto config = small_lu(seed);
+  config.fault = faults::FaultType::kComputeHang;
+  config.tool_faults.loss_probability = 0.3;
+  config.tool_faults.monitor_crashes.push_back(
+      {.monitor = -1, .at = 30 * sim::kSecond});
+  // Before the hang verdict (~60 s at this seed) — sampling pauses during
+  // verification sweeps, so a later crash would never be applied.
+  config.tool_faults.lead_crash_at = 45 * sim::kSecond;
+  config.telemetry = &multi;
+  Capture capture;
+  capture.result = harness::run_one(config);
+  capture.journal = journal_out.str();
+  std::ostringstream metrics_out;
+  registry.write_json(metrics_out);
+  capture.metrics = metrics_out.str();
+  return capture;
+}
+
+TEST(TelemetryDeterminism, ToolFaultRunIsByteIdenticalAcrossReruns) {
+  const auto a = capture_tool_fault_run(11);
+  const auto b = capture_tool_fault_run(11);
+  EXPECT_FALSE(a.journal.empty());
+  EXPECT_EQ(a.journal, b.journal);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(TelemetryDeterminism, ToolFaultJournalPinsTheNewVocabulary) {
+  const auto capture = capture_tool_fault_run(11);
+  EXPECT_NE(capture.journal.find("\"ev\":\"monitor_crash\""),
+            std::string::npos);
+  EXPECT_NE(capture.journal.find("\"ev\":\"lead_failover\""),
+            std::string::npos);
+  EXPECT_NE(capture.journal.find("\"ev\":\"sample_timeout\""),
+            std::string::npos);
+  EXPECT_NE(capture.journal.find("\"coverage\""), std::string::npos);
+  EXPECT_GT(capture.result.monitor_crashes, 0u);
+  EXPECT_GT(capture.result.lead_failovers, 0u);
+  // Every line is still valid JSON with the new fields in place.
+  std::istringstream in(capture.journal);
+  for (std::string line; std::getline(in, line);) {
+    ASSERT_TRUE(testjson::is_valid_json(line)) << line;
+  }
+}
+
+TEST(TelemetryDeterminism, FaultsOffJournalOmitsToolFaultVocabulary) {
+  // Zero-cost-when-off: without a ToolFaultPlan, no tool-fault key may
+  // appear anywhere in the journal or metrics — the formats must stay
+  // byte-compatible with pre-fault-model golden files.
+  const auto capture = capture_run(11, faults::FaultType::kComputeHang);
+  for (const char* token :
+       {"monitor_crash", "lead_failover", "sample_timeout", "degraded",
+        "\"coverage\"", "\"missing\"", "\"retries\""}) {
+    EXPECT_EQ(capture.journal.find(token), std::string::npos) << token;
+    EXPECT_EQ(capture.metrics.find(token), std::string::npos) << token;
+  }
+}
+
 TEST(TelemetryDeterminism, NoSinkMatchesAttachedSinkVerdicts) {
   // Telemetry must be observation-only: attaching sinks cannot change what
   // the detector decides.

@@ -5,6 +5,7 @@
 //                 [--seed N] [--detectors parastack,timeout,io-watchdog]
 //                 [--no-parastack] [--timeout-baseline I,K]
 //                 [--threads T] [--alpha A]
+//                 [--tool-faults loss=P,crash=NODE@SEC,lead-crash=SEC,...]
 //                 [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //                 [--trace-ranks N] [--log-level LEVEL]
 //   psim campaign --bench LU --runs 20 --fault compute-hang [--jobs N]
@@ -50,6 +51,12 @@ int usage() {
                "hardware threads; results and\n"
                "            telemetry are byte-identical for any --jobs)\n"
                "  submit:   --system slurm|torque --walltime-min M\n"
+               "  tool faults (run/campaign): --tool-faults "
+               "key=value[,key=value...] with keys\n"
+               "            loss|delay-ms|crash(NODE@SEC or rand@SEC)|"
+               "lead-crash|timeout-ms|retries|\n"
+               "            backoff-ms|rereg-ms|seed|quorum|degraded-after|"
+               "extra-streak|fallback\n"
                "  telemetry (run/campaign): --journal FILE --metrics FILE "
                "--chrome-trace FILE\n"
                "            --trace-ranks N --journal-spans "
@@ -173,6 +180,77 @@ faults::FaultType parse_fault(const std::string& name, bool& ok) {
   return faults::FaultType::kNone;
 }
 
+/// Parse the --tool-faults spec: comma-separated key=value entries, e.g.
+///   --tool-faults=loss=0.05,crash=rand@120,lead-crash=200,fallback
+/// Keys map onto faults::ToolFaultPlan (plus the detector quorum knobs and
+/// the harness fallback switch). Unknown keys and malformed values are
+/// rejected loudly — a typo must not silently run a faults-off campaign.
+bool parse_tool_faults(const std::string& spec, harness::RunConfig& config) {
+  constexpr const char* kKeys =
+      "loss|delay-ms|crash|lead-crash|timeout-ms|retries|backoff-ms|"
+      "rereg-ms|seed|quorum|degraded-after|extra-streak|fallback";
+  faults::ToolFaultPlan& plan = config.tool_faults;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = entry.find('=');
+    const std::string key = entry.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : entry.substr(eq + 1);
+    if (key == "loss") {
+      plan.loss_probability = std::stod(value);
+    } else if (key == "delay-ms") {
+      plan.delay_mean = sim::from_millis(std::stod(value));
+    } else if (key == "crash") {
+      // NODE@SEC, or rand@SEC for a seed-chosen non-lead monitor.
+      const std::size_t at = value.find('@');
+      if (at == std::string::npos) {
+        std::fprintf(stderr,
+                     "bad tool-fault crash '%s' (expected NODE@SEC or "
+                     "rand@SEC)\n",
+                     value.c_str());
+        return false;
+      }
+      faults::MonitorCrash crash;
+      const std::string node = value.substr(0, at);
+      crash.monitor = node == "rand" ? -1 : static_cast<int>(std::stol(node));
+      crash.at = sim::from_seconds(std::stod(value.substr(at + 1)));
+      plan.monitor_crashes.push_back(crash);
+    } else if (key == "lead-crash") {
+      plan.lead_crash_at = sim::from_seconds(std::stod(value));
+    } else if (key == "timeout-ms") {
+      plan.sample_timeout = sim::from_millis(std::stod(value));
+    } else if (key == "retries") {
+      plan.max_retries = static_cast<int>(std::stol(value));
+    } else if (key == "backoff-ms") {
+      plan.retry_backoff = sim::from_millis(std::stod(value));
+    } else if (key == "rereg-ms") {
+      plan.reregistration_latency = sim::from_millis(std::stod(value));
+    } else if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(std::stoull(value));
+    } else if (key == "quorum") {
+      config.parastack_config().coverage_quorum = std::stod(value);
+    } else if (key == "degraded-after") {
+      config.parastack_config().degraded_mode_after =
+          static_cast<std::size_t>(std::stoul(value));
+    } else if (key == "extra-streak") {
+      config.parastack_config().low_coverage_extra_streak =
+          static_cast<std::size_t>(std::stoul(value));
+    } else if (key == "fallback") {
+      config.degraded_fallback_timeout = true;
+    } else {
+      std::fprintf(stderr, "unknown tool-fault key '%s' (expected %s)\n",
+                   key.c_str(), kKeys);
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
 harness::RunConfig build_config(const util::Args& args, bool& ok) {
   harness::RunConfig config;
   config.bench = parse_bench(args.get("bench", "LU"), ok);
@@ -184,9 +262,19 @@ harness::RunConfig build_config(const util::Args& args, bool& ok) {
   config.nranks = static_cast<int>(args.get_int("ranks", 256));
   config.input = args.get("input", "");
   const std::string platform = args.get("platform", "Tianhe-2");
-  config.platform = platform == "Tardis"     ? sim::Platform::tardis()
-                    : platform == "Stampede" ? sim::Platform::stampede()
-                                             : sim::Platform::tianhe2();
+  if (platform == "Tardis") {
+    config.platform = sim::Platform::tardis();
+  } else if (platform == "Stampede") {
+    config.platform = sim::Platform::stampede();
+  } else if (platform == "Tianhe-2") {
+    config.platform = sim::Platform::tianhe2();
+  } else {
+    std::fprintf(stderr,
+                 "unknown platform '%s' (expected Tardis|Tianhe-2|Stampede)\n",
+                 platform.c_str());
+    ok = false;
+    return config;
+  }
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   config.fault = parse_fault(args.get("fault", "none"), ok);
   if (!ok) {
@@ -224,6 +312,18 @@ harness::RunConfig build_config(const util::Args& args, bool& ok) {
   if (args.has("timeout-baseline")) config.spec(core::DetectorKind::kTimeout);
   if (auto* parastack = config.find(core::DetectorKind::kParastack)) {
     parastack->parastack.alpha = args.get_double("alpha", 0.001);
+  }
+  if (const std::string spec = args.get("tool-faults", ""); !spec.empty()) {
+    try {
+      if (!parse_tool_faults(spec, config)) {
+        ok = false;
+        return config;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad --tool-faults value in '%s'\n", spec.c_str());
+      ok = false;
+      return config;
+    }
   }
   return config;
 }
@@ -286,6 +386,16 @@ int cmd_run(const util::Args& args) {
               "samples\n",
               static_cast<unsigned long long>(result.traces),
               sim::to_millis(result.final_interval), result.model_samples);
+  if (config.tool_faults.active()) {
+    std::fprintf(telemetry.human(),
+                 "tool faults: %llu monitor crashes, %llu lead failovers, "
+                 "%llu partials lost, %llu retries, %zu degraded entries\n",
+                 static_cast<unsigned long long>(result.monitor_crashes),
+                 static_cast<unsigned long long>(result.lead_failovers),
+                 static_cast<unsigned long long>(result.partials_lost),
+                 static_cast<unsigned long long>(result.sample_retries),
+                 result.degraded_entries);
+  }
   return telemetry.finish() ? 0 : 1;
 }
 
@@ -322,6 +432,16 @@ int cmd_campaign(const util::Args& args) {
     std::fprintf(telemetry.human(), "  faulty-process identification ACf=%.2f PRf=%.2f\n",
                 result.acf(), result.prf());
   }
+  if (campaign.base.tool_faults.active()) {
+    std::fprintf(telemetry.human(),
+                 "  tool faults: %llu monitor crashes, %llu lead failovers, "
+                 "%llu partials lost, %llu retries, %zu degraded entries\n",
+                 static_cast<unsigned long long>(result.monitor_crashes),
+                 static_cast<unsigned long long>(result.lead_failovers),
+                 static_cast<unsigned long long>(result.partials_lost),
+                 static_cast<unsigned long long>(result.sample_retries),
+                 result.degraded_entries);
+  }
   return telemetry.finish() ? 0 : 1;
 }
 
@@ -335,9 +455,14 @@ int cmd_submit(const util::Args& args) {
                  ticket.cores_per_node;
   ticket.walltime = sim::kMinute * args.get_int("walltime-min", 60);
   ticket.job_name = std::string(workloads::bench_name(config.bench));
-  const auto system = args.get("system", "slurm") == "torque"
-                          ? sched::BatchSystem::kTorque
-                          : sched::BatchSystem::kSlurm;
+  const std::string system_name = args.get("system", "slurm");
+  if (system_name != "slurm" && system_name != "torque") {
+    std::fprintf(stderr, "unknown batch system '%s' (expected slurm|torque)\n",
+                 system_name.c_str());
+    return 2;
+  }
+  const auto system = system_name == "torque" ? sched::BatchSystem::kTorque
+                                              : sched::BatchSystem::kSlurm;
   std::printf("%s\n", sched::submission_command(
                           system, ticket,
                           "./" + ticket.job_name + ".exe")
