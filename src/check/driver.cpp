@@ -1,0 +1,47 @@
+#include "check/driver.hpp"
+
+#include <utility>
+
+namespace parastack::check {
+
+std::string repro_command(const Scenario& scenario,
+                          const DriverOptions& options) {
+  std::string cmd = "pscheck --repro='" + to_repro(scenario) + "'";
+  if (options.oracles.plant_clock_skew > 0) cmd += " --plant=clock";
+  return cmd;
+}
+
+CheckOutcome check_scenario_full(const Scenario& scenario,
+                                 const DriverOptions& options) {
+  CheckOutcome outcome;
+  outcome.report = check_scenario(scenario, options.oracles);
+  outcome.runs_executed = outcome.report.runs_executed;
+  if (outcome.report.ok()) return outcome;
+
+  if (options.shrink) {
+    // The predicate caches the most recent failing report so the outcome
+    // can show what the *minimized* scenario violates without re-running.
+    SeedReport last_failing = outcome.report;
+    const FailurePredicate fails = [&options, &last_failing,
+                                    &outcome](const Scenario& candidate) {
+      SeedReport r = check_scenario(candidate, options.oracles);
+      outcome.runs_executed += r.runs_executed;
+      const bool failed = !r.ok();
+      if (failed) last_failing = std::move(r);
+      return failed;
+    };
+    outcome.shrunk =
+        shrink_scenario(scenario, fails, options.shrink_budget);
+    outcome.shrunk_report = std::move(last_failing);
+    outcome.repro_command = repro_command(outcome.shrunk->scenario, options);
+  } else {
+    outcome.repro_command = repro_command(scenario, options);
+  }
+  return outcome;
+}
+
+CheckOutcome check_seed(std::uint64_t seed, const DriverOptions& options) {
+  return check_scenario_full(generate_scenario(seed), options);
+}
+
+}  // namespace parastack::check

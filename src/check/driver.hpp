@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/oracles.hpp"
+#include "check/shrink.hpp"
+
+namespace parastack::check {
+
+struct DriverOptions {
+  OracleOptions oracles;
+  bool shrink = true;
+  int shrink_budget = 80;
+};
+
+/// Everything pscheck needs to report one seed: the original verdict, the
+/// minimized failing scenario (when shrinking ran), and the one-line
+/// command that reproduces the failure.
+struct CheckOutcome {
+  SeedReport report;  ///< oracle verdict on the original scenario
+  /// Set when the seed failed and shrinking was enabled; the minimized
+  /// scenario's own oracle failures (they can differ in detail from the
+  /// original's — the failure kind is what survives minimization).
+  std::optional<ShrinkResult> shrunk;
+  std::optional<SeedReport> shrunk_report;
+  /// Non-empty on failure: `pscheck --repro=... [--plant=clock]` — runs
+  /// the (minimized, when available) scenario through the same oracles.
+  std::string repro_command;
+  int runs_executed = 0;  ///< total simulated runs, shrinking included
+
+  bool ok() const noexcept { return report.ok(); }
+};
+
+/// Expand `seed` into a scenario and run every oracle; on failure, shrink
+/// and build the repro command.
+CheckOutcome check_seed(std::uint64_t seed, const DriverOptions& options = {});
+
+/// Same, starting from an explicit scenario (the --repro path; also what
+/// check_seed calls after expanding the seed).
+CheckOutcome check_scenario_full(const Scenario& scenario,
+                                 const DriverOptions& options = {});
+
+/// The repro command for a scenario under these options (what the driver
+/// prints and the docs reference).
+std::string repro_command(const Scenario& scenario,
+                          const DriverOptions& options);
+
+}  // namespace parastack::check

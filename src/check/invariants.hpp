@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/time.hpp"
+#include "simmpi/world.hpp"
+
+namespace parastack::check {
+
+/// Telemetry-level invariant checker: a sink that validates the legality of
+/// the event stream a run emits instead of recording it. Violations are
+/// collected as human-readable one-liners (capped — one broken invariant
+/// tends to fire on every subsequent event).
+///
+/// What it holds the stream to:
+///   - virtual-time monotonicity: timestamped events arrive in
+///     nondecreasing time order (the engine fires in time order, so any
+///     regression means a producer stamped the wrong clock);
+///   - sample sanity: S_crout and coverage stay within [0, 1], observation
+///     indices increase;
+///   - detector state-machine legality (per detector label): streaks only
+///     advance by one, only reset to what they had, and a hang verdict
+///     requires a completed verification streak first;
+///   - coverage/quorum bookkeeping: degraded-mode transitions alternate
+///     enter/exit, monitor crash events report a strictly shrinking
+///     monitor population, failovers re-root away from the dead lead;
+///   - run framing: at most one run_start/run_end pair per run index, no
+///     events after run_end, at most one application fault activation.
+class InvariantSink final : public obs::TelemetrySink {
+ public:
+  static constexpr std::size_t kMaxViolations = 16;
+
+  const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  bool clean() const noexcept { return violations_.empty(); }
+
+  void on_sample(const obs::SampleEvent& e) override;
+  void on_runs_test(const obs::RunsTestEvent& e) override;
+  void on_interval(const obs::IntervalEvent& e) override;
+  void on_streak(const obs::StreakEvent& e) override;
+  void on_filter(const obs::FilterEvent& e) override;
+  void on_sweep(const obs::SweepEvent& e) override;
+  void on_hang(const obs::HangEvent& e) override;
+  void on_slowdown(const obs::SlowdownEvent& e) override;
+  void on_detection(const obs::DetectionEvent& e) override;
+  void on_monitor_sample(const obs::MonitorSampleEvent& e) override;
+  void on_monitor_crash(const obs::MonitorCrashEvent& e) override;
+  void on_lead_failover(const obs::LeadFailoverEvent& e) override;
+  void on_sample_timeout(const obs::SampleTimeoutEvent& e) override;
+  void on_degraded_mode(const obs::DegradedModeEvent& e) override;
+  void on_phase_change(const obs::PhaseChangeEvent& e) override;
+  void on_fault(const obs::FaultEvent& e) override;
+  void on_run_start(const obs::RunStartEvent& e) override;
+  void on_run_end(const obs::RunEndEvent& e) override;
+
+ private:
+  struct DetectorState {
+    std::size_t streak = 0;
+    bool verified = false;  ///< a kVerify fired and no reset since
+    bool degraded = false;
+    std::size_t hangs = 0;
+  };
+
+  void violation(std::string what);
+  /// Advance the global clock check; `what` names the event for messages.
+  void clock(sim::Time t, const char* what);
+  DetectorState& detector(std::string_view label);
+
+  std::vector<std::string> violations_;
+  std::size_t suppressed_ = 0;
+  sim::Time last_time_ = -1;
+  bool run_started_ = false;
+  bool run_ended_ = false;
+  int faults_activated_ = 0;
+  int monitors_alive_ = -1;  ///< -1 until the first crash event reports it
+  std::map<std::string, DetectorState, std::less<>> detectors_;
+};
+
+/// Post-run audits of state that only exists inside run_one: engine clock
+/// bookkeeping and the comm engine's send/recv/collective conservation
+/// ledger. Install as RunConfig::post_run_probe; violations are appended to
+/// `out`. Quiescence is inferred from the result: a run that completed
+/// without an activated (non-transient) fault must have matched and retired
+/// everything it posted.
+void check_run_invariants(const simmpi::World& world,
+                          const harness::RunResult& result,
+                          std::vector<std::string>& out);
+
+}  // namespace parastack::check

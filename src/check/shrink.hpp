@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+
+#include "check/scenario.hpp"
+
+namespace parastack::check {
+
+/// A scenario-level predicate: true when the scenario still exhibits the
+/// failure being minimized (typically "check_scenario reports any oracle
+/// failure"). Each call usually costs several simulated runs.
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkResult {
+  Scenario scenario;       ///< smallest failing scenario found
+  int attempts = 0;        ///< predicate evaluations spent
+  int accepted = 0;        ///< simplifications that kept the failure
+};
+
+/// Greedy scenario minimization: repeatedly try single-dimension
+/// simplifications (drop the fault, disarm tool faults, detach secondary
+/// detectors, shrink ranks/horizon/campaign, flatten the platform), keep
+/// any candidate for which `fails` still holds, and loop until a full pass
+/// accepts nothing or `budget` predicate calls are spent. The input
+/// scenario must itself fail; the result always fails too, so the printed
+/// repro string reproduces the minimized failure directly.
+ShrinkResult shrink_scenario(const Scenario& failing,
+                             const FailurePredicate& fails, int budget = 80);
+
+}  // namespace parastack::check

@@ -102,16 +102,20 @@ void MonitorNetwork::crash_monitor(int node, sim::Time at) {
 }
 
 void MonitorNetwork::advance_tool_state(sim::Time now) {
+  // Crashes apply lazily, at the first sample past their scheduled instant —
+  // so their telemetry is stamped `now` (when the tool observes the death),
+  // not the scheduled time. Other sinks may already have logged events
+  // between the schedule and this sample; back-dating the crash would break
+  // the journal's global time order.
   while (next_crash_ < crash_schedule_.size() &&
          crash_schedule_[next_crash_].at <= now) {
-    const auto& crash = crash_schedule_[next_crash_];
-    crash_monitor(crash.monitor, crash.at);
+    crash_monitor(crash_schedule_[next_crash_].monitor, now);
     ++next_crash_;
   }
   if (!lead_crash_applied_ && plan_->lead_crash_at.has_value() &&
       *plan_->lead_crash_at <= now) {
     lead_crash_applied_ = true;
-    crash_monitor(lead_, *plan_->lead_crash_at);
+    crash_monitor(lead_, now);
   }
 }
 

@@ -30,6 +30,7 @@ RunConfig trial_config(const CampaignConfig& config, int trial) {
 std::vector<RunResult> execute_trials(const CampaignConfig& config) {
   PS_CHECK(config.runs >= 0, "campaign needs a non-negative run count");
   const int n = config.runs;
+  assert_trial_seeds_distinct(config.seed0, n);
   std::vector<RunResult> results(static_cast<std::size_t>(n));
   const int jobs = n == 0 ? 1 : std::min(resolve_jobs(config.jobs), n);
   if (jobs <= 1) {

@@ -1,11 +1,14 @@
 #include "harness/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace parastack::harness {
@@ -28,6 +31,23 @@ std::uint64_t derive_trial_seed(std::uint64_t seed0, int trial) noexcept {
   std::uint64_t indexed =
       util::splitmix64(state) + static_cast<std::uint64_t>(trial);
   return util::splitmix64(indexed);
+}
+
+void assert_trial_seeds_distinct(std::uint64_t seed0, int trials) {
+  if (trials <= 1) return;
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) seeds.push_back(derive_trial_seed(seed0, t));
+  std::sort(seeds.begin(), seeds.end());
+  const auto dup = std::adjacent_find(seeds.begin(), seeds.end());
+  if (dup != seeds.end()) [[unlikely]] {
+    std::fprintf(stderr,
+                 "positional trial seed collision: seed0=%llu produced "
+                 "duplicate trial seed %llu within %d trials\n",
+                 static_cast<unsigned long long>(seed0),
+                 static_cast<unsigned long long>(*dup), trials);
+    PS_CHECK(false, "derive_trial_seed is no longer injective");
+  }
 }
 
 void parallel_for(int n, int jobs, const std::function<void(int)>& fn) {

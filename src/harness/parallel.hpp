@@ -23,6 +23,13 @@ int resolve_jobs(int jobs) noexcept;
 /// in unrelated parts of the stream.
 std::uint64_t derive_trial_seed(std::uint64_t seed0, int trial) noexcept;
 
+/// Loudly abort (PS_CHECK) if any two of the first `trials` positional
+/// seeds of the campaign collide. SplitMix64 indexing is a bijection, so a
+/// collision here means the derivation was broken by a refactor — the
+/// campaign statistics would silently double-count one trial's stream.
+/// Called by the campaign runners before fan-out; cheap (sort of n words).
+void assert_trial_seeds_distinct(std::uint64_t seed0, int trials);
+
 /// Run fn(0), ..., fn(n-1) across up to `jobs` worker threads.
 ///
 /// Scheduling is dynamic self-chunking: workers pull the next unclaimed

@@ -450,6 +450,9 @@ RunResult run_one(const RunConfig& config) {
     event.final_interval = result.final_interval;
     config.telemetry->on_run_end(event);
   }
+  // Invariant probe (pscheck): audit run internals while the world is
+  // still alive — the engine and comm ledgers die with this frame.
+  if (config.post_run_probe) config.post_run_probe(world, result);
   // The engine (and its telemetry pointer) dies with this frame; detach so
   // nothing dangles if the caller keeps the world alive via captures.
   world.engine().set_telemetry(nullptr);

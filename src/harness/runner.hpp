@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,8 @@ struct DetectorSpec {
   static DetectorSpec make_timeout(core::TimeoutDetector::Config config = {});
   static DetectorSpec make_io_watchdog(core::IoWatchdog::Config config = {});
 };
+
+struct RunResult;
 
 /// One simulated batch job: a benchmark at a scale on a platform, watched
 /// by any combination of detectors (ParaStack, the fixed-timeout baseline,
@@ -106,6 +109,12 @@ struct RunConfig {
   obs::TelemetrySink* telemetry = nullptr;
   /// Position within a campaign (run_start/run_end correlation key).
   int run_index = 0;
+
+  /// Invoked once after the simulation ends, before the world is torn down,
+  /// with read-only access to the run's internals. This is how the pscheck
+  /// invariant layer audits state that only exists inside run_one (engine
+  /// clock bookkeeping, comm-engine conservation ledgers). Null = no probe.
+  std::function<void(const simmpi::World&, const RunResult&)> post_run_probe;
 };
 
 /// Per-detector slice of a run: the unified detection stream every kind

@@ -60,7 +60,9 @@ bool Engine::step() {
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     PS_CHECK(ev.time >= now_, "event queue time went backwards");
+    PS_CHECK(ev.time >= last_event_time_, "event fire order went backwards");
     now_ = ev.time;
+    last_event_time_ = ev.time;
     ++fired_;
     cb();
     return true;

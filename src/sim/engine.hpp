@@ -61,6 +61,10 @@ class Engine {
 
   std::uint64_t events_fired() const noexcept { return fired_; }
   std::size_t events_pending() const;
+  /// Virtual time of the most recently fired event (-1 before the first).
+  /// Monotonically nondecreasing by construction; the pscheck invariant
+  /// layer cross-checks it against now() after every run.
+  Time last_event_time() const noexcept { return last_event_time_; }
   /// Heap entries including tombstones of cancelled events; bounded to
   /// O(events_pending()) by lazy compaction.
   std::size_t queue_depth() const noexcept { return heap_.size(); }
@@ -86,6 +90,7 @@ class Engine {
   void compact_if_worthwhile();
 
   Time now_ = 0;
+  Time last_event_time_ = -1;
   obs::TelemetrySink* telemetry_ = nullptr;
   EventId next_id_ = 1;
   bool stopped_ = false;

@@ -49,6 +49,7 @@ RequestHandle CommEngine::post_send(Rank src, Rank dst, int tag,
                                     std::size_t bytes) {
   PS_CHECK(src >= 0 && src < nranks_, "send: src out of range");
   PS_CHECK(dst >= 0 && dst < nranks_, "send: dst out of range");
+  ++sends_posted_;
   auto req = make_request();
   const bool eager = bytes <= platform_.eager_threshold_bytes;
   PendingSend op;
@@ -71,6 +72,7 @@ RequestHandle CommEngine::post_recv(Rank dst, Rank src, int tag,
                                     std::size_t bytes) {
   PS_CHECK(src >= 0 && src < nranks_, "recv: src out of range");
   PS_CHECK(dst >= 0 && dst < nranks_, "recv: dst out of range");
+  ++recvs_posted_;
   auto req = make_request();
   PendingRecv op;
   op.post_time = engine_.now();
@@ -102,6 +104,18 @@ void CommEngine::match(const ChannelKey& key, Channel& channel) {
       complete_at(recv.req, done);
     }
   }
+}
+
+std::uint64_t CommEngine::pending_sends() const noexcept {
+  std::uint64_t pending = 0;
+  for (const auto& [key, channel] : channels_) pending += channel.sends.size();
+  return pending;
+}
+
+std::uint64_t CommEngine::pending_recvs() const noexcept {
+  std::uint64_t pending = 0;
+  for (const auto& [key, channel] : channels_) pending += channel.recvs.size();
+  return pending;
 }
 
 sim::Time CommEngine::tree_latency(std::size_t bytes, int ranks_involved) const {
@@ -155,6 +169,7 @@ void CommEngine::enter_collective(MpiFunc kind, Rank rank, Rank root,
                                   std::function<void()> done) {
   PS_CHECK(is_collective(kind), "enter_collective needs a collective op");
   PS_CHECK(rank >= 0 && rank < nranks_, "collective: rank out of range");
+  ++collectives_entered_;
   const std::uint64_t id = next_collective_seq_[static_cast<std::size_t>(rank)]++;
   auto [it, inserted] = collectives_.try_emplace(id);
   CollectiveInstance& inst = it->second;

@@ -50,6 +50,24 @@ class CommEngine {
   /// Messages matched so far (diagnostics / tests).
   std::uint64_t matches() const noexcept { return matched_; }
 
+  // --- Conservation accounting (pscheck invariant layer) -------------------
+  // Every posted op either matches exactly once or stays pending forever;
+  // the fuzzer's invariant checks hold the engine to that ledger:
+  //   matches()  <= min(sends_posted(), recvs_posted())
+  //   pending_sends() == sends_posted() - matches()   (same for recvs)
+  //   a completed fault-free job leaves nothing pending and no open
+  //   collective instance.
+  std::uint64_t sends_posted() const noexcept { return sends_posted_; }
+  std::uint64_t recvs_posted() const noexcept { return recvs_posted_; }
+  std::uint64_t collectives_entered() const noexcept {
+    return collectives_entered_;
+  }
+  /// Point-to-point ops still waiting for a match (scans the channel map).
+  std::uint64_t pending_sends() const noexcept;
+  std::uint64_t pending_recvs() const noexcept;
+  /// Collective instances some rank has entered but not all have.
+  std::size_t open_collectives() const noexcept { return collectives_.size(); }
+
  private:
   struct PendingSend {
     sim::Time post_time;
@@ -116,6 +134,9 @@ class CommEngine {
   std::unordered_map<std::uint64_t, CollectiveInstance> collectives_;
   std::uint64_t mismatches_ = 0;
   std::uint64_t matched_ = 0;
+  std::uint64_t sends_posted_ = 0;
+  std::uint64_t recvs_posted_ = 0;
+  std::uint64_t collectives_entered_ = 0;
 };
 
 }  // namespace parastack::simmpi

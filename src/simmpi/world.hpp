@@ -47,6 +47,7 @@ class World {
   sim::Engine& engine() noexcept { return engine_; }
   const sim::Engine& engine() const noexcept { return engine_; }
   CommEngine& comm() noexcept { return *comm_; }
+  const CommEngine& comm() const noexcept { return *comm_; }
   const sim::Platform& platform() const noexcept { return config_.platform; }
   const WorldConfig& config() const noexcept { return config_; }
 

@@ -1,6 +1,7 @@
 #include "util/histogram.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/check.hpp"
@@ -26,8 +27,17 @@ void Histogram::add(double x) noexcept {
   }
   // In-range values can still compute an index == size() through rounding
   // (x just below hi with a coarse width); clamp that edge case only.
-  const auto idx = std::min(
+  auto idx = std::min(
       static_cast<std::size_t>((x - lo_) / width_), counts_.size() - 1);
+  // (x - lo) / width and the published edges lo + width * b round
+  // differently, so a sample exactly on (or within one ulp of) an edge can
+  // index the neighbouring bucket. Nudge until add() agrees with
+  // bucket_lo/bucket_hi — at most one step either way.
+  if (x < bucket_lo(idx) && idx > 0) {
+    --idx;
+  } else if (x >= bucket_hi(idx) && idx + 1 < counts_.size()) {
+    ++idx;
+  }
   ++counts_[idx];
 }
 
@@ -42,7 +52,34 @@ double Histogram::bucket_lo(std::size_t bucket) const {
 }
 
 double Histogram::bucket_hi(std::size_t bucket) const {
-  return bucket_lo(bucket) + width_;
+  // Exactly the next bucket's published lower edge (and exactly hi_ for the
+  // last bucket): lo + width * b + width rounds differently from
+  // lo + width * (b + 1), and two inconsistent edge sets would let add()
+  // and the edges disagree about samples sitting on a boundary.
+  return bucket + 1 == counts_.size() ? hi_ : bucket_lo(bucket + 1);
+}
+
+double Histogram::quantile(double p) const {
+  PS_CHECK(p >= 0.0 && p <= 1.0, "quantile needs p in [0, 1]");
+  const std::size_t n = in_range();
+  PS_CHECK(n > 0, "quantile needs at least one in-range sample");
+  // Target rank in [1, n]: the smallest count of in-range samples that
+  // covers probability p (p == 0 maps to the first sample).
+  const auto target = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(p * static_cast<double>(n))));
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    if (seen + counts_[b] >= target) {
+      // Interpolate within the bucket, treating its mass as uniform.
+      const double into = static_cast<double>(target - seen) /
+                          static_cast<double>(counts_[b]);
+      return bucket_lo(b) + into * (bucket_hi(b) - bucket_lo(b));
+    }
+    seen += counts_[b];
+  }
+  // Unreachable when the counters are consistent: total in-range mass is n.
+  return bucket_hi(counts_.size() - 1);
 }
 
 std::string Histogram::ascii(std::size_t max_width) const {

@@ -29,9 +29,20 @@ class Histogram {
   std::size_t in_range() const noexcept {
     return total_ - underflow_ - overflow_;
   }
-  /// Inclusive lower edge of a bucket.
+  /// Inclusive lower edge of a bucket. add() indexes by exactly these
+  /// edges: a sample equal to bucket_lo(b) lands in bucket b, and one just
+  /// below it lands in b-1 — even when floating-point division of
+  /// (x - lo) / width would round to the neighbouring bucket.
   double bucket_lo(std::size_t bucket) const;
   double bucket_hi(std::size_t bucket) const;
+
+  /// Quantile estimate over the *in-range* samples: the smallest value v
+  /// such that at least ceil(p * in_range()) in-range samples are <= v,
+  /// linearly interpolated within the bucket that crosses the target count.
+  /// Monotone in p by construction. Requires 0 <= p <= 1 and in_range() > 0.
+  /// Underflow/overflow mass is excluded (its values are unknown); callers
+  /// tracking heavy tails should widen the range instead.
+  double quantile(double p) const;
 
   /// Render as an ASCII bar chart, one line per bucket, for bench output.
   /// Non-empty underflow/overflow counters get their own "< lo" / ">= hi"

@@ -97,6 +97,99 @@ TEST(IoWatchdog, SmallTimeoutFalseAlarmsOnQuietPhases) {
   EXPECT_TRUE(watchdog.hang_reported());
 }
 
+TEST(IoWatchdog, ZeroLengthJobIsNeverAccused) {
+  // A job that finishes almost immediately — before it ever writes — must
+  // not be reported, no matter how far the engine later drains: the poll's
+  // all_finished() guard ends the watchdog with the job.
+  auto profile = std::make_shared<workloads::BenchmarkProfile>();
+  profile->iterations = 1;
+  profile->reference_ranks = 16;
+  profile->setup_time = sim::from_millis(1);
+  profile->output_every = 0;  // truly zero-length: not even the first write
+  profile->phases = {
+      {"blip", sim::from_millis(1), 0.1, workloads::CommPattern::kAllreduce,
+       64},
+  };
+  simmpi::World world(config16(), workloads::make_factory(profile));
+  IoWatchdog::Config config;
+  config.timeout = 100 * sim::kMillisecond;  // tiny: silence "expires" fast
+  config.poll_interval = 20 * sim::kMillisecond;
+  IoWatchdog watchdog(world, config);
+  world.start();
+  watchdog.start();
+  auto& engine = world.engine();
+  while (engine.step()) {  // drain every event, polls included
+  }
+  EXPECT_TRUE(world.all_finished());
+  EXPECT_EQ(world.last_io_write(), -1);  // never wrote
+  EXPECT_FALSE(watchdog.hang_reported());
+}
+
+TEST(IoWatchdog, DetectsExactlyAtTheTimeoutBoundary) {
+  // Never-writing hung job: silence runs from t=0, polls land on exact
+  // multiples of the interval, and timeout = 3 * interval — so the report
+  // must fire at exactly t = timeout with silence == timeout (the >=
+  // comparison at the boundary, not one poll later).
+  faults::FaultPlan plan;
+  plan.type = faults::FaultType::kComputeHang;
+  plan.victim = 3;
+  plan.trigger_time = 5 * sim::kSecond;
+  faults::FaultInjector injector(plan);
+  simmpi::World world(
+      config16(),
+      injector.wrap(workloads::make_factory(writing_profile(0))));
+  injector.arm(world);
+  IoWatchdog::Config config;
+  config.timeout = 30 * sim::kSecond;
+  config.poll_interval = 10 * sim::kSecond;
+  IoWatchdog watchdog(world, config);
+  world.start();
+  watchdog.start();
+  auto& engine = world.engine();
+  while (!watchdog.hang_reported() && engine.now() < 2 * sim::kMinute &&
+         engine.step()) {
+  }
+  ASSERT_TRUE(watchdog.hang_reported());
+  const auto& report = watchdog.reports().front();
+  EXPECT_EQ(report.detected_at, 30 * sim::kSecond);
+  EXPECT_EQ(report.silence, 30 * sim::kSecond);
+}
+
+TEST(IoWatchdog, WriteRearmsTheSilenceClock) {
+  // The app writes every ~0.2 s until the hang; the silence clock must
+  // restart from the *last* write, so detection lands a full timeout after
+  // it — not a timeout after job start.
+  faults::FaultPlan plan;
+  plan.type = faults::FaultType::kComputeHang;
+  plan.victim = 7;
+  plan.trigger_time = 20 * sim::kSecond;
+  faults::FaultInjector injector(plan);
+  simmpi::World world(
+      config16(),
+      injector.wrap(workloads::make_factory(writing_profile(5))));
+  injector.arm(world);
+  IoWatchdog::Config config;
+  config.timeout = 15 * sim::kSecond;
+  config.poll_interval = sim::kSecond;
+  IoWatchdog watchdog(world, config);
+  world.start();
+  watchdog.start();
+  auto& engine = world.engine();
+  while (!watchdog.hang_reported() && engine.now() < 5 * sim::kMinute &&
+         engine.step()) {
+  }
+  ASSERT_TRUE(watchdog.hang_reported());
+  const auto& report = watchdog.reports().front();
+  const auto last_write = world.last_io_write();
+  EXPECT_GT(last_write, 0);
+  // Silence was measured from the final write, to the poll that tripped.
+  EXPECT_EQ(report.detected_at - report.silence, last_write);
+  EXPECT_GE(report.silence, config.timeout);
+  // Re-armed: detection is a timeout after the last write, well past a
+  // timeout after job start.
+  EXPECT_GT(report.detected_at, config.timeout + 10 * sim::kSecond);
+}
+
 TEST(IoWatchdog, StopPreventsReports) {
   simmpi::World world(config16(),
                       workloads::make_factory(writing_profile(100000)));

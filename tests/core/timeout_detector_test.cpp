@@ -149,6 +149,103 @@ TEST(TimeoutDetector, StreakResetsOnHealthyObservation) {
   EXPECT_FALSE(detector.hang_reported());
 }
 
+TEST(TimeoutDetector, NoReportAfterJobCompletion) {
+  // A finished job cannot hang. Once every rank completed, the idle ranks
+  // read as OUT_MPI, so a tick that still fires would walk the streak to a
+  // bogus post-completion detection — the tick must check all_finished().
+  auto profile = std::make_shared<BenchmarkProfile>();
+  profile->iterations = 5;
+  profile->reference_ranks = 16;
+  profile->setup_time = sim::from_millis(10);
+  profile->phases = {
+      {"blip", sim::from_millis(5), 0.1, CommPattern::kAllreduce, 64},
+  };
+  simmpi::World world(world_config(11), workloads::make_factory(profile));
+  trace::StackInspector inspector(world);
+  // Every observation counts as "low", so any tick surviving past
+  // completion would reach K quickly.
+  auto config = baseline_config(sim::from_millis(200), 3);
+  config.low_threshold = 1.0;
+  TimeoutDetector detector(world, inspector, config);
+  world.start();
+  detector.start();
+  auto& engine = world.engine();
+  while (engine.step()) {  // drain everything, detector ticks included
+  }
+  EXPECT_TRUE(world.all_finished());
+  EXPECT_FALSE(detector.hang_reported());
+}
+
+TEST(TimeoutDetector, DetectsExactlyAtStreakK) {
+  // With low_threshold = 1 every sample is suspicious, so the K-th tick —
+  // and exactly the K-th — must produce the report: detection at K * I.
+  simmpi::World world(world_config(12),
+                      workloads::make_factory(steady_solver()));
+  trace::StackInspector inspector(world);
+  auto config = baseline_config(sim::from_millis(500), 4);
+  config.low_threshold = 1.0;
+  TimeoutDetector detector(world, inspector, config);
+  world.start();
+  detector.start();
+  auto& engine = world.engine();
+  while (!detector.hang_reported() && engine.now() < 30 * sim::kSecond &&
+         engine.step()) {
+  }
+  ASSERT_TRUE(detector.hang_reported());
+  EXPECT_EQ(detector.reports().front().detected_at,
+            4 * sim::from_millis(500));
+  EXPECT_EQ(detector.reports().size(), 1u);  // done_: no second report
+}
+
+TEST(TimeoutDetector, RearmsAfterTransientLowStretchAndStillDetects) {
+  // Bursty alltoalls advance the streak part-way; the compute stretches
+  // reset it (re-arm). The config that survives the healthy app
+  // (LargeTimeoutSurvivesBurstyApp) must still catch a real hang injected
+  // later — a reset streak is re-armed, not disarmed.
+  simmpi::World probe_world(world_config(6),
+                            workloads::make_factory(bursty_solver()));
+  trace::StackInspector probe_inspector(probe_world);
+  TimeoutDetector probe(probe_world, probe_inspector,
+                        baseline_config(sim::from_millis(800), 10));
+  simmpi::Rank victim = -1;
+  for (simmpi::Rank r = 0; r < 16; ++r) {
+    bool monitored = false;
+    for (const auto m : probe.monitored()) {
+      if (m == r) monitored = true;
+    }
+    if (!monitored) {
+      victim = r;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+
+  faults::FaultPlan plan;
+  plan.type = faults::FaultType::kComputeHang;
+  plan.victim = victim;
+  plan.trigger_time = 40 * sim::kSecond;
+  faults::FaultInjector injector(plan);
+  simmpi::World world(world_config(6),
+                      injector.wrap(workloads::make_factory(bursty_solver())));
+  injector.arm(world);
+  trace::StackInspector inspector(world);
+  TimeoutDetector detector(world, inspector,
+                           baseline_config(sim::from_millis(800), 10));
+  world.start();
+  detector.start();
+  auto& engine = world.engine();
+  while (!detector.hang_reported() && engine.now() < 5 * sim::kMinute &&
+         engine.step()) {
+  }
+  ASSERT_TRUE(detector.hang_reported());
+  const auto detected_at = detector.reports().front().detected_at;
+  const auto activated_at = injector.record().activated_at;
+  EXPECT_GT(detected_at, activated_at);
+  // The full streak must have been rebuilt after the fault: at least K
+  // intervals of post-fault silence before the verdict.
+  EXPECT_GE(detected_at - activated_at, 10 * sim::from_millis(800));
+}
+
 TEST(TimeoutDetector, StopPreventsFurtherReports) {
   simmpi::World world(world_config(8),
                       workloads::make_factory(bursty_solver()));

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace parastack::util {
 namespace {
 
@@ -86,6 +90,96 @@ TEST(Histogram, AsciiRendersOneLinePerBucket) {
 TEST(HistogramDeath, InvalidConstruction) {
   EXPECT_DEATH(Histogram(1.0, 1.0, 3), "non-empty");
   EXPECT_DEATH(Histogram(0.0, 1.0, 0), "at least one");
+}
+
+TEST(Histogram, ExactEdgeSamplesLandInTheEdgeBucket) {
+  // bucket_lo(b) is the published inclusive lower edge, but the float
+  // division (x - lo) / width can round a sample sitting exactly on it
+  // into bucket b-1 (e.g. width = 1/3). add() must agree with the edges.
+  Histogram h(0.0, 1.0, 3);
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    h.add(h.bucket_lo(b));
+  }
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    EXPECT_EQ(h.count(b), 1u) << "edge sample strayed from bucket " << b;
+  }
+}
+
+TEST(Histogram, PropertyCountsConserveAndMatchEdges) {
+  Rng rng(0x5150ULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double lo = rng.uniform(-100.0, 100.0);
+    const double hi = lo + rng.uniform(0.5, 200.0);
+    const auto buckets =
+        static_cast<std::size_t>(rng.uniform_int(std::int64_t{1}, 40));
+    Histogram h(lo, hi, buckets);
+    std::vector<std::size_t> expected(buckets, 0);
+    std::size_t expected_under = 0;
+    std::size_t expected_over = 0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+      // Mix interior draws with exact-edge hits (the off-by-one trap).
+      double x;
+      const double kind = rng.uniform();
+      if (kind < 0.2) {
+        x = h.bucket_lo(static_cast<std::size_t>(
+            rng.uniform_int(std::uint64_t{buckets})));
+      } else {
+        x = rng.uniform(lo - 10.0, hi + 10.0);
+      }
+      h.add(x);
+      if (x < lo) {
+        ++expected_under;
+      } else if (x >= hi) {
+        ++expected_over;
+      } else {
+        // Reference classification: scan the published edges.
+        std::size_t b = buckets - 1;
+        for (std::size_t j = 0; j + 1 < buckets; ++j) {
+          if (x >= h.bucket_lo(j) && x < h.bucket_lo(j + 1)) {
+            b = j;
+            break;
+          }
+        }
+        ++expected[b];
+      }
+    }
+    EXPECT_EQ(h.total(), static_cast<std::size_t>(n));
+    EXPECT_EQ(h.underflow(), expected_under);
+    EXPECT_EQ(h.overflow(), expected_over);
+    EXPECT_EQ(h.in_range(),
+              static_cast<std::size_t>(n) - expected_under - expected_over);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      EXPECT_EQ(h.count(b), expected[b])
+          << "trial " << trial << " bucket " << b;
+    }
+  }
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndInRange) {
+  Rng rng(77);
+  Histogram h(0.0, 10.0, 16);
+  for (int i = 0; i < 300; ++i) {
+    h.add(rng.uniform(-1.0, 11.0));  // include some flow mass
+  }
+  ASSERT_GT(h.in_range(), 0u);
+  double prev = h.quantile(0.0);
+  EXPECT_GE(prev, 0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double q = h.quantile(p);
+    EXPECT_GE(q, prev) << "quantile not monotone at p=" << p;
+    prev = q;
+  }
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinASingleBucket) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(3.5);  // all mass in bucket [3, 4)
+  EXPECT_GE(h.quantile(0.0), 3.0);
+  EXPECT_LE(h.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  EXPECT_LT(h.quantile(0.25), h.quantile(1.0));
 }
 
 }  // namespace
