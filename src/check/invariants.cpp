@@ -147,6 +147,15 @@ void InvariantSink::on_detection(const obs::DetectionEvent& e) {
   clock(e.time, "detection");
 }
 
+void InvariantSink::on_detection_span(const obs::DetectionSpanEvent& e) {
+  clock(e.time, "det_span");
+  if (e.begin < 0) violation("detection span begins before t=0");
+  if (e.end < e.begin) violation("detection span ends before it begins");
+  if (e.end > e.time) {
+    violation("detection span ends after its emission time");
+  }
+}
+
 void InvariantSink::on_monitor_sample(const obs::MonitorSampleEvent& e) {
   clock(e.time, "monitor_sample");
   if (e.coverage < 0.0 || e.coverage > 1.0) {

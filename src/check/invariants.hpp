@@ -29,6 +29,8 @@ namespace parastack::check {
 ///   - coverage/quorum bookkeeping: degraded-mode transitions alternate
 ///     enter/exit, monitor crash events report a strictly shrinking
 ///     monitor population, failovers re-root away from the dead lead;
+///   - detection-latency spans are well-formed: begin >= 0, end >= begin,
+///     and the span closes at or before its emission instant;
 ///   - run framing: at most one run_start/run_end pair per run index, no
 ///     events after run_end, at most one application fault activation.
 class InvariantSink final : public obs::TelemetrySink {
@@ -49,6 +51,7 @@ class InvariantSink final : public obs::TelemetrySink {
   void on_hang(const obs::HangEvent& e) override;
   void on_slowdown(const obs::SlowdownEvent& e) override;
   void on_detection(const obs::DetectionEvent& e) override;
+  void on_detection_span(const obs::DetectionSpanEvent& e) override;
   void on_monitor_sample(const obs::MonitorSampleEvent& e) override;
   void on_monitor_crash(const obs::MonitorCrashEvent& e) override;
   void on_lead_failover(const obs::LeadFailoverEvent& e) override;

@@ -1,7 +1,9 @@
 #include "check/oracles.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <map>
 #include <numeric>
 #include <sstream>
 #include <utility>
@@ -12,6 +14,7 @@
 #include "harness/campaign.hpp"
 #include "harness/runner.hpp"
 #include "obs/journal.hpp"
+#include "obs/perf.hpp"
 #include "obs/replay.hpp"
 #include "trace/inspector.hpp"
 #include "util/rng.hpp"
@@ -22,6 +25,36 @@ namespace {
 
 void fail(SeedReport& report, const char* oracle, std::string detail) {
   report.failures.push_back(OracleFailure{oracle, std::move(detail)});
+}
+
+/// First differing entry between two perf-counter snapshots, formatted for
+/// a failure message. Empty string when the maps are identical. Timers are
+/// already absent from snapshots by design — only the deterministic
+/// counters and high-water gauges are compared.
+std::string snapshot_divergence(
+    const std::map<std::string, std::uint64_t>& a,
+    const std::map<std::string, std::uint64_t>& b) {
+  if (a == b) return {};
+  for (const auto& [name, value] : a) {
+    const auto it = b.find(name);
+    if (it == b.end()) {
+      return "perf counter \"" + name + "\" present in one run only";
+    }
+    if (it->second != value) {
+      char buffer[160];
+      std::snprintf(buffer, sizeof buffer,
+                    "perf counter \"%s\" diverged: %llu vs %llu", name.c_str(),
+                    static_cast<unsigned long long>(value),
+                    static_cast<unsigned long long>(it->second));
+      return buffer;
+    }
+  }
+  for (const auto& [name, value] : b) {
+    if (a.find(name) == a.end()) {
+      return "perf counter \"" + name + "\" present in one run only";
+    }
+  }
+  return "perf snapshots diverged";
 }
 
 std::string first_divergence(const std::string& a, const std::string& b) {
@@ -95,6 +128,11 @@ class ClockWarpSink final : public obs::TelemetrySink {
     auto w = e;
     w.time = warp(w.time);
     inner_.on_detection(w);
+  }
+  void on_detection_span(const obs::DetectionSpanEvent& e) override {
+    auto w = e;
+    w.time = warp(w.time);
+    inner_.on_detection_span(w);
   }
   void on_monitor_sample(const obs::MonitorSampleEvent& e) override {
     auto w = e;
@@ -280,7 +318,8 @@ void check_rank_relabel(const Scenario& scenario, SeedReport& report) {
   }
 }
 
-std::string run_campaign_journal(const Scenario& scenario, int jobs) {
+std::string run_campaign_journal(const Scenario& scenario, int jobs,
+                                 obs::perf::ProfileRegistry* perf) {
   harness::CampaignConfig campaign;
   campaign.base = to_run_config(scenario);
   campaign.runs = scenario.campaign_runs;
@@ -289,6 +328,7 @@ std::string run_campaign_journal(const Scenario& scenario, int jobs) {
   std::ostringstream bytes;
   obs::JsonlJournal journal(bytes);
   campaign.base.telemetry = &journal;
+  campaign.base.perf = perf;  // shared across trials: atomic, order-free
   // Clean vs erroneous dispatch mirrors the bench tools: the clean runner
   // refuses hang faults and the erroneous runner refuses fault-free bases.
   if (scenario.fault == faults::FaultType::kNone ||
@@ -315,6 +355,8 @@ SeedReport check_scenario(const Scenario& scenario,
   InvariantSink invariants;
   obs::MultiSink fanout({&live_journal, &recording, &invariants});
   config.telemetry = &fanout;
+  obs::perf::ProfileRegistry base_perf;
+  config.perf = &base_perf;
   std::vector<std::string> probe_violations;
   config.post_run_probe = [&probe_violations](const simmpi::World& world,
                                               const harness::RunResult& r) {
@@ -358,16 +400,26 @@ SeedReport check_scenario(const Scenario& scenario,
   }
 
   // --- Determinism oracle: same config, byte-identical journal ---
+  // Rides along: the perf-counter snapshot (counters + high-waters, timers
+  // excluded by construction) must also match the base run exactly — the
+  // counters count simulated facts, so they are pure functions of the seed.
   {
     harness::RunConfig again = to_run_config(scenario);
     std::ostringstream rerun_bytes;
     obs::JsonlJournal rerun_journal(rerun_bytes);
     again.telemetry = &rerun_journal;
+    obs::perf::ProfileRegistry rerun_perf;
+    again.perf = &rerun_perf;
     (void)harness::run_one(again);
     ++report.runs_executed;
     if (const auto diff = first_divergence(live_bytes.str(), rerun_bytes.str());
         !diff.empty()) {
       fail(report, "determinism", diff);
+    }
+    if (const auto diff = snapshot_divergence(base_perf.counter_snapshot(),
+                                              rerun_perf.counter_snapshot());
+        !diff.empty()) {
+      fail(report, "perf-determinism", diff);
     }
   }
 
@@ -399,12 +451,23 @@ SeedReport check_scenario(const Scenario& scenario,
   }
 
   // --- Jobs-differential oracle ---
+  // The perf registries ride along here too: one shared registry per
+  // campaign, so the jobs=1 and jobs=N totals must agree exactly (atomic
+  // sums and maxes are order-independent).
   if (options.campaign_differential && options.jobs > 1) {
-    const std::string serial = run_campaign_journal(scenario, 1);
-    const std::string parallel = run_campaign_journal(scenario, options.jobs);
+    obs::perf::ProfileRegistry serial_perf;
+    obs::perf::ProfileRegistry parallel_perf;
+    const std::string serial = run_campaign_journal(scenario, 1, &serial_perf);
+    const std::string parallel =
+        run_campaign_journal(scenario, options.jobs, &parallel_perf);
     report.runs_executed += 2 * scenario.campaign_runs;
     if (const auto diff = first_divergence(serial, parallel); !diff.empty()) {
       fail(report, "jobs-differential", diff);
+    }
+    if (const auto diff = snapshot_divergence(serial_perf.counter_snapshot(),
+                                              parallel_perf.counter_snapshot());
+        !diff.empty()) {
+      fail(report, "perf-jobs", diff);
     }
   }
 

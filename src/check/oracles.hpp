@@ -24,7 +24,8 @@ struct OracleOptions {
 /// One oracle's complaint about one scenario.
 struct OracleFailure {
   std::string oracle;  ///< "invariants", "conservation", "determinism",
-                       ///< "replay", "faults-off", "jobs-differential",
+                       ///< "perf-determinism", "replay", "faults-off",
+                       ///< "jobs-differential", "perf-jobs",
                        ///< "rank-relabel", "planted-clock"
   std::string detail;
 };
@@ -54,8 +55,15 @@ struct SeedReport {
 ///     trains on their compute-heavy prefix and legitimately suspects the
 ///     communication-heavy tail — the paper's §6 limitation, demonstrated
 ///     by bench_limitation_load_imbalance;
+///   - perf-determinism: the re-run's perf-counter snapshot (counters and
+///     high-water gauges; wall-clock timers are excluded by construction)
+///     is identical to the base run's — counters count simulated facts and
+///     must be pure functions of the seed;
 ///   - jobs-differential: a --jobs=1 campaign and a --jobs=N campaign over
 ///     the same seeds write byte-identical journals;
+///   - perf-jobs: those two campaigns, each summing into its own shared
+///     perf registry, accumulate identical counter snapshots (atomic sums
+///     and maxes are order-independent);
 ///   - rank-relabel: permuting rank labels permutes the identified faulty
 ///     set and leaves the transient-slowdown verdict unchanged
 ///     (metamorphic, on the pure pipeline functions).

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/slowdown_filter.hpp"
+#include "obs/perf.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -93,6 +94,19 @@ HangDetector::HangDetector(simmpi::World& world,
       filter_(filter_config(config_)),
       identifier_(identifier_config(config_)) {
   PS_CHECK(config_.alpha > 0.0 && config_.alpha < 1.0, "alpha in (0,1)");
+  if (obs::perf::ProfileRegistry* perf = world_.engine().perf();
+      perf != nullptr) {
+    perf_sampler_ = {perf->counter("stage.sampler.calls"),
+                     perf->timer("stage.sampler")};
+    perf_tuner_ = {perf->counter("stage.tuner.calls"),
+                   perf->timer("stage.tuner")};
+    perf_judge_ = {perf->counter("stage.judge.calls"),
+                   perf->timer("stage.judge")};
+    perf_filter_ = {perf->counter("stage.filter.calls"),
+                    perf->timer("stage.filter")};
+    perf_identifier_ = {perf->counter("stage.identifier.calls"),
+                        perf->timer("stage.identifier")};
+  }
 }
 
 void HangDetector::notify_phase_change(int phase_id) {
@@ -142,7 +156,11 @@ void HangDetector::schedule_next_sample() {
 
 void HangDetector::take_sample() {
   if (stopped_ || state_ != State::kSampling) return;
-  const auto qualified = sampler_.measure_qualified();
+  PS_PERF_ADD(perf_sampler_.calls, 1);
+  const auto qualified = [&] {
+    PS_PERF_SCOPE(scope, perf_sampler_.timer);
+    return sampler_.measure_qualified();
+  }();
   // Coverage-scaled estimate: unseen ranks count as IN_MPI — conservative
   // for hang detection (a hung rank that went unobserved can only make the
   // sample look *more* suspicious, never less). Exact identity when the
@@ -172,12 +190,21 @@ void HangDetector::take_sample() {
   const bool meets_quorum = qualified.coverage >= config_.coverage_quorum;
   if (!freeze && meets_quorum) {
     judge_.model().add_sample(sample);
+    PS_PERF_ADD(perf_tuner_.calls, 1);
+    PS_PERF_SCOPE(tuner_scope, perf_tuner_.timer);
     tuner_.on_model_sample(judge_.model(), sink, now, label());
   }
 
-  const auto verdict = judge_.judge(sample, tuner_.randomness_confirmed(),
-                                    qualified.coverage);
+  PS_PERF_ADD(perf_judge_.calls, 1);
+  const auto verdict = [&] {
+    PS_PERF_SCOPE(scope, perf_judge_.timer);
+    return judge_.judge(sample, tuner_.randomness_confirmed(),
+                        qualified.coverage);
+  }();
   if (verdict.entered_degraded) ++degraded_entries_;
+  // A fresh streak (0 -> 1) marks the first-suspicion milestone of the
+  // detection-latency breakdown.
+  if (verdict.suspicious && judge_.streak() == 1) streak_started_at_ = now;
 
   if (sink != nullptr) {
     obs::SampleEvent event;
@@ -256,11 +283,17 @@ void HangDetector::begin_verification() {
   state_ = State::kVerifying;
   obs::TelemetrySink* sink = world_.engine().telemetry();
   if (!filter_.enabled()) {
+    // No filter: the streak's completion is itself the confirmation.
+    confirmed_at_ = world_.engine().now();
     identifier_.reset();
     faulty_sweep_round();
     return;
   }
-  filter_.begin(sweep_all_ranks());
+  PS_PERF_ADD(perf_filter_.calls, 1);
+  {
+    PS_PERF_SCOPE(scope, perf_filter_.timer);
+    filter_.begin(sweep_all_ranks());
+  }
   const sim::Time now = world_.engine().now();
   debug_log("verification: filter round 1 swept %d ranks", world_.nranks());
   if (sink != nullptr) {
@@ -296,12 +329,17 @@ void HangDetector::continue_filter() {
     sweep.round = filter_.rounds_done() + 1;
     sink->on_sweep(sweep);
   }
-  const auto check = filter_.check(std::move(round));
+  PS_PERF_ADD(perf_filter_.calls, 1);
+  const auto check = [&] {
+    PS_PERF_SCOPE(scope, perf_filter_.timer);
+    return filter_.check(std::move(round));
+  }();
   if (check.outcome == TransientFilter::Outcome::kSlowdown) {
     conclude_slowdown(check.evidence);
     return;
   }
   if (check.outcome == TransientFilter::Outcome::kHangConfirmed) {
+    confirmed_at_ = now;
     debug_log("filter: %d static rounds; hang confirmed",
               filter_.rounds_done());
     if (sink != nullptr) {
@@ -370,7 +408,11 @@ void HangDetector::conclude_slowdown(const SlowdownEvidence& evidence) {
 
 void HangDetector::faulty_sweep_round() {
   if (stopped_ || state_ != State::kVerifying) return;
-  const bool done = identifier_.add_sweep(sweep_all_ranks());
+  PS_PERF_ADD(perf_identifier_.calls, 1);
+  const bool done = [&] {
+    PS_PERF_SCOPE(scope, perf_identifier_.timer);
+    return identifier_.add_sweep(sweep_all_ranks());
+  }();
   if (obs::TelemetrySink* sink = world_.engine().telemetry();
       sink != nullptr) {
     obs::SweepEvent sweep;
@@ -400,6 +442,8 @@ void HangDetector::report_hang() {
   report.q = decision.q;
   report.required_streak = decision.k;
   report.interval = tuner_.interval();
+  report.first_suspicion_at = streak_started_at_;
+  report.confirmed_at = confirmed_at_;
   hang_reports_.push_back(report);
   state_ = State::kDone;
   debug_log("hang reported at t=%.2fs (%zu faulty ranks)",

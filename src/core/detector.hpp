@@ -14,6 +14,11 @@
 #include "trace/inspector.hpp"
 #include "util/rng.hpp"
 
+namespace parastack::obs::perf {
+class Counter;
+class Timer;
+}  // namespace parastack::obs::perf
+
 namespace parastack::core {
 
 struct SlowdownEvidence;  // core/slowdown_filter.hpp
@@ -109,6 +114,14 @@ class HangDetector final : public Detector {
  private:
   enum class State { kIdle, kSampling, kVerifying, kDone };
 
+  /// Cached perf handles for one pipeline stage (null when the engine has
+  /// no ProfileRegistry attached): an invocation counter (deterministic)
+  /// and a wall-clock stage timer (advisory).
+  struct StagePerf {
+    obs::perf::Counter* calls = nullptr;
+    obs::perf::Timer* timer = nullptr;
+  };
+
   static ScroutSampler::Config sampler_config(const DetectorConfig& c);
   static IntervalTuner::Config tuner_config(const DetectorConfig& c);
   static SuspicionJudge::Config judge_config(const DetectorConfig& c);
@@ -141,6 +154,17 @@ class HangDetector final : public Detector {
   std::size_t degraded_entries_ = 0;
   std::vector<HangReport> hang_reports_;
   std::vector<SlowdownReport> slowdown_reports_;
+
+  // Per-stage perf instrumentation (resolved once at construction).
+  StagePerf perf_sampler_;
+  StagePerf perf_tuner_;
+  StagePerf perf_judge_;
+  StagePerf perf_filter_;
+  StagePerf perf_identifier_;
+
+  // Detection-latency milestones for the current/most recent streak.
+  sim::Time streak_started_at_ = -1;
+  sim::Time confirmed_at_ = -1;
 };
 
 }  // namespace parastack::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/perf.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
@@ -10,7 +11,17 @@ namespace parastack::core {
 
 MonitorNetwork::MonitorNetwork(simmpi::World& world,
                                trace::StackInspector& inspector)
-    : world_(world), inspector_(inspector) {}
+    : world_(world), inspector_(inspector) {
+  if (obs::perf::ProfileRegistry* perf = world_.engine().perf();
+      perf != nullptr) {
+    perf_samples_ = perf->counter("monitor.reports_aggregated");
+    perf_messages_ = perf->counter("monitor.messages");
+    perf_retries_ = perf->counter("monitor.retries");
+    perf_failovers_ = perf->counter("monitor.lead_failovers");
+    perf_crashes_ = perf->counter("monitor.crashes");
+    perf_lost_ = perf->counter("monitor.partials_lost");
+  }
+}
 
 int MonitorNetwork::active_monitors_for(
     const std::vector<simmpi::Rank>& set) const {
@@ -65,6 +76,7 @@ void MonitorNetwork::crash_monitor(int node, sim::Time at) {
   if (node < 0 || !monitor_alive(node)) return;  // already dead: no-op
   dead_[static_cast<std::size_t>(node)] = true;
   ++crashes_;
+  PS_PERF_ADD(perf_crashes_, 1);
   const bool was_lead = node == lead_;
   int alive = 0;
   for (const bool dead : dead_) alive += dead ? 0 : 1;
@@ -89,6 +101,7 @@ void MonitorNetwork::crash_monitor(int node, sim::Time at) {
     }
   }
   ++failovers_;
+  PS_PERF_ADD(perf_failovers_, 1);
   pending_reregistration_ += plan_->reregistration_latency;
   if (obs::TelemetrySink* sink = world_.engine().telemetry();
       sink != nullptr) {
@@ -145,12 +158,14 @@ MonitorNetwork::Measurement MonitorNetwork::measure_healthy(
       static_cast<std::uint64_t>(std::max(measurement.active_monitors - 1, 0));
   messages_ += partials;
   bytes_ += partials * 8;
+  PS_PERF_ADD(perf_messages_, partials);
   const int depth = std::bit_width(
       static_cast<unsigned>(std::max(measurement.active_monitors - 1, 1)));
   measurement.aggregation_latency =
       static_cast<sim::Time>(depth) * world_.platform().network_latency;
   traced_ += static_cast<std::uint64_t>(measurement.ranks_traced);
   ++samples_;
+  PS_PERF_ADD(perf_samples_, 1);
   emit_sample_event(measurement, partials, partials * 8);
   return measurement;
 }
@@ -235,12 +250,15 @@ MonitorNetwork::Measurement MonitorNetwork::measure_under_faults(
         penalty += plan_->sample_timeout;  // the lead's final wait
         ++measurement.partials_missing;
         ++lost_;
+        PS_PERF_ADD(perf_lost_, 1);
       } else {
         covered += static_cast<int>(ranks.size());
         out_covered += node_out;
       }
       measurement.retries += attempts_retried;
       retries_total_ += static_cast<std::uint64_t>(attempts_retried);
+      PS_PERF_ADD(perf_retries_,
+                  static_cast<std::uint64_t>(attempts_retried));
       worst_penalty = std::max(worst_penalty, penalty);
       if (attempts_retried > 0) {
         if (obs::TelemetrySink* sink = world_.engine().telemetry();
@@ -274,6 +292,8 @@ MonitorNetwork::Measurement MonitorNetwork::measure_under_faults(
   bytes_ += sample_messages * 8;
   traced_ += static_cast<std::uint64_t>(measurement.ranks_traced);
   ++samples_;
+  PS_PERF_ADD(perf_messages_, sample_messages);
+  PS_PERF_ADD(perf_samples_, 1);
   emit_sample_event(measurement, sample_messages, sample_messages * 8);
   return measurement;
 }

@@ -10,6 +10,10 @@
 #include "trace/inspector.hpp"
 #include "util/rng.hpp"
 
+namespace parastack::obs::perf {
+class Counter;
+}
+
 namespace parastack::core {
 
 /// The distributed tool topology of paper §3.3/§5: ParaStack launches one
@@ -111,6 +115,15 @@ class MonitorNetwork {
   std::uint64_t failovers_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t retries_total_ = 0;
+
+  // Perf mirrors of the counters above, resolved once from the engine's
+  // ProfileRegistry (all null when perf accounting is off).
+  obs::perf::Counter* perf_samples_ = nullptr;
+  obs::perf::Counter* perf_messages_ = nullptr;
+  obs::perf::Counter* perf_retries_ = nullptr;
+  obs::perf::Counter* perf_failovers_ = nullptr;
+  obs::perf::Counter* perf_crashes_ = nullptr;
+  obs::perf::Counter* perf_lost_ = nullptr;
 };
 
 }  // namespace parastack::core

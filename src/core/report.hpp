@@ -43,6 +43,13 @@ struct HangReport {
   double q = 0.0;
   std::size_t required_streak = 0;
   sim::Time interval = 0;
+  /// Detection-latency milestones: when the suspicion streak that led here
+  /// began, and when the transient filter confirmed the hang (== the
+  /// verification start when the filter is disabled). -1 if unknown; the
+  /// harness turns (fault, first_suspicion_at, confirmed_at, detected_at)
+  /// into the journal's detection-span breakdown.
+  sim::Time first_suspicion_at = -1;
+  sim::Time confirmed_at = -1;
 
   std::string to_string() const;
 };

@@ -255,6 +255,7 @@ RunResult run_one(const RunConfig& config) {
   simmpi::World world(world_config,
                       injector.wrap(workloads::make_factory(profile)));
   world.engine().set_telemetry(config.telemetry);
+  world.engine().set_perf(config.perf);
   injector.arm(world);
 
   trace::StackInspector::Config inspector_config;
@@ -434,6 +435,39 @@ RunResult run_one(const RunConfig& config) {
     result.gflops = flops / sim::to_seconds(*result.finish_time) / 1e9;
   }
 
+  // Detection-latency breakdown for the first genuine (post-fault) hang:
+  // emitted at end of run, before run_end, so the journal's time order
+  // holds. Each leg is skipped if its opening milestone is unknown or the
+  // milestones are out of order (e.g. a streak that began before the fault).
+  if (config.telemetry != nullptr) {
+    if (const core::HangReport* hang = result.first_hang_after_fault();
+        hang != nullptr) {
+      const DetectorRunResult* entry =
+          result.detector(core::DetectorKind::kParastack);
+      const std::string_view label = entry == nullptr
+                                         ? std::string_view("parastack")
+                                         : std::string_view(entry->label);
+      const sim::Time fault_at = result.fault.activated_at;
+      const auto emit_span = [&](std::string_view span, sim::Time begin,
+                                 sim::Time end) {
+        if (begin < 0 || end < begin) return;
+        obs::DetectionSpanEvent event;
+        event.time = engine.now();
+        event.detector = label;
+        event.span = span;
+        event.begin = begin;
+        event.end = end;
+        event.run_index = config.run_index;
+        config.telemetry->on_detection_span(event);
+      };
+      emit_span("fault-to-suspicion", fault_at, hang->first_suspicion_at);
+      emit_span("suspicion-to-confirm", hang->first_suspicion_at,
+                hang->confirmed_at);
+      emit_span("confirm-to-kill", hang->confirmed_at, hang->detected_at);
+      emit_span("fault-to-kill", fault_at, hang->detected_at);
+    }
+  }
+
   if (config.telemetry != nullptr) {
     obs::RunEndEvent event;
     event.time = engine.now();
@@ -456,6 +490,7 @@ RunResult run_one(const RunConfig& config) {
   // The engine (and its telemetry pointer) dies with this frame; detach so
   // nothing dangles if the caller keeps the world alive via captures.
   world.engine().set_telemetry(nullptr);
+  world.engine().set_perf(nullptr);
   return result;
 }
 

@@ -15,6 +15,10 @@
 #include "sim/platform.hpp"
 #include "workloads/catalog.hpp"
 
+namespace parastack::obs::perf {
+class ProfileRegistry;
+}
+
 namespace parastack::harness {
 
 /// One detector to attach to a run: which kind, its per-kind configuration,
@@ -107,6 +111,12 @@ struct RunConfig {
   /// (journal / metrics / trace). Not owned; may be null. The runner emits
   /// run_start / run_end itself; everything else comes from the components.
   obs::TelemetrySink* telemetry = nullptr;
+  /// Performance-counter registry attached to the run's engine (events
+  /// scheduled/fired, pipeline-stage counts, monitor traffic). Counters are
+  /// atomic, so a whole campaign may share one registry across parallel
+  /// trials — the totals are order-independent. Not owned; may be null
+  /// (perf accounting off, near-zero cost).
+  obs::perf::ProfileRegistry* perf = nullptr;
   /// Position within a campaign (run_start/run_end correlation key).
   int run_index = 0;
 

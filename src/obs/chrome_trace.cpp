@@ -133,6 +133,18 @@ void ChromeTraceWriter::on_rank_span(const RankSpanEvent& e) {
   ev += '}';
 }
 
+void ChromeTraceWriter::on_detection_span(const DetectionSpanEvent& e) {
+  std::string& ev = begin_event();
+  ev += "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"cat\":\"detection-latency\","
+        "\"name\":\"";
+  append_escaped(ev, e.span);
+  ev += "\",\"ts\":";
+  append_ts(ev, e.begin);
+  ev += ",\"dur\":";
+  append_ts(ev, std::max<sim::Time>(e.end - e.begin, 1));
+  ev += '}';
+}
+
 void ChromeTraceWriter::on_sample(const SampleEvent& e) {
   counter(e.time, "S_crout", e.scrout);
   counter(e.time, "streak", static_cast<double>(e.streak));

@@ -36,6 +36,7 @@ class ChromeTraceWriter final : public TelemetrySink {
   void on_phase_change(const PhaseChangeEvent& e) override;
   void on_fault(const FaultEvent& e) override;
   void on_run_start(const RunStartEvent& e) override;
+  void on_detection_span(const DetectionSpanEvent& e) override;
   void on_rank_span(const RankSpanEvent& e) override;
   bool wants_rank_spans() const override { return options_.max_ranks > 0; }
 

@@ -316,6 +316,20 @@ void JsonlJournal::on_run_end(const RunEndEvent& e) {
   ++lines_;
 }
 
+void JsonlJournal::on_detection_span(const DetectionSpanEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "det_span");
+  if (!e.detector.empty()) line.field("det", e.detector);
+  line.field("t_ns", e.time)
+      .field("span", e.span)
+      .field("begin_ns", e.begin)
+      .field("end_ns", e.end)
+      .field("run", e.run_index);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
 void JsonlJournal::on_rank_span(const RankSpanEvent& e) {
   if (!options_.record_rank_spans) return;
   JsonObject line(out_);

@@ -22,6 +22,10 @@ util::Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
   return histograms_.try_emplace(name, lo, hi, buckets).first->second;
 }
 
+Digest& MetricsRegistry::digest(const std::string& name) {
+  return digests_[name];
+}
+
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
@@ -35,6 +39,27 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     first = false;
     json_string(out, name);
     out << ':' << value;
+  }
+  out << "},\"digests\":{";
+  first = true;
+  for (const auto& [name, d] : digests_) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ':';
+    JsonObject obj(out);
+    obj.field("count", static_cast<std::uint64_t>(d.count()));
+    if (!d.empty()) {
+      util::Summary moments;
+      for (const double v : d.values()) moments.add(v);
+      obj.field("mean", moments.mean())
+          .field("min", moments.min())
+          .field("max", moments.max())
+          .field("p50", util::quantile(d.values(), 0.5))
+          .field("p95", util::quantile(d.values(), 0.95))
+          .field("p99", util::quantile(d.values(), 0.99));
+    }
+    obj.done();
   }
   out << "},\"gauges\":{";
   first = true;
@@ -221,6 +246,11 @@ void MetricsSink::on_run_end(const RunEndEvent& e) {
   registry_.summary("harness.run_seconds").add(sim::to_seconds(e.end_time));
   registry_.summary("trace.cost_seconds_per_run")
       .add(sim::to_seconds(e.trace_cost));
+}
+
+void MetricsSink::on_detection_span(const DetectionSpanEvent& e) {
+  registry_.digest("span." + std::string(e.span) + "_ms")
+      .add(sim::to_millis(e.end - e.begin));
 }
 
 }  // namespace parastack::obs

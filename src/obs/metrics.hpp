@@ -4,12 +4,28 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/telemetry.hpp"
 #include "util/histogram.hpp"
 #include "util/summary.hpp"
 
 namespace parastack::obs {
+
+/// Retained-sample distribution for low-volume latency data (detection
+/// spans: a handful per run). Keeps every value so the JSON dump can report
+/// exact p50/p95/p99 — fine at campaign scale, wrong for per-event streams
+/// (use util::Histogram there).
+class Digest {
+ public:
+  void add(double value) { values_.push_back(value); }
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
 
 /// Named counters, gauges, streaming summaries, and fixed-bucket histograms
 /// with deterministic JSON export (keys sorted — std::map — and values pure
@@ -24,14 +40,16 @@ class MetricsRegistry {
   /// first; later callers get the existing instance.
   util::Histogram& histogram(const std::string& name, double lo, double hi,
                              std::size_t buckets);
+  Digest& digest(const std::string& name);
 
   bool has_counter(const std::string& name) const {
     return counters_.count(name) != 0;
   }
   std::uint64_t counter_value(const std::string& name) const;
 
-  /// One JSON document: {"counters":{...},"gauges":{...},
-  /// "summaries":{...},"histograms":{...}}.
+  /// One JSON document: {"counters":{...},"digests":{...},"gauges":{...},
+  /// "summaries":{...},"histograms":{...}}. Keys sorted, doubles rendered
+  /// with the fixed json_number format: byte-stable per seed.
   void write_json(std::ostream& out) const;
 
  private:
@@ -39,6 +57,7 @@ class MetricsRegistry {
   std::map<std::string, double> gauges_;
   std::map<std::string, util::Summary> summaries_;
   std::map<std::string, util::Histogram> histograms_;
+  std::map<std::string, Digest> digests_;
 };
 
 /// TelemetrySink that folds the event stream into a MetricsRegistry:
@@ -67,6 +86,7 @@ class MetricsSink final : public TelemetrySink {
   void on_fault(const FaultEvent& e) override;
   void on_run_start(const RunStartEvent& e) override;
   void on_run_end(const RunEndEvent& e) override;
+  void on_detection_span(const DetectionSpanEvent& e) override;
 
  private:
   MetricsRegistry& registry_;

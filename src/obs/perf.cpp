@@ -1,0 +1,42 @@
+#include "obs/perf.hpp"
+
+#include "obs/json.hpp"
+
+namespace parastack::obs::perf {
+
+void ProfileRegistry::write_json(std::ostream& out,
+                                 bool include_timers) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << '{';
+  out << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ':' << c.value();
+  }
+  out << "},\"high_water\":{";
+  first = true;
+  for (const auto& [name, g] : high_waters_) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ':' << g.value();
+  }
+  out << '}';
+  if (include_timers) {
+    out << ",\"timers\":{";
+    first = true;
+    for (const auto& [name, t] : timers_) {
+      if (!first) out << ',';
+      first = false;
+      json_string(out, name);
+      out << ":{\"ns\":" << t.nanos() << ",\"calls\":" << t.calls() << '}';
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+}  // namespace parastack::obs::perf

@@ -110,6 +110,13 @@ void RecordingSink::on_run_start(const RunStartEvent& e) {
 
 void RecordingSink::on_run_end(const RunEndEvent& e) { events_.push_back(e); }
 
+void RecordingSink::on_detection_span(const DetectionSpanEvent& e) {
+  DetectionSpanEvent copy = e;
+  copy.detector = intern(e.detector);
+  copy.span = intern(e.span);
+  events_.push_back(copy);
+}
+
 void RecordingSink::on_rank_span(const RankSpanEvent& e) {
   RankSpanEvent copy = e;
   copy.func = intern(e.func);
@@ -149,6 +156,9 @@ void RecordingSink::replay(TelemetrySink& target) const {
     void operator()(const FaultEvent& e) const { target.on_fault(e); }
     void operator()(const RunStartEvent& e) const { target.on_run_start(e); }
     void operator()(const RunEndEvent& e) const { target.on_run_end(e); }
+    void operator()(const DetectionSpanEvent& e) const {
+      target.on_detection_span(e);
+    }
     void operator()(const RankSpanEvent& e) const { target.on_rank_span(e); }
   };
   for (const Event& event : events_) {

@@ -70,6 +70,9 @@ void MultiSink::on_run_start(const RunStartEvent& e) {
 void MultiSink::on_run_end(const RunEndEvent& e) {
   for (auto* s : sinks_) s->on_run_end(e);
 }
+void MultiSink::on_detection_span(const DetectionSpanEvent& e) {
+  for (auto* s : sinks_) s->on_detection_span(e);
+}
 void MultiSink::on_rank_span(const RankSpanEvent& e) {
   for (auto* s : sinks_) s->on_rank_span(e);
 }

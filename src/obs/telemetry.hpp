@@ -229,6 +229,20 @@ struct RunEndEvent {
   sim::Time final_interval = 0;
 };
 
+/// One leg of the detection-latency breakdown for a verified hang: how long
+/// the run spent between two milestones of the detection path. The harness
+/// emits the full set at end of run (fault-to-suspicion, suspicion-to-
+/// confirm, confirm-to-kill, plus the fault-to-kill total), each as one
+/// span; metric sinks fold them into p50/p95/p99 digests across a campaign.
+struct DetectionSpanEvent {
+  sim::Time time = 0;         ///< emission instant (end of run)
+  std::string_view detector;
+  std::string_view span;      ///< e.g. "fault-to-suspicion"
+  sim::Time begin = 0;        ///< milestone opening the span
+  sim::Time end = 0;          ///< milestone closing it (end >= begin)
+  int run_index = 0;
+};
+
 /// A contiguous span of one rank's life: a compute segment, a blocking MPI
 /// call, a whole busy-wait (Test loop), or an I/O burst. Producers emit
 /// these only when a sink declares interest (wants_rank_spans()), because
@@ -271,6 +285,7 @@ class TelemetrySink {
   virtual void on_fault(const FaultEvent&) {}
   virtual void on_run_start(const RunStartEvent&) {}
   virtual void on_run_end(const RunEndEvent&) {}
+  virtual void on_detection_span(const DetectionSpanEvent&) {}
   virtual void on_rank_span(const RankSpanEvent&) {}
 
   /// Rank spans fire per simulated action; producers consult this before
@@ -311,6 +326,7 @@ class MultiSink final : public TelemetrySink {
   void on_fault(const FaultEvent& e) override;
   void on_run_start(const RunStartEvent& e) override;
   void on_run_end(const RunEndEvent& e) override;
+  void on_detection_span(const DetectionSpanEvent& e) override;
   void on_rank_span(const RankSpanEvent& e) override;
   bool wants_rank_spans() const override;
 

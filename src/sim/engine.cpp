@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/perf.hpp"
 #include "util/check.hpp"
 
 namespace parastack::sim {
@@ -13,6 +14,25 @@ namespace {
 constexpr std::size_t kCompactMinTombstones = 64;
 }  // namespace
 
+void Engine::set_perf(obs::perf::ProfileRegistry* registry) {
+  perf_ = registry;
+  if (registry != nullptr) {
+    perf_scheduled_ = registry->counter("sim.events_scheduled");
+    perf_fired_ = registry->counter("sim.events_fired");
+    perf_cancelled_ = registry->counter("sim.events_cancelled");
+    perf_tombstones_ = registry->counter("sim.tombstones_dropped");
+    perf_compactions_ = registry->counter("sim.heap_compactions");
+    perf_queue_depth_ = registry->high_water("sim.queue_depth");
+  } else {
+    perf_scheduled_ = nullptr;
+    perf_fired_ = nullptr;
+    perf_cancelled_ = nullptr;
+    perf_tombstones_ = nullptr;
+    perf_compactions_ = nullptr;
+    perf_queue_depth_ = nullptr;
+  }
+}
+
 Engine::EventId Engine::schedule_at(Time t, Callback cb) {
   PS_CHECK(t >= now_, "cannot schedule events in the past");
   PS_CHECK(static_cast<bool>(cb), "null event callback");
@@ -20,6 +40,8 @@ Engine::EventId Engine::schedule_at(Time t, Callback cb) {
   heap_.push_back(Event{t, id});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   callbacks_.emplace(id, std::move(cb));
+  PS_PERF_ADD(perf_scheduled_, 1);
+  PS_PERF_OBSERVE(perf_queue_depth_, heap_.size());
   return id;
 }
 
@@ -31,6 +53,7 @@ Engine::EventId Engine::schedule_after(Time dt, Callback cb) {
 void Engine::cancel(EventId id) {
   if (callbacks_.erase(id) == 0) return;  // already fired or unknown
   ++cancelled_in_heap_;
+  PS_PERF_ADD(perf_cancelled_, 1);
   compact_if_worthwhile();
 }
 
@@ -43,6 +66,8 @@ void Engine::compact_if_worthwhile() {
     return callbacks_.find(ev.id) == callbacks_.end();
   });
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  PS_PERF_ADD(perf_compactions_, 1);
+  PS_PERF_ADD(perf_tombstones_, cancelled_in_heap_);
   cancelled_in_heap_ = 0;
 }
 
@@ -55,6 +80,7 @@ bool Engine::step() {
     auto it = callbacks_.find(ev.id);
     if (it == callbacks_.end()) {  // cancelled
       if (cancelled_in_heap_ > 0) --cancelled_in_heap_;
+      PS_PERF_ADD(perf_tombstones_, 1);
       continue;
     }
     Callback cb = std::move(it->second);
@@ -64,6 +90,7 @@ bool Engine::step() {
     now_ = ev.time;
     last_event_time_ = ev.time;
     ++fired_;
+    PS_PERF_ADD(perf_fired_, 1);
     cb();
     return true;
   }
@@ -77,6 +104,7 @@ void Engine::run_until(Time t) {
       std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
       heap_.pop_back();
       if (cancelled_in_heap_ > 0) --cancelled_in_heap_;
+      PS_PERF_ADD(perf_tombstones_, 1);
       continue;
     }
     if (heap_.front().time > t) break;

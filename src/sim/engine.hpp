@@ -11,6 +11,12 @@ namespace parastack::obs {
 class TelemetrySink;
 }
 
+namespace parastack::obs::perf {
+class Counter;
+class HighWater;
+class ProfileRegistry;
+}  // namespace parastack::obs::perf
+
 namespace parastack::sim {
 
 /// Deterministic discrete-event engine.
@@ -76,6 +82,14 @@ class Engine {
   void set_telemetry(obs::TelemetrySink* sink) noexcept { telemetry_ = sink; }
   obs::TelemetrySink* telemetry() const noexcept { return telemetry_; }
 
+  /// The run's performance-counter registry, reachable (like the telemetry
+  /// sink) by everything sharing this clock. Null (the default) means perf
+  /// accounting is off; the hot paths then cost one pointer test each.
+  /// Instrument handles are resolved once here, so the event loop touches
+  /// only cached pointers. Not owned; must outlive the simulation.
+  void set_perf(obs::perf::ProfileRegistry* registry);
+  obs::perf::ProfileRegistry* perf() const noexcept { return perf_; }
+
  private:
   struct Event {
     Time time;
@@ -92,6 +106,14 @@ class Engine {
   Time now_ = 0;
   Time last_event_time_ = -1;
   obs::TelemetrySink* telemetry_ = nullptr;
+  obs::perf::ProfileRegistry* perf_ = nullptr;
+  // Cached instrument handles (null when perf_ is null).
+  obs::perf::Counter* perf_scheduled_ = nullptr;
+  obs::perf::Counter* perf_fired_ = nullptr;
+  obs::perf::Counter* perf_cancelled_ = nullptr;
+  obs::perf::Counter* perf_tombstones_ = nullptr;
+  obs::perf::Counter* perf_compactions_ = nullptr;
+  obs::perf::HighWater* perf_queue_depth_ = nullptr;
   EventId next_id_ = 1;
   bool stopped_ = false;
   std::uint64_t fired_ = 0;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Smoke test for the perf-trajectory pipeline: bench_perf --quick runs to
+# completion, writes a BENCH file with the expected metrics, emits a
+# --metrics-out dump, and psperf accepts the file compared against itself
+# (a self-comparison can never regress).
+# Usage: bench_perf_smoke_test.sh /path/to/bench_perf /path/to/psperf
+set -u
+
+BENCH=${1:?usage: bench_perf_smoke_test.sh /path/to/bench_perf /path/to/psperf}
+PSPERF=${2:?usage: bench_perf_smoke_test.sh /path/to/bench_perf /path/to/psperf}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+if ! "$BENCH" --quick --out "$workdir/BENCH_6.json" \
+    --metrics-out "$workdir/metrics.json" > "$workdir/out.txt" 2>&1; then
+  echo "FAIL: bench_perf --quick exited non-zero" >&2
+  cat "$workdir/out.txt" >&2
+  exit 1
+fi
+
+for needle in trials_per_sec sim_events_per_sec trials_per_sec_noperf \
+    perf_overhead_pct '"counters"' '"scenario":"small"' \
+    '"scenario":"medium"' '"scenario":"huge"'; do
+  if ! grep -q -- "$needle" "$workdir/BENCH_6.json"; then
+    echo "FAIL: BENCH_6.json missing $needle" >&2
+    cat "$workdir/BENCH_6.json" >&2
+    exit 1
+  fi
+done
+echo "ok bench-file-content"
+
+if ! grep -q '"perf.sim.events_fired"' "$workdir/metrics.json"; then
+  echo "FAIL: --metrics-out dump missing folded perf counters" >&2
+  cat "$workdir/metrics.json" >&2
+  exit 1
+fi
+echo "ok metrics-out"
+
+if ! "$PSPERF" --check "$workdir/BENCH_6.json" "$workdir/BENCH_6.json" \
+    > "$workdir/psperf.txt" 2>&1; then
+  echo "FAIL: psperf --check rejected a self-comparison" >&2
+  cat "$workdir/psperf.txt" >&2
+  exit 1
+fi
+echo "ok psperf-self-check"
+echo "bench_perf smoke passed"

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# CLI contract test for psperf: a synthetic throughput regression between
+# two BENCH files must fail --check (the acceptance criterion of ISSUE 6),
+# matching files must pass, the threshold must be tunable, the direction
+# must be metric-aware (latency regresses upwards), and malformed input
+# must be rejected with a usage/parse error.
+# Usage: psperf_cli_test.sh /path/to/psperf
+set -u
+
+PSPERF=${1:?usage: psperf_cli_test.sh /path/to/psperf}
+failures=0
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+bench_file() {
+  local path=$1 trials=$2 span=$3
+  cat > "$path" <<EOF
+{"bench":"bench_perf","issue":6,"mode":"quick","records":[
+  {"scenario":"small","metric":"trials_per_sec","value":$trials,"stddev":0.5,"counters":{"sim.events_fired":12345,"sim.queue_depth.hw":64}},
+  {"scenario":"small","metric":"span_fault_to_kill_p50_ms","value":$span,"stddev":0}
+]}
+EOF
+}
+
+bench_file "$workdir/base.json" 100.0 2000
+bench_file "$workdir/same.json" 98.0 2000    # within the default 25%
+bench_file "$workdir/slow.json" 50.0 2000    # halved throughput: regression
+bench_file "$workdir/lag.json" 100.0 9000    # latency regression (upwards)
+
+check() {
+  local name=$1 expected_rc=$2
+  shift 2
+  "$PSPERF" "$@" > "$workdir/out.txt" 2>&1
+  local rc=$?
+  if [[ $rc -ne $expected_rc ]]; then
+    echo "FAIL $name: exit code $rc, expected $expected_rc" >&2
+    cat "$workdir/out.txt" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok $name"
+  fi
+}
+
+# Comparison without --check always reports, never gates.
+check report-only 0 "$workdir/base.json" "$workdir/slow.json"
+
+# --check: identical-enough files pass, a halved throughput fails.
+check check-pass 0 --check "$workdir/base.json" "$workdir/same.json"
+check check-throughput-regression 1 --check "$workdir/base.json" "$workdir/slow.json"
+
+# Direction awareness: a latency metric regresses UPWARDS.
+check check-latency-regression 1 --check "$workdir/base.json" "$workdir/lag.json"
+
+# Threshold is tunable: a 2% drop trips a 1% threshold.
+check check-tight-threshold 1 --check --threshold 0.01 \
+  "$workdir/base.json" "$workdir/same.json"
+# ...and a 60% threshold forgives the halving.
+check check-loose-threshold 0 --check --threshold=0.6 \
+  "$workdir/base.json" "$workdir/slow.json"
+
+# Three-file trajectory: middle columns are informational; the comparison
+# is first vs last.
+check trajectory-regression 1 --check \
+  "$workdir/base.json" "$workdir/same.json" "$workdir/slow.json"
+
+# The regression table must name the offending metric.
+out=$("$PSPERF" "$workdir/base.json" "$workdir/slow.json" 2>&1)
+if [[ $out != *"small/trials_per_sec"* || $out != *"REGRESSION"* ]]; then
+  echo "FAIL table-content: missing metric row or REGRESSION marker" >&2
+  echo "$out" >&2
+  failures=$((failures + 1))
+else
+  echo "ok table-content"
+fi
+
+# Usage and parse errors exit 2.
+check usage-no-files 2
+check usage-one-file 2 "$workdir/base.json"
+echo 'not json' > "$workdir/bad.json"
+check malformed-json 2 --check "$workdir/base.json" "$workdir/bad.json"
+check missing-file 2 "$workdir/base.json" "$workdir/does-not-exist.json"
+check unknown-flag 2 --frobnicate "$workdir/base.json" "$workdir/same.json"
+
+if [[ $failures -ne 0 ]]; then
+  echo "$failures psperf CLI check(s) failed" >&2
+  exit 1
+fi
+echo "all psperf CLI checks passed"

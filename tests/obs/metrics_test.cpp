@@ -38,7 +38,7 @@ TEST(MetricsRegistry, EmptyRegistryExportsValidJson) {
   const auto text = export_json(registry);
   EXPECT_TRUE(testjson::is_valid_json(text)) << text;
   EXPECT_EQ(text,
-            "{\"counters\":{},\"gauges\":{},\"summaries\":{},"
+            "{\"counters\":{},\"digests\":{},\"gauges\":{},\"summaries\":{},"
             "\"histograms\":{}}");
 }
 

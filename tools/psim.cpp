@@ -6,7 +6,7 @@
 //                 [--no-parastack] [--timeout-baseline I,K]
 //                 [--threads T] [--alpha A]
 //                 [--tool-faults loss=P,crash=NODE@SEC,lead-crash=SEC,...]
-//                 [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
+//                 [--journal FILE] [--metrics-out FILE] [--chrome-trace FILE]
 //                 [--trace-ranks N] [--log-level LEVEL]
 //   psim campaign --bench LU --runs 20 --fault compute-hang [--jobs N]
 //                 [...run options]
@@ -29,6 +29,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "sched/scheduler.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
@@ -57,8 +58,8 @@ int usage() {
                "lead-crash|timeout-ms|retries|\n"
                "            backoff-ms|rereg-ms|seed|quorum|degraded-after|"
                "extra-streak|fallback\n"
-               "  telemetry (run/campaign): --journal FILE --metrics FILE "
-               "--chrome-trace FILE\n"
+               "  telemetry (run/campaign): --journal FILE --metrics-out FILE "
+               "(alias --metrics) --chrome-trace FILE\n"
                "            --trace-ranks N --journal-spans "
                "--log-level debug|info|warn|error|off\n"
                "            (FILE may be '-' for stdout)\n");
@@ -72,6 +73,7 @@ struct Telemetry {
   std::ofstream journal_file;
   std::unique_ptr<obs::JsonlJournal> journal;
   obs::MetricsRegistry registry;
+  obs::perf::ProfileRegistry perf;
   std::unique_ptr<obs::MetricsSink> metrics;
   std::string metrics_path;
   std::unique_ptr<obs::ChromeTraceWriter> trace;
@@ -112,7 +114,11 @@ struct Telemetry {
       }
       multi.add(journal.get());
     }
-    if (metrics_path = args.get("metrics", ""); !metrics_path.empty()) {
+    // --metrics-out is the canonical spelling shared with the bench
+    // binaries; --metrics is kept as the historical alias.
+    metrics_path = args.get("metrics-out", "");
+    if (metrics_path.empty()) metrics_path = args.get("metrics", "");
+    if (!metrics_path.empty()) {
       if (metrics_path == "-") stdout_taken = true;
       metrics = std::make_unique<obs::MetricsSink>(registry);
       multi.add(metrics.get());
@@ -129,6 +135,12 @@ struct Telemetry {
 
   obs::TelemetrySink* sink() noexcept {
     return multi.empty() ? nullptr : &multi;
+  }
+
+  /// Perf-counter registry to attach to the run(s), or null when no metrics
+  /// dump was requested (perf accounting off, near-zero cost).
+  obs::perf::ProfileRegistry* perf_registry() noexcept {
+    return metrics ? &perf : nullptr;
   }
 
   /// Write the buffered documents (metrics, chrome trace); the journal
@@ -149,6 +161,11 @@ struct Telemetry {
       emit(out);
     };
     if (metrics) {
+      // Fold the deterministic perf counters into the metrics document
+      // (high-waters keep their ".hw" suffix; wall-clock timers excluded).
+      for (const auto& [name, value] : perf.counter_snapshot()) {
+        registry.counter("perf." + name) += value;
+      }
       write_doc(metrics_path,
                 [this](std::ostream& out) { registry.write_json(out); });
     }
@@ -335,6 +352,7 @@ int cmd_run(const util::Args& args) {
   Telemetry telemetry;
   if (!telemetry.init(args)) return 2;
   config.telemetry = telemetry.sink();
+  config.perf = telemetry.perf_registry();
   std::fprintf(telemetry.human(), "running %s(%s) on %d ranks (%s), seed %llu...\n",
               workloads::bench_name(config.bench).data(),
               config.input.empty()
@@ -407,6 +425,7 @@ int cmd_campaign(const util::Args& args) {
   Telemetry telemetry;
   if (!telemetry.init(args)) return 2;
   campaign.base.telemetry = telemetry.sink();
+  campaign.base.perf = telemetry.perf_registry();
   campaign.runs = static_cast<int>(args.get_int("runs", 10));
   campaign.seed0 = campaign.base.seed * 1000 + 7;
   // 0 = auto (one worker per hardware thread); identical output regardless.

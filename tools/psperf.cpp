@@ -1,0 +1,374 @@
+// psperf — the perf-trajectory comparator. Loads two or more BENCH_*.json
+// files written by bench_perf (oldest first, newest last), prints a
+// per-metric comparison table, and with --check exits non-zero when the
+// newest file regresses beyond the threshold against the baseline (the
+// first file).
+//
+//   psperf [--check] [--threshold FRAC] BASELINE.json [...] CANDIDATE.json
+//
+// Direction is metric-aware: *_per_sec metrics regress downwards, latency
+// (_ms) and overhead (_pct) metrics regress upwards. Wall-clock metrics are
+// host-dependent, hence the generous default threshold (25% relative);
+// embedded perf counters are seed-deterministic and are diffed exactly,
+// but reported informationally — instrumentation legitimately changes
+// between PRs.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON reader -----------------------------------------------
+// The repo's obs/json.hpp only writes JSON; this is the matching reader,
+// sized for the BENCH schema (objects, arrays, strings, numbers, bools).
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  const Value* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(Value& out) { return value(out) && (skip_ws(), pos_ == text_.size()); }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(Value& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object(out);
+      case '[':
+        return array(out);
+      case '"':
+        out.kind = Value::Kind::kString;
+        return string(out.string);
+      case 't':
+        out.kind = Value::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = Value::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = Value::Kind::kNull;
+        return literal("null");
+      default:
+        return number(out);
+    }
+  }
+
+  bool object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!value(out.object[key])) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+    while (true) {
+      Value element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u':  // BENCH files are ASCII; keep the raw escape
+            if (pos_ + 4 > text_.size()) return false;
+            out.append("\\u").append(text_, pos_, 4);
+            pos_ += 4;
+            break;
+          default: return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool number(Value& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      return false;
+    }
+    out.kind = Value::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- BENCH model --------------------------------------------------------
+
+struct BenchRecord {
+  double value = 0.0;
+  double stddev = 0.0;
+  std::map<std::string, double> counters;
+};
+
+struct BenchFile {
+  std::string path;
+  /// Keyed "scenario/metric"; insertion order preserved separately.
+  std::map<std::string, BenchRecord> records;
+  std::vector<std::string> order;
+};
+
+bool load_bench(const std::string& path, BenchFile& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "psperf: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  Value root;
+  if (!Parser(text).parse(root) || root.kind != Value::Kind::kObject) {
+    std::fprintf(stderr, "psperf: '%s' is not a JSON object\n", path.c_str());
+    return false;
+  }
+  const Value* records = root.get("records");
+  if (records == nullptr || records->kind != Value::Kind::kArray) {
+    std::fprintf(stderr, "psperf: '%s' has no records array\n", path.c_str());
+    return false;
+  }
+  out.path = path;
+  for (const Value& entry : records->array) {
+    const Value* scenario = entry.get("scenario");
+    const Value* metric = entry.get("metric");
+    const Value* value = entry.get("value");
+    if (scenario == nullptr || metric == nullptr || value == nullptr) {
+      std::fprintf(stderr, "psperf: '%s' has a record missing "
+                   "scenario/metric/value\n", path.c_str());
+      return false;
+    }
+    BenchRecord record;
+    record.value = value->number;
+    if (const Value* stddev = entry.get("stddev")) {
+      record.stddev = stddev->number;
+    }
+    if (const Value* counters = entry.get("counters")) {
+      for (const auto& [name, v] : counters->object) {
+        record.counters[name] = v.number;
+      }
+    }
+    const std::string key = scenario->string + "/" + metric->string;
+    if (out.records.find(key) == out.records.end()) out.order.push_back(key);
+    out.records[key] = std::move(record);
+  }
+  return true;
+}
+
+/// Does a larger value of this metric mean better? Throughputs go up;
+/// latencies, overheads, and anything else default to down.
+bool higher_is_better(const std::string& metric) {
+  return metric.find("_per_sec") != std::string::npos;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: psperf [--check] [--threshold FRAC] BASELINE.json "
+               "[...] CANDIDATE.json\n"
+               "  compares perf-trajectory files written by bench_perf "
+               "(oldest first);\n"
+               "  --check exits 1 when the last file regresses beyond "
+               "FRAC (default 0.25)\n  against the first\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  double threshold = 0.25;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "psperf: unknown flag '%s'\n", argv[i]);
+      return usage();
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() < 2) return usage();
+
+  std::vector<BenchFile> files(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!load_bench(paths[i], files[i])) return 2;
+  }
+  const BenchFile& base = files.front();
+  const BenchFile& cand = files.back();
+
+  std::printf("%-34s", "scenario/metric");
+  for (const auto& file : files) {
+    // Basename keeps the table narrow.
+    const std::size_t slash = file.path.find_last_of('/');
+    std::printf(" %14s",
+                file.path.substr(slash == std::string::npos ? 0 : slash + 1)
+                    .c_str());
+  }
+  std::printf(" %9s\n", "delta");
+
+  int regressions = 0;
+  int counter_changes = 0;
+  for (const auto& key : base.order) {
+    const BenchRecord& baseline = base.records.at(key);
+    std::printf("%-34s", key.c_str());
+    for (const auto& file : files) {
+      const auto it = file.records.find(key);
+      if (it == file.records.end()) {
+        std::printf(" %14s", "-");
+      } else {
+        std::printf(" %14.3f", it->second.value);
+      }
+    }
+    const auto cand_it = cand.records.find(key);
+    if (cand_it == cand.records.end() || baseline.value == 0.0) {
+      std::printf(" %9s\n", "-");
+      continue;
+    }
+    const double rel = cand_it->second.value / baseline.value - 1.0;
+    const std::string metric = key.substr(key.find('/') + 1);
+    const bool worse = higher_is_better(metric) ? rel < -threshold
+                                                : rel > threshold;
+    std::printf(" %+8.1f%%%s\n", rel * 100.0, worse ? "  REGRESSION" : "");
+    if (worse) ++regressions;
+
+    // Counter diff: exact, but informational — new instrumentation is a
+    // legitimate reason for these to move between PRs.
+    for (const auto& [name, value] : baseline.counters) {
+      const auto counter = cand_it->second.counters.find(name);
+      if (counter == cand_it->second.counters.end()) {
+        std::printf("    counter %-40s dropped\n", name.c_str());
+        ++counter_changes;
+      } else if (counter->second != value) {
+        std::printf("    counter %-40s %.0f -> %.0f\n", name.c_str(), value,
+                    counter->second);
+        ++counter_changes;
+      }
+    }
+    for (const auto& [name, value] : cand_it->second.counters) {
+      if (baseline.counters.find(name) == baseline.counters.end()) {
+        std::printf("    counter %-40s added (%.0f)\n", name.c_str(), value);
+        ++counter_changes;
+      }
+    }
+  }
+  // Metrics the candidate added (new scenarios/metrics are fine).
+  for (const auto& key : cand.order) {
+    if (base.records.find(key) == base.records.end()) {
+      std::printf("%-34s (new) %14.3f\n", key.c_str(),
+                  cand.records.at(key).value);
+    }
+  }
+
+  if (counter_changes > 0) {
+    std::printf("%d counter change(s) (informational)\n", counter_changes);
+  }
+  if (regressions > 0) {
+    std::printf("%d metric(s) regressed beyond %.0f%%\n", regressions,
+                threshold * 100.0);
+    return check ? 1 : 0;
+  }
+  std::printf("no regressions beyond %.0f%%\n", threshold * 100.0);
+  return 0;
+}
