@@ -1,9 +1,10 @@
 // bench_perf — the canonical self-measurement binary behind the repo's
-// perf trajectory (ISSUE 6). Where every other bench reproduces a paper
+// perf trajectory (ISSUE 6; BENCH_7 marks the ISSUE 7 engine overhaul).
+// Where every other bench reproduces a paper
 // table, this one measures the simulator itself: campaign throughput
 // (trials/sec), DES hot-loop rate (sim-events/sec), the cost of leaving
 // the perf counters attached, and the detection-latency span percentiles.
-// Results go to BENCH_6.json; `tools/psperf` compares trajectory files and
+// Results go to BENCH_7.json; `tools/psperf` compares trajectory files and
 // turns regressions into CI failures.
 //
 //   bench_perf [--quick] [--out FILE] [--jobs N] [--metrics-out FILE]
@@ -116,7 +117,7 @@ void write_bench_json(std::ostream& out, const std::vector<Record>& records,
 int main(int argc, char** argv) {
   bench::parse_jobs(argc, argv);
   bool quick = !bench::full_scale();
-  std::string out_path = "BENCH_6.json";
+  std::string out_path = "BENCH_7.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -129,7 +130,7 @@ int main(int argc, char** argv) {
   const int repeats = quick ? 3 : 5;
 
   bench::header("bench_perf: simulator self-measurement",
-                "tooling (no paper table): the BENCH_6.json perf trajectory");
+                "tooling (no paper table): the BENCH_7.json perf trajectory");
 
   std::vector<Record> records;
   for (const auto& spec : kScenarios) {

@@ -253,6 +253,20 @@ void check_run_invariants(const simmpi::World& world,
   if (engine.events_fired() == 0) {
     out.push_back("run ended without firing a single event");
   }
+  // Scheduling ledger conservation. Every scheduled event is eventually
+  // fired, cancelled, or still pending — the engine's single shared pop
+  // path is what guarantees step() and run_until() cannot drift on this.
+  if (engine.events_scheduled() !=
+      engine.events_fired() + engine.events_cancelled() +
+          engine.events_pending()) {
+    out.push_back(format(
+        "engine ledger out of balance: scheduled %llu != fired %llu + "
+        "cancelled %llu + pending %zu",
+        static_cast<unsigned long long>(engine.events_scheduled()),
+        static_cast<unsigned long long>(engine.events_fired()),
+        static_cast<unsigned long long>(engine.events_cancelled()),
+        engine.events_pending()));
+  }
 
   const simmpi::CommEngine& comm = world.comm();
   const std::uint64_t posted_min =

@@ -1,0 +1,247 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace parastack::sim {
+
+/// Fixed-footprint type-erased callable, the pooled replacement for
+/// `std::function<void()>` in the engine's hot loop. Callables up to
+/// kInlineCapacity bytes (which covers every scheduler lambda in the tree:
+/// `this` plus a few captured words, or a moved-in std::function) are stored
+/// inline in the slot — scheduling them allocates nothing. Larger or
+/// throwing-move callables fall back to a single heap allocation, so the
+/// type stays fully general. Move-only by design: a callback has exactly one
+/// home (a pool slot, then the firing frame).
+class PooledCallback {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  PooledCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, PooledCallback>>>
+  PooledCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  PooledCallback(PooledCallback&& other) noexcept { move_from(other); }
+
+  PooledCallback& operator=(PooledCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, PooledCallback>>>
+  PooledCallback& operator=(F&& fn) {
+    emplace(std::forward<F>(fn));
+    return *this;
+  }
+
+  PooledCallback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  PooledCallback(const PooledCallback&) = delete;
+  PooledCallback& operator=(const PooledCallback&) = delete;
+
+  ~PooledCallback() { reset(); }
+
+  /// Construct a callable into this slot, destroying any previous one.
+  template <typename F>
+  void emplace(F&& fn) {
+    reset();
+    using CB = std::decay_t<F>;
+    if constexpr (fits_inline<CB>()) {
+      ::new (static_cast<void*>(storage_)) CB(std::forward<F>(fn));
+      vt_ = &kVTable<CB, /*Inline=*/true>;
+    } else {
+      ::new (static_cast<void*>(storage_)) CB*(new CB(std::forward<F>(fn)));
+      vt_ = &kVTable<CB, /*Inline=*/false>;
+    }
+  }
+
+  void operator()() { vt_->call(storage_); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*call)(void* storage);
+    /// Relocate: move-construct at dst from src and destroy the src object.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename CB>
+  static constexpr bool fits_inline() {
+    return sizeof(CB) <= kInlineCapacity &&
+           alignof(CB) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<CB>;
+  }
+
+  template <typename CB, bool Inline>
+  static constexpr VTable kVTable = {
+      /*call=*/[](void* storage) {
+        if constexpr (Inline) {
+          (*std::launder(reinterpret_cast<CB*>(storage)))();
+        } else {
+          (**std::launder(reinterpret_cast<CB**>(storage)))();
+        }
+      },
+      /*relocate=*/[](void* dst, void* src) noexcept {
+        if constexpr (Inline) {
+          CB* from = std::launder(reinterpret_cast<CB*>(src));
+          ::new (dst) CB(std::move(*from));
+          from->~CB();
+        } else {
+          ::new (dst) CB*(*std::launder(reinterpret_cast<CB**>(src)));
+        }
+      },
+      /*destroy=*/[](void* storage) noexcept {
+        if constexpr (Inline) {
+          std::launder(reinterpret_cast<CB*>(storage))->~CB();
+        } else {
+          delete *std::launder(reinterpret_cast<CB**>(storage));
+        }
+      },
+  };
+
+  void move_from(PooledCallback& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, other.storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const VTable* vt_ = nullptr;
+};
+
+/// Slab of callback slots with free-list reuse. Slots are addressed by a
+/// dense index plus a per-slot generation tag: the generation is odd while
+/// the slot is occupied and bumps on every acquire *and* every release, so
+/// a (slot, gen) pair names one scheduling forever — the engine's "ids are
+/// never reused" cancel contract holds even though the underlying storage
+/// is recycled. Stale pairs (cancelled or fired events) simply fail the
+/// `alive()` check; no hash map is consulted anywhere.
+///
+/// Storage is a list of fixed-size chunks, never reallocated, so an Entry's
+/// address is stable for the pool's lifetime. That stability is what lets
+/// the engine invoke callbacks *in place* (begin_fire/end_fire) instead of
+/// moving each closure onto the firing frame: a callback that schedules new
+/// events may add chunks or recycle free slots, but can never move or
+/// reuse the slot it is running out of — it leaves the free list only when
+/// end_fire() returns it.
+class CallbackPool {
+ public:
+  using Slot = std::uint32_t;
+
+  struct Ref {
+    Slot slot;
+    std::uint32_t gen;
+  };
+
+  struct Entry {
+    PooledCallback cb;
+    std::uint32_t gen = 0;  ///< odd = occupied, even = free
+  };
+
+  /// Move a callable into a (possibly recycled) slot. An incoming
+  /// PooledCallback moves slot-to-slot; anything else is emplaced (no
+  /// double wrapping).
+  template <typename F>
+  Ref acquire(F&& fn) {
+    Slot slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<Slot>(size_);
+      if ((size_ & kChunkMask) == 0) {
+        chunks_.push_back(std::make_unique<Entry[]>(kChunkSize));
+      }
+      ++size_;
+    }
+    Entry& e = entry(slot);
+    ++e.gen;  // even (free) -> odd (occupied)
+    if constexpr (std::is_same_v<std::decay_t<F>, PooledCallback>) {
+      e.cb = std::forward<F>(fn);
+    } else {
+      e.cb.emplace(std::forward<F>(fn));
+    }
+    return {slot, e.gen};
+  }
+
+  /// Is (slot, gen) still a pending scheduling?
+  bool alive(Slot slot, std::uint32_t gen) const noexcept {
+    return slot < size_ && entry(slot).gen == gen;
+  }
+
+  /// Retire the id and return the entry for in-place invocation. The slot's
+  /// generation bumps first, so cancel() of the firing event's own id is a
+  /// no-op from inside its callback. Call end_fire(slot) after the
+  /// invocation returns.
+  Entry& begin_fire(Slot slot) noexcept {
+    Entry& e = entry(slot);
+    ++e.gen;  // odd (occupied) -> even (retired, firing)
+    return e;
+  }
+
+  /// Destroy the just-invoked closure and recycle the slot.
+  void end_fire(Slot slot) {
+    Entry& e = entry(slot);
+    e.cb.reset();
+    free_.push_back(slot);
+  }
+
+  /// Destroy the callback and free the slot (cancellation).
+  void drop(Slot slot) {
+    Entry& e = entry(slot);
+    e.cb.reset();
+    ++e.gen;
+    free_.push_back(slot);
+  }
+
+  /// Occupied slots == pending (non-cancelled, non-fired) events. An event
+  /// whose callback is mid-invocation counts until end_fire() recycles it.
+  std::size_t live() const noexcept { return size_ - free_.size(); }
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 9;  // 512 entries per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  Entry& entry(Slot slot) noexcept {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+  const Entry& entry(Slot slot) const noexcept {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+
+  std::vector<std::unique_ptr<Entry[]>> chunks_;
+  std::vector<Slot> free_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace parastack::sim

@@ -1,10 +1,6 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <utility>
-
 #include "obs/perf.hpp"
-#include "util/check.hpp"
 
 namespace parastack::sim {
 
@@ -15,6 +11,7 @@ constexpr std::size_t kCompactMinTombstones = 64;
 }  // namespace
 
 void Engine::set_perf(obs::perf::ProfileRegistry* registry) {
+  flush_perf();  // retire pending deltas into the outgoing registry
   perf_ = registry;
   if (registry != nullptr) {
     perf_scheduled_ = registry->counter("sim.events_scheduled");
@@ -31,93 +28,65 @@ void Engine::set_perf(obs::perf::ProfileRegistry* registry) {
     perf_compactions_ = nullptr;
     perf_queue_depth_ = nullptr;
   }
+  // Count only post-attach activity for the new registry, matching the old
+  // per-event emission (the harness attaches after world construction).
+  flushed_scheduled_ = scheduled_;
+  flushed_fired_ = fired_;
+  flushed_cancelled_ = cancelled_;
+  flushed_tombstones_ = tombstones_dropped_;
+  flushed_compactions_ = compactions_;
+  queue_depth_hw_ = 0;
 }
 
-Engine::EventId Engine::schedule_at(Time t, Callback cb) {
-  PS_CHECK(t >= now_, "cannot schedule events in the past");
-  PS_CHECK(static_cast<bool>(cb), "null event callback");
-  const EventId id = next_id_++;
-  heap_.push_back(Event{t, id});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  callbacks_.emplace(id, std::move(cb));
-  PS_PERF_ADD(perf_scheduled_, 1);
-  PS_PERF_OBSERVE(perf_queue_depth_, heap_.size());
-  return id;
-}
-
-Engine::EventId Engine::schedule_after(Time dt, Callback cb) {
-  PS_CHECK(dt >= 0, "negative delay");
-  return schedule_at(now_ + dt, std::move(cb));
+void Engine::flush_perf() {
+  if (perf_ == nullptr) return;
+  PS_PERF_ADD(perf_scheduled_, scheduled_ - flushed_scheduled_);
+  PS_PERF_ADD(perf_fired_, fired_ - flushed_fired_);
+  PS_PERF_ADD(perf_cancelled_, cancelled_ - flushed_cancelled_);
+  PS_PERF_ADD(perf_tombstones_, tombstones_dropped_ - flushed_tombstones_);
+  PS_PERF_ADD(perf_compactions_, compactions_ - flushed_compactions_);
+  PS_PERF_OBSERVE(perf_queue_depth_, queue_depth_hw_);
+  flushed_scheduled_ = scheduled_;
+  flushed_fired_ = fired_;
+  flushed_cancelled_ = cancelled_;
+  flushed_tombstones_ = tombstones_dropped_;
+  flushed_compactions_ = compactions_;
 }
 
 void Engine::cancel(EventId id) {
-  if (callbacks_.erase(id) == 0) return;  // already fired or unknown
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (!pool_.alive(slot, gen)) return;  // already fired/cancelled or unknown
+  pool_.drop(slot);
+  ++cancelled_;
   ++cancelled_in_heap_;
-  PS_PERF_ADD(perf_cancelled_, 1);
   compact_if_worthwhile();
 }
 
 void Engine::compact_if_worthwhile() {
   if (cancelled_in_heap_ <= kCompactMinTombstones ||
-      cancelled_in_heap_ <= callbacks_.size()) {
+      cancelled_in_heap_ <= pool_.live()) {
     return;
   }
-  std::erase_if(heap_, [this](const Event& ev) {
-    return callbacks_.find(ev.id) == callbacks_.end();
+  const std::size_t dropped = queue_.remove_if([this](const QueuedEvent& ev) {
+    return !pool_.alive(ev.slot, ev.gen);
   });
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  PS_PERF_ADD(perf_compactions_, 1);
-  PS_PERF_ADD(perf_tombstones_, cancelled_in_heap_);
-  cancelled_in_heap_ = 0;
-}
-
-bool Engine::step() {
-  if (stopped_) return false;
-  while (!heap_.empty()) {
-    const Event ev = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.pop_back();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) {  // cancelled
-      if (cancelled_in_heap_ > 0) --cancelled_in_heap_;
-      PS_PERF_ADD(perf_tombstones_, 1);
-      continue;
-    }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    PS_CHECK(ev.time >= now_, "event queue time went backwards");
-    PS_CHECK(ev.time >= last_event_time_, "event fire order went backwards");
-    now_ = ev.time;
-    last_event_time_ = ev.time;
-    ++fired_;
-    PS_PERF_ADD(perf_fired_, 1);
-    cb();
-    return true;
-  }
-  return false;
+  ++compactions_;
+  tombstones_dropped_ += dropped;
+  cancelled_in_heap_ -= dropped;  // == 0: every tombstone was in the heap
 }
 
 void Engine::run_until(Time t) {
-  while (!stopped_ && !heap_.empty()) {
-    // Drop tombstones first so the cutoff below tests the next *live* event.
-    if (callbacks_.find(heap_.front().id) == callbacks_.end()) {
-      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-      heap_.pop_back();
-      if (cancelled_in_heap_ > 0) --cancelled_in_heap_;
-      PS_PERF_ADD(perf_tombstones_, 1);
-      continue;
-    }
-    if (heap_.front().time > t) break;
-    if (!step()) break;
+  while (fire_next(t)) {
   }
   if (!stopped_ && now_ < t) now_ = t;
+  flush_perf();
 }
 
 void Engine::run_until_idle() {
-  while (step()) {
+  while (fire_next(std::numeric_limits<Time>::max())) {
   }
+  flush_perf();
 }
-
-std::size_t Engine::events_pending() const { return callbacks_.size(); }
 
 }  // namespace parastack::sim

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace parastack::sim {
+
+/// One pending entry: fire time, a monotonically increasing insertion
+/// sequence (the determinism tiebreak — equal-time events fire in the order
+/// they were scheduled), and the callback's pool address. Everything the
+/// pop path needs lives inline in 24 bytes; firing an event never touches a
+/// hash map.
+struct QueuedEvent {
+  Time time;
+  std::uint64_t seq;
+  std::uint32_t slot;
+  std::uint32_t gen;
+};
+
+/// 4-ary implicit min-heap on (time, seq). A 4-ary layout halves the tree
+/// depth of a binary heap, trading a few extra comparisons per level for
+/// far fewer cache-missing levels — the classic DES-queue win when the
+/// queue holds hundreds-to-thousands of events (one cache line holds ~2.7
+/// entries, so a node's children land on at most two lines).
+class EventQueue {
+ public:
+  bool empty() const noexcept { return v_.empty(); }
+  std::size_t size() const noexcept { return v_.size(); }
+  const QueuedEvent& front() const noexcept { return v_[0]; }
+
+  void push(const QueuedEvent& event) {
+    v_.push_back(event);
+    sift_up(v_.size() - 1);
+  }
+
+  void pop_front() {
+    const QueuedEvent moved = v_.back();
+    v_.pop_back();
+    if (!v_.empty()) {
+      v_[0] = moved;
+      sift_down(0);
+    }
+  }
+
+  /// Remove every entry matching `pred` and restore the heap in one O(n)
+  /// pass (tombstone compaction). Returns the number removed.
+  template <typename Pred>
+  std::size_t remove_if(Pred pred) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (!pred(v_[i])) v_[kept++] = v_[i];
+    }
+    const std::size_t removed = v_.size() - kept;
+    v_.resize(kept);
+    if (kept > 1) {
+      for (std::size_t i = (kept - 2) / kArity + 1; i-- > 0;) sift_down(i);
+    }
+    return removed;
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  static bool before(const QueuedEvent& a, const QueuedEvent& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    const QueuedEvent moving = v_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(moving, v_[parent])) break;
+      v_[i] = v_[parent];
+      i = parent;
+    }
+    v_[i] = moving;
+  }
+
+  void sift_down(std::size_t i) {
+    const QueuedEvent moving = v_[i];
+    const std::size_t n = v_.size();
+    while (true) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child =
+          first_child + kArity <= n ? first_child + kArity : n;
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(v_[c], v_[best])) best = c;
+      }
+      if (!before(v_[best], moving)) break;
+      v_[i] = v_[best];
+      i = best;
+    }
+    v_[i] = moving;
+  }
+
+  std::vector<QueuedEvent> v_;
+};
+
+}  // namespace parastack::sim

@@ -38,8 +38,7 @@ void CommEngine::complete_at(const RequestHandle& req, sim::Time t) {
     if (req->complete) return;
     req->complete = true;
     if (req->on_complete) {
-      auto cb = std::move(req->on_complete);
-      req->on_complete = nullptr;
+      sim::PooledCallback cb = std::move(req->on_complete);
       cb();
     }
   });
@@ -62,7 +61,7 @@ RequestHandle CommEngine::post_send(Rank src, Rank dst, int tag,
     // Eager sends complete locally, receiver or not.
     complete_at(req, engine_.now() + eager_send_cost(platform_, bytes));
   }
-  auto& channel = channels_[ChannelKey{src, dst, tag}];
+  auto& channel = channels_.find_or_insert(ChannelKey{src, dst, tag});
   channel.sends.push_back(std::move(op));
   match(ChannelKey{src, dst, tag}, channel);
   return req;
@@ -78,7 +77,7 @@ RequestHandle CommEngine::post_recv(Rank dst, Rank src, int tag,
   op.post_time = engine_.now();
   op.bytes = bytes;
   op.req = req;
-  auto& channel = channels_[ChannelKey{src, dst, tag}];
+  auto& channel = channels_.find_or_insert(ChannelKey{src, dst, tag});
   channel.recvs.push_back(std::move(op));
   match(ChannelKey{src, dst, tag}, channel);
   return req;
@@ -108,13 +107,15 @@ void CommEngine::match(const ChannelKey& key, Channel& channel) {
 
 std::uint64_t CommEngine::pending_sends() const noexcept {
   std::uint64_t pending = 0;
-  for (const auto& [key, channel] : channels_) pending += channel.sends.size();
+  channels_.for_each(
+      [&pending](const Channel& channel) { pending += channel.sends.size(); });
   return pending;
 }
 
 std::uint64_t CommEngine::pending_recvs() const noexcept {
   std::uint64_t pending = 0;
-  for (const auto& [key, channel] : channels_) pending += channel.recvs.size();
+  channels_.for_each(
+      [&pending](const Channel& channel) { pending += channel.recvs.size(); });
   return pending;
 }
 
@@ -141,7 +142,7 @@ void CommEngine::release_waiter(CollectiveInstance& inst,
   if (waiter.released) return;
   waiter.released = true;
   ++inst.completed;
-  auto done = std::move(waiter.done);
+  sim::PooledCallback done = std::move(waiter.done);
   engine_.schedule_at(std::max(when, engine_.now()), std::move(done));
 }
 
@@ -166,7 +167,7 @@ void CommEngine::try_release_bcast(CollectiveInstance& inst) {
 
 void CommEngine::enter_collective(MpiFunc kind, Rank rank, Rank root,
                                   std::size_t bytes,
-                                  std::function<void()> done) {
+                                  sim::PooledCallback done) {
   PS_CHECK(is_collective(kind), "enter_collective needs a collective op");
   PS_CHECK(rank >= 0 && rank < nranks_, "collective: rank out of range");
   ++collectives_entered_;

@@ -37,12 +37,13 @@ class CommEngine {
   /// message has fully arrived.
   RequestHandle post_recv(Rank dst, Rank src, int tag, std::size_t bytes);
 
-  /// Enter a collective. `done` fires when this rank may leave the call.
+  /// Enter a collective. `done` fires when this rank may leave the call
+  /// (any void() callable converts; small lambdas stay allocation-free).
   /// Ranks must enter collectives in a globally consistent order; a
   /// kind/root mismatch at the same instance is recorded (mismatch_count)
   /// and the offending rank never completes — a deadlock, as in real MPI.
   void enter_collective(MpiFunc kind, Rank rank, Rank root, std::size_t bytes,
-                        std::function<void()> done);
+                        sim::PooledCallback done);
 
   int nranks() const noexcept { return nranks_; }
   std::uint64_t mismatch_count() const noexcept { return mismatches_; }
@@ -101,6 +102,58 @@ class CommEngine {
     std::deque<PendingRecv> recvs;
   };
 
+  /// Open-addressed find-or-insert table over channels. A campaign performs
+  /// one lookup per posted op (millions per trial) against a small, stable
+  /// key set — the node-based unordered_map's pointer chase was a top line
+  /// in profiles. Channels are never erased, so the table needs no
+  /// tombstones; linear probing over a power-of-two slot vector keeps the
+  /// hit path to one or two adjacent probes.
+  class ChannelTable {
+   public:
+    Channel& find_or_insert(const ChannelKey& key) {
+      if (slots_.empty() || used_ * 4 >= slots_.size() * 3) grow();
+      std::size_t i = ChannelKeyHash{}(key) & (slots_.size() - 1);
+      while (slots_[i].used) {
+        if (slots_[i].key == key) return slots_[i].channel;
+        i = (i + 1) & (slots_.size() - 1);
+      }
+      slots_[i].used = true;
+      slots_[i].key = key;
+      ++used_;
+      return slots_[i].channel;
+    }
+
+    /// Visit every channel (diagnostics; order is unspecified).
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (const auto& slot : slots_) {
+        if (slot.used) fn(slot.channel);
+      }
+    }
+
+   private:
+    struct Slot {
+      ChannelKey key{};
+      Channel channel;
+      bool used = false;
+    };
+
+    void grow() {
+      std::vector<Slot> old = std::move(slots_);
+      slots_.clear();
+      slots_.resize(old.empty() ? 64 : old.size() * 2);
+      for (auto& slot : old) {
+        if (!slot.used) continue;
+        std::size_t i = ChannelKeyHash{}(slot.key) & (slots_.size() - 1);
+        while (slots_[i].used) i = (i + 1) & (slots_.size() - 1);
+        slots_[i] = std::move(slot);
+      }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t used_ = 0;
+  };
+
   struct CollectiveInstance {
     MpiFunc kind{};
     Rank root = 0;
@@ -111,7 +164,7 @@ class CommEngine {
     struct Waiter {
       Rank rank;
       sim::Time arrival;
-      std::function<void()> done;
+      sim::PooledCallback done;
       bool released = false;
     };
     std::vector<Waiter> waiters;
@@ -129,7 +182,7 @@ class CommEngine {
   sim::Engine& engine_;
   const sim::Platform& platform_;
   int nranks_;
-  std::unordered_map<ChannelKey, Channel, ChannelKeyHash> channels_;
+  ChannelTable channels_;
   std::vector<std::uint64_t> next_collective_seq_;  // per rank
   std::unordered_map<std::uint64_t, CollectiveInstance> collectives_;
   std::uint64_t mismatches_ = 0;

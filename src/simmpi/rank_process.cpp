@@ -95,22 +95,6 @@ void RankProcess::start() {
       sim::from_micros(rng_.uniform(0.0, 200.0)), guarded([this] { advance(); }));
 }
 
-std::function<void()> RankProcess::guarded(std::function<void()> fn) {
-  const Gen expected = gen_;
-  return [this, expected, fn = std::move(fn)] {
-    if (gen_ != expected || frozen_) return;
-    fn();
-  };
-}
-
-bool RankProcess::pay_suspension(std::function<void()> retry) {
-  if (suspend_debt_ <= 0) return false;
-  const sim::Time debt = suspend_debt_;
-  suspend_debt_ = 0;
-  engine_.schedule_after(debt, guarded(std::move(retry)));
-  return true;
-}
-
 void RankProcess::add_suspension(sim::Time dt) {
   switch (status_) {
     case RankStatus::kComputing:
@@ -135,11 +119,17 @@ void RankProcess::advance() {
 }
 
 sim::Time RankProcess::sample_compute(sim::Time mean, double cv) {
-  const double combined_cv =
-      std::sqrt(cv * cv + platform_.noise_cv * platform_.noise_cv);
+  // combined_cv is a pure function of cv (noise_cv is fixed per platform)
+  // and phases redraw with the same cv millions of times per run; caching
+  // the last value drops a libm sqrt from every compute event.
+  if (cv != combined_cv_for_) {
+    combined_cv_for_ = cv;
+    combined_cv_ =
+        std::sqrt(cv * cv + platform_.noise_cv * platform_.noise_cv);
+  }
   const double scaled = static_cast<double>(mean) * platform_.compute_scale *
                         compute_factor_;
-  const double sampled = rng_.lognormal_mean_cv(scaled, combined_cv);
+  const double sampled = rng_.lognormal_mean_cv(scaled, combined_cv_);
   return std::max<sim::Time>(static_cast<sim::Time>(sampled), 100);
 }
 

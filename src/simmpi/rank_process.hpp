@@ -101,8 +101,32 @@ class RankProcess {
  private:
   using Gen = std::uint64_t;
 
-  std::function<void()> guarded(std::function<void()> fn);
-  bool pay_suspension(std::function<void()> retry);
+  /// Wrap a continuation so it becomes a no-op once the rank is frozen or
+  /// its generation moves on (freeze() orphans everything in flight).
+  /// Template on the callable: the wrapper is a small concrete lambda that
+  /// schedules into the engine's callback pool without ever materializing
+  /// a std::function — the per-event allocation this used to cost was a
+  /// top line in campaign profiles.
+  template <typename F>
+  auto guarded(F&& fn) {
+    return [this, expected = gen_, fn = std::forward<F>(fn)]() {
+      if (gen_ != expected || frozen_) return;
+      fn();
+    };
+  }
+  /// Charge any accumulated ptrace-stop debt: reschedules `retry` after the
+  /// debt and returns true, or returns false when there is nothing to pay.
+  /// Template for the same reason as guarded(): it runs before every segment
+  /// completion, and the almost-always-empty check must not pay for a
+  /// std::function conversion of the retry continuation.
+  template <typename F>
+  bool pay_suspension(F&& retry) {
+    if (suspend_debt_ <= 0) return false;
+    const sim::Time debt = suspend_debt_;
+    suspend_debt_ = 0;
+    engine_.schedule_after(debt, guarded(std::forward<F>(retry)));
+    return true;
+  }
   void advance();
   void dispatch(const Action& action);
   sim::Time sample_compute(sim::Time mean, double cv);
@@ -144,6 +168,8 @@ class RankProcess {
   Gen gen_ = 0;
   bool frozen_ = false;
   double compute_factor_ = 1.0;
+  double combined_cv_for_ = -1.0;  ///< cv the cached combined_cv_ was built from
+  double combined_cv_ = 0.0;
   sim::Time suspend_debt_ = 0;
   sim::Time finished_at_ = -1;
   std::uint64_t actions_ = 0;

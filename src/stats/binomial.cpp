@@ -1,6 +1,7 @@
 #include "stats/binomial.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -18,6 +19,22 @@ double min_samples_for(double p, double e) {
 }
 
 OptimalPoint optimal_suspicion_point(double e) {
+  // Pure function of e, and e comes from the model's tiny fixed tolerance
+  // ladder (0.05/0.1/0.2/0.3) — yet every ScroutModel::decision() used to
+  // re-run the grid scan below, which profiling showed was ~1/3 of whole
+  // campaigns. Memoize per thread (pscheck and the campaign harness run
+  // trials on worker threads; a thread_local cache needs no lock and the
+  // result is identical on every thread).
+  struct CacheEntry {
+    double e = -1.0;
+    OptimalPoint point{};
+  };
+  static thread_local std::array<CacheEntry, 8> cache{};
+  static thread_local std::size_t cache_next = 0;
+  for (const CacheEntry& entry : cache) {
+    if (entry.e == e) return entry.point;
+  }
+
   // f_max is the max of a decreasing branch (5/p) and branches that
   // increase toward p = 0.5 (the parabola, 5/(1-p)), so it is V-shaped
   // (unimodal) on (0, 0.5]: scan a 1e-4 grid for the best cell, then
@@ -65,7 +82,11 @@ OptimalPoint optimal_suspicion_point(double e) {
     best_p = polished_p;
     best_n = polished_n;
   }
-  return {best_p, static_cast<std::size_t>(std::ceil(best_n - 1e-9))};
+  const OptimalPoint result{best_p,
+                            static_cast<std::size_t>(std::ceil(best_n - 1e-9))};
+  cache[cache_next] = {e, result};
+  cache_next = (cache_next + 1) % cache.size();
+  return result;
 }
 
 }  // namespace parastack::stats

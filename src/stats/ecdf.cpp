@@ -14,21 +14,25 @@ void EmpiricalCdf::add(double x) {
 
 void EmpiricalCdf::clear() {
   samples_.clear();
+  sorted_.clear();
   support_.clear();
   dirty_ = false;
 }
 
 void EmpiricalCdf::refresh() const {
   if (!dirty_) return;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  if (sorted_.size() > samples_.size()) sorted_.clear();  // after thin_half
+  const std::size_t merged = sorted_.size();
+  sorted_.insert(sorted_.end(), samples_.begin() + merged, samples_.end());
+  std::sort(sorted_.begin() + merged, sorted_.end());
+  std::inplace_merge(sorted_.begin(), sorted_.begin() + merged, sorted_.end());
   support_.clear();
-  const auto n = static_cast<double>(sorted.size());
+  const auto n = static_cast<double>(sorted_.size());
   std::size_t i = 0;
-  while (i < sorted.size()) {
+  while (i < sorted_.size()) {
     std::size_t j = i;
-    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
-    support_.push_back({sorted[i], static_cast<double>(j) / n});
+    while (j < sorted_.size() && sorted_[j] == sorted_[i]) ++j;
+    support_.push_back({sorted_[i], static_cast<double>(j) / n});
     i = j;
   }
   dirty_ = false;
@@ -37,25 +41,25 @@ void EmpiricalCdf::refresh() const {
 double EmpiricalCdf::cdf(double x) const {
   if (samples_.empty()) return 0.0;
   refresh();
-  double result = 0.0;
-  for (const auto& pt : support_) {
-    if (pt.value <= x) {
-      result = pt.cum_prob;
-    } else {
-      break;
-    }
-  }
-  return result;
+  const auto it = std::upper_bound(
+      support_.begin(), support_.end(), x,
+      [](double lhs, const Point& pt) { return lhs < pt.value; });
+  if (it == support_.begin()) return 0.0;
+  return std::prev(it)->cum_prob;
 }
 
 double EmpiricalCdf::quantile(double p) const {
   PS_CHECK(!samples_.empty(), "quantile of empty ECDF");
-  PS_CHECK(p > 0.0 && p <= 1.0, "quantile p must be in (0,1]");
+  PS_CHECK(p >= 0.0 && p <= 1.0, "quantile p must be in [0,1]");
   refresh();
-  for (const auto& pt : support_) {
-    if (pt.cum_prob >= p - 1e-12) return pt.value;
-  }
-  return support_.back().value;
+  // p == 0 asks for the infimum of the support: the minimum sample. The
+  // general search below already lands there (every cum_prob >= 0), so the
+  // closed lower bound needs no special case.
+  const auto it = std::partition_point(
+      support_.begin(), support_.end(),
+      [p](const Point& pt) { return pt.cum_prob < p - 1e-12; });
+  if (it == support_.end()) return support_.back().value;
+  return it->value;
 }
 
 double EmpiricalCdf::mean() const {
@@ -76,7 +80,9 @@ void EmpiricalCdf::thin_half() {
     kept.push_back(samples_[i]);
   }
   samples_ = std::move(kept);
+  sorted_.clear();
   dirty_ = true;
 }
 
 }  // namespace parastack::stats
+

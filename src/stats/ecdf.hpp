@@ -28,7 +28,9 @@ class EmpiricalCdf {
   double cdf(double x) const;
 
   /// Smallest sample value v with F(v) >= p; requires a non-empty set and
-  /// p in (0, 1]. (The paper's t = F_n^{-1}(p).)
+  /// p in [0, 1]. (The paper's t = F_n^{-1}(p).) p == 0 returns the minimum
+  /// sample — the infimum of the support, matching util::Histogram::quantile
+  /// so every quantile surface in the tree accepts the same closed domain.
   double quantile(double p) const;
 
   /// Mean of the samples (0 when empty).
@@ -52,6 +54,11 @@ class EmpiricalCdf {
   void refresh() const;
 
   std::vector<double> samples_;
+  /// Sorted copy of samples_ maintained incrementally: refresh() sorts only
+  /// the tail added since the last refresh and merges it in, so the
+  /// add-then-query pattern of the detector costs O(new log new + n) per
+  /// sample batch instead of a full O(n log n) re-sort.
+  mutable std::vector<double> sorted_;
   mutable std::vector<Point> support_;
   mutable bool dirty_ = false;
 };

@@ -183,5 +183,129 @@ TEST(Engine, RunUntilSkipsTombstonesAtTheCutoff) {
   EXPECT_TRUE(later);
 }
 
+TEST(EngineDeath, ScheduleAfterRejectsOverflowingDelay) {
+  // A kNever-sized timeout added to a nonzero clock wraps Time negative; it
+  // must fail the dedicated overflow check, not surface as a confusing
+  // "cannot schedule events in the past".
+  Engine engine;
+  engine.schedule_at(100, [] {});
+  engine.run_until_idle();
+  EXPECT_DEATH(
+      engine.schedule_after(std::numeric_limits<Time>::max() - 50, [] {}),
+      "overflow");
+}
+
+TEST(Engine, ScheduleAfterAcceptsMaxRepresentableDelay) {
+  // The guard is exact: now + dt == Time max is still representable.
+  Engine engine;
+  engine.schedule_at(100, [] {});
+  engine.run_until_idle();
+  const Engine::EventId id = engine.schedule_after(
+      std::numeric_limits<Time>::max() - engine.now(), [] {});
+  EXPECT_EQ(engine.events_pending(), 1u);
+  engine.cancel(id);
+}
+
+TEST(Engine, CancelOwnIdFromInsideFiringCallbackIsNoop) {
+  // By the time a callback runs, its own id is retired; cancelling it from
+  // inside must neither count a cancellation nor free the slot twice.
+  Engine engine;
+  Engine::EventId self = 0;
+  int fired = 0;
+  self = engine.schedule_at(10, [&] {
+    ++fired;
+    engine.cancel(self);
+  });
+  bool later = false;
+  engine.schedule_at(20, [&] { later = true; });
+  engine.run_until_idle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(later);
+  EXPECT_EQ(engine.events_cancelled(), 0u);
+  EXPECT_EQ(engine.events_fired(), 2u);
+  EXPECT_EQ(engine.events_pending(), 0u);
+}
+
+TEST(Engine, CancelSiblingFromInsideFiringCallback) {
+  // Cancelling a same-instant sibling mid-fire must stop it from running
+  // even though it is already ordered behind us in the heap.
+  Engine engine;
+  bool victim_ran = false;
+  Engine::EventId victim = 0;
+  engine.schedule_at(10, [&] { engine.cancel(victim); });
+  victim = engine.schedule_at(10, [&] { victim_ran = true; });
+  engine.run_until_idle();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(engine.events_fired(), 1u);
+  EXPECT_EQ(engine.events_cancelled(), 1u);
+  EXPECT_EQ(engine.events_scheduled(),
+            engine.events_fired() + engine.events_cancelled() +
+                engine.events_pending());
+}
+
+TEST(Engine, ScheduleAtNowDuringCallbackFiresAfterSameInstantPeers) {
+  // An event scheduled for now() from inside a callback gets a later
+  // insertion sequence than every already-queued same-instant peer, so it
+  // fires after them — FIFO among equals, even for reentrant scheduling.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(10, [&] {
+    order.push_back(0);
+    engine.schedule_at(engine.now(), [&] { order.push_back(99); });
+  });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(10, [&] { order.push_back(2); });
+  engine.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 99}));
+  EXPECT_EQ(engine.now(), 10);
+}
+
+TEST(Engine, CancelThenCompactThenFireKeepsLedgerExact) {
+  // Interleave cancels (driving bulk compactions) with fires and verify the
+  // full ledger after every phase: scheduled == fired + cancelled + pending,
+  // and every tombstone is eventually dropped exactly once.
+  Engine engine;
+  int fired = 0;
+  std::vector<Engine::EventId> doomed;
+  for (int round = 0; round < 5; ++round) {
+    const Time base = engine.now() + 10;
+    for (int i = 0; i < 100; ++i) {
+      engine.schedule_at(base + i, [&] { ++fired; });
+      doomed.push_back(engine.schedule_at(base + i, [] {}));
+    }
+    // Cancel half now (compaction may trigger mid-loop), half after firing.
+    for (std::size_t i = 0; i < doomed.size(); i += 2) engine.cancel(doomed[i]);
+    engine.run_until(base + 99);
+    for (const Engine::EventId id : doomed) engine.cancel(id);  // rest no-op: fired or cancelled
+    doomed.clear();
+    EXPECT_EQ(engine.events_scheduled(),
+              engine.events_fired() + engine.events_cancelled() +
+                  engine.events_pending());
+  }
+  EXPECT_EQ(fired, 500);
+  EXPECT_EQ(engine.events_pending(), 0u);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+}
+
+TEST(Engine, InsertionOrderFifoAtEqualTimestampsSurvivesRecycling) {
+  // Slot recycling (free-list reuse) must not perturb same-instant FIFO:
+  // after heavy churn the pool hands out low slot indices again, and the
+  // heap must still order purely by (time, insertion seq).
+  Engine engine;
+  for (int i = 0; i < 1000; ++i) {
+    engine.cancel(engine.schedule_at(5, [] {}));  // churn the free list
+  }
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    engine.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  engine.run_until_idle();
+  ASSERT_EQ(order.size(), 64u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(engine.events_scheduled(),
+            engine.events_fired() + engine.events_cancelled() +
+                engine.events_pending());
+}
+
 }  // namespace
 }  // namespace parastack::sim

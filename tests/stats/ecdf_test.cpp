@@ -77,11 +77,43 @@ TEST(EmpiricalCdf, MeanTracksSamples) {
   EXPECT_DOUBLE_EQ(ecdf.mean(), 2.0);
 }
 
+TEST(EmpiricalCdf, QuantileZeroIsMinimumSample) {
+  // The closed lower bound matches util::Histogram::quantile: p == 0 asks
+  // for the infimum of the support, which for a finite sample set is the
+  // minimum sample.
+  EmpiricalCdf ecdf;
+  for (const double v : {0.7, 0.2, 0.9, 0.2}) ecdf.add(v);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), 0.2);
+  // Still the generalized inverse everywhere else.
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 0.9);
+}
+
+TEST(EmpiricalCdf, IncrementalRefreshMatchesFullRebuild) {
+  // Interleave adds with queries so the sorted cache's merge path (not just
+  // the first full sort) is exercised, including duplicate values landing
+  // in both the old and new halves of the merge.
+  EmpiricalCdf ecdf;
+  EmpiricalCdf oracle;
+  const double values[] = {0.5, 0.1, 0.5, 0.9, 0.1, 0.3, 0.9, 0.3, 0.0};
+  for (const double v : values) {
+    ecdf.add(v);
+    EXPECT_DOUBLE_EQ(ecdf.cdf(v), ecdf.cdf(v));  // force refresh per add
+  }
+  for (const double v : values) oracle.add(v);
+  const auto& got = ecdf.support();
+  const auto& want = oracle.support();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].value, want[i].value);
+    EXPECT_DOUBLE_EQ(got[i].cum_prob, want[i].cum_prob);
+  }
+}
+
 TEST(EmpiricalCdfDeath, QuantileRequiresValidArgs) {
   EmpiricalCdf ecdf;
   EXPECT_DEATH((void)ecdf.quantile(0.5), "empty");
   ecdf.add(1.0);
-  EXPECT_DEATH((void)ecdf.quantile(0.0), "p must be");
+  EXPECT_DEATH((void)ecdf.quantile(-0.1), "p must be");
   EXPECT_DEATH((void)ecdf.quantile(1.5), "p must be");
 }
 

@@ -260,12 +260,16 @@ bool higher_is_better(const std::string& metric) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: psperf [--check] [--threshold FRAC] BASELINE.json "
-               "[...] CANDIDATE.json\n"
+               "usage: psperf [--check] [--threshold FRAC] "
+               "[--min-speedup MULT] BASELINE.json [...] CANDIDATE.json\n"
                "  compares perf-trajectory files written by bench_perf "
                "(oldest first);\n"
                "  --check exits 1 when the last file regresses beyond "
-               "FRAC (default 0.25)\n  against the first\n");
+               "FRAC (default 0.25)\n  against the first\n"
+               "  --min-speedup MULT additionally requires every "
+               "trials_per_sec metric in the\n  last file to be >= MULT x "
+               "the first file's (a floor on achieved speedup,\n"
+               "  enforced under --check)\n");
   return 2;
 }
 
@@ -274,6 +278,7 @@ int usage() {
 int main(int argc, char** argv) {
   bool check = false;
   double threshold = 0.25;
+  double min_speedup = 0.0;  // 0 = not requested
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
@@ -282,6 +287,10 @@ int main(int argc, char** argv) {
       threshold = std::atof(argv[++i]);
     } else if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
       threshold = std::atof(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::atof(argv[i] + 14);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "psperf: unknown flag '%s'\n", argv[i]);
       return usage();
@@ -361,14 +370,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Speedup floor: every trials_per_sec metric present in both ends of the
+  // trajectory must have improved by at least --min-speedup.
+  int speedup_misses = 0;
+  if (min_speedup > 0.0) {
+    for (const auto& key : base.order) {
+      const std::string metric = key.substr(key.find('/') + 1);
+      if (metric.find("trials_per_sec") == std::string::npos) continue;
+      const auto cand_it = cand.records.find(key);
+      if (cand_it == cand.records.end()) continue;
+      const double base_value = base.records.at(key).value;
+      if (base_value <= 0.0) continue;
+      const double speedup = cand_it->second.value / base_value;
+      const bool miss = speedup < min_speedup;
+      std::printf("speedup %-26s %.2fx (floor %.2fx)%s\n", key.c_str(),
+                  speedup, min_speedup, miss ? "  BELOW FLOOR" : "");
+      if (miss) ++speedup_misses;
+    }
+  }
+
   if (counter_changes > 0) {
     std::printf("%d counter change(s) (informational)\n", counter_changes);
+  }
+  if (speedup_misses > 0) {
+    std::printf("%d metric(s) below the %.2fx speedup floor\n", speedup_misses,
+                min_speedup);
   }
   if (regressions > 0) {
     std::printf("%d metric(s) regressed beyond %.0f%%\n", regressions,
                 threshold * 100.0);
-    return check ? 1 : 0;
   }
+  if (regressions > 0 || speedup_misses > 0) return check ? 1 : 0;
   std::printf("no regressions beyond %.0f%%\n", threshold * 100.0);
   return 0;
 }
