@@ -1,10 +1,11 @@
 // bench_perf — the canonical self-measurement binary behind the repo's
-// perf trajectory (ISSUE 6; BENCH_7 marks the ISSUE 7 engine overhaul).
+// perf trajectory (ISSUE 6; BENCH_7 marks the ISSUE 7 engine overhaul,
+// BENCH_8 the ISSUE 8 aggregation-tree refactor with its tree scenario).
 // Where every other bench reproduces a paper
 // table, this one measures the simulator itself: campaign throughput
 // (trials/sec), DES hot-loop rate (sim-events/sec), the cost of leaving
 // the perf counters attached, and the detection-latency span percentiles.
-// Results go to BENCH_7.json; `tools/psperf` compares trajectory files and
+// Results go to BENCH_8.json; `tools/psperf` compares trajectory files and
 // turns regressions into CI failures.
 //
 //   bench_perf [--quick] [--out FILE] [--jobs N] [--metrics-out FILE]
@@ -37,12 +38,18 @@ struct ScenarioSpec {
   std::uint64_t seed0;
   int runs_quick;  ///< erroneous runs per timed repeat
   int runs_full;
+  int tree_fanout = 0;  ///< > 0: route aggregation through a k-ary tree
 };
 
 constexpr ScenarioSpec kScenarios[] = {
     {"small", 64, 101, 8, 24},
     {"medium", 256, 201, 4, 12},
     {"huge", 1024, 301, 2, 6},
+    // The tree-aggregation path: same campaign shape as `medium` (256 ranks
+    // on Tardis = 8 monitors) but gathered over a binary tree, so the
+    // carrier walk, per-level gathers, and tree perf counters are on the
+    // timed path and their snapshots in the trajectory.
+    {"tree", 256, 401, 4, 12, 2},
 };
 
 struct Record {
@@ -66,6 +73,7 @@ harness::CampaignConfig make_campaign(const ScenarioSpec& spec, int runs) {
   campaign.runs = runs;
   campaign.seed0 = spec.seed0;
   campaign.jobs = bench::jobs();
+  campaign.base.monitor_tree.fanout = spec.tree_fanout;
   return campaign;
 }
 
@@ -83,7 +91,7 @@ double timed_repeat(const ScenarioSpec& spec, int runs,
 
 void write_bench_json(std::ostream& out, const std::vector<Record>& records,
                       bool quick) {
-  out << "{\"bench\":\"bench_perf\",\"issue\":6,\"mode\":"
+  out << "{\"bench\":\"bench_perf\",\"issue\":8,\"mode\":"
       << (quick ? "\"quick\"" : "\"full\"") << ",\"records\":[";
   bool first_record = true;
   for (const auto& record : records) {
@@ -117,7 +125,7 @@ void write_bench_json(std::ostream& out, const std::vector<Record>& records,
 int main(int argc, char** argv) {
   bench::parse_jobs(argc, argv);
   bool quick = !bench::full_scale();
-  std::string out_path = "BENCH_7.json";
+  std::string out_path = "BENCH_8.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -130,7 +138,7 @@ int main(int argc, char** argv) {
   const int repeats = quick ? 3 : 5;
 
   bench::header("bench_perf: simulator self-measurement",
-                "tooling (no paper table): the BENCH_7.json perf trajectory");
+                "tooling (no paper table): the BENCH_8.json perf trajectory");
 
   std::vector<Record> records;
   for (const auto& spec : kScenarios) {

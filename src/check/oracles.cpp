@@ -139,6 +139,16 @@ class ClockWarpSink final : public obs::TelemetrySink {
     w.time = warp(w.time);
     inner_.on_monitor_sample(w);
   }
+  void on_monitor_level(const obs::MonitorLevelEvent& e) override {
+    auto w = e;
+    w.time = warp(w.time);
+    inner_.on_monitor_level(w);
+  }
+  void on_tree_failover(const obs::TreeFailoverEvent& e) override {
+    auto w = e;
+    w.time = warp(w.time);
+    inner_.on_tree_failover(w);
+  }
   void on_monitor_crash(const obs::MonitorCrashEvent& e) override {
     auto w = e;
     w.time = warp(w.time);
@@ -318,6 +328,30 @@ void check_rank_relabel(const Scenario& scenario, SeedReport& report) {
   }
 }
 
+/// Drop the monitor-side lines from a journal, keeping every detector and
+/// application event. The tree-vs-star oracle compares what remains: the
+/// aggregation topology may change its own telemetry (latency, messages,
+/// per-level events) but must never change what the detector sees or does.
+std::string strip_monitor_lines(const std::string& journal) {
+  std::string out;
+  out.reserve(journal.size());
+  std::size_t pos = 0;
+  while (pos < journal.size()) {
+    std::size_t end = journal.find('\n', pos);
+    if (end == std::string::npos) end = journal.size() - 1;
+    const std::string_view line(journal.data() + pos, end - pos);
+    const bool monitor_line =
+        line.rfind("{\"ev\":\"monitor_sample\"", 0) == 0 ||
+        line.rfind("{\"ev\":\"monitor_level\"", 0) == 0;
+    if (!monitor_line) {
+      out.append(line);
+      out.push_back('\n');
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
 std::string run_campaign_journal(const Scenario& scenario, int jobs,
                                  obs::perf::ProfileRegistry* perf) {
   harness::CampaignConfig campaign;
@@ -447,6 +481,31 @@ SeedReport check_scenario(const Scenario& scenario,
     } else {
       // The base run already is the faults-off run.
       check_faults_off_silence(base, report);
+    }
+  }
+
+  // --- Tree-vs-star oracle ---
+  // With tool faults off, the aggregation topology is pure plumbing: the
+  // k-ary tree may reshape the monitor-side telemetry, but the detector
+  // stream (samples, streaks, verifications, hangs) must match the flat
+  // star byte for byte. Tool faults are excluded because loss/delay draws
+  // are per-hop — a different topology legitimately consumes a different
+  // tool-RNG stream there.
+  if (scenario.use_monitor_network && scenario.tree_fanout > 0 &&
+      !scenario.tool_faults_armed()) {
+    Scenario star = scenario;
+    star.tree_fanout = 0;
+    harness::RunConfig star_config = to_run_config(star);
+    std::ostringstream star_bytes;
+    obs::JsonlJournal star_journal(star_bytes);
+    star_config.telemetry = &star_journal;
+    (void)harness::run_one(star_config);
+    ++report.runs_executed;
+    if (const auto diff =
+            first_divergence(strip_monitor_lines(live_bytes.str()),
+                             strip_monitor_lines(star_bytes.str()));
+        !diff.empty()) {
+      fail(report, "tree-vs-star", diff + " (after stripping monitor lines)");
     }
   }
 

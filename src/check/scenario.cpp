@@ -121,6 +121,14 @@ Scenario generate_scenario(std::uint64_t fuzz_seed) {
   }
 
   s.campaign_runs = static_cast<int>(rng.uniform_int(2, 3));
+
+  // Tree dimension drawn last: every earlier field keeps the value the same
+  // fuzz seed produced before this dimension existed.
+  if (s.use_monitor_network && rng.bernoulli(0.35)) {
+    constexpr int kFanouts[] = {2, 3, 4, 8};
+    s.tree_fanout =
+        kFanouts[rng.uniform_int(std::uint64_t{std::size(kFanouts)})];
+  }
   return s;
 }
 
@@ -173,6 +181,9 @@ harness::RunConfig to_run_config(const Scenario& scenario) {
     if (scenario.tool_lead_crash) plan.lead_crash_at = scenario.horizon / 2;
     config.tool_faults = plan;
   }
+  if (scenario.use_monitor_network && scenario.tree_fanout > 0) {
+    config.monitor_tree.fanout = scenario.tree_fanout;
+  }
   return config;
 }
 
@@ -182,7 +193,7 @@ std::string to_repro(const Scenario& s) {
       buffer, sizeof buffer,
       "v1,fseed=%llu,rseed=%llu,bench=%s,input=%s,ranks=%d,platform=%s,"
       "horizon-ms=%lld,fault=%s,bg=%d,net=%d,timeout=%d,iow=%d,loss=%.17g,"
-      "delay-us=%lld,crashes=%d,lead=%d,runs=%d",
+      "delay-us=%lld,crashes=%d,lead=%d,runs=%d,tree=%d",
       static_cast<unsigned long long>(s.fuzz_seed),
       static_cast<unsigned long long>(s.run_seed),
       std::string(workloads::bench_name(s.bench)).c_str(), s.input.c_str(),
@@ -192,7 +203,8 @@ std::string to_repro(const Scenario& s) {
       s.background_slowdowns ? 1 : 0, s.use_monitor_network ? 1 : 0,
       s.with_timeout_detector ? 1 : 0, s.with_io_watchdog ? 1 : 0, s.tool_loss,
       static_cast<long long>(s.tool_delay_mean / sim::kMicrosecond),
-      s.tool_monitor_crashes, s.tool_lead_crash ? 1 : 0, s.campaign_runs);
+      s.tool_monitor_crashes, s.tool_lead_crash ? 1 : 0, s.campaign_runs,
+      s.tree_fanout);
   return buffer;
 }
 
@@ -258,6 +270,9 @@ std::optional<Scenario> parse_repro(const std::string& repro) {
     } else if (key == "runs") {
       s.campaign_runs = std::atoi(value.c_str());
       if (s.campaign_runs < 1) return std::nullopt;
+    } else if (key == "tree") {
+      s.tree_fanout = std::atoi(value.c_str());
+      if (s.tree_fanout < 0) return std::nullopt;
     } else {
       return std::nullopt;  // unknown key: refuse to half-reproduce
     }

@@ -40,6 +40,11 @@ struct Scenario {
   int tool_monitor_crashes = 0;    ///< scheduled random monitor deaths
   bool tool_lead_crash = false;    ///< crash the lead mid-run
 
+  /// Monitor aggregation-tree fan-out; 0 = the flat star (only meaningful
+  /// with use_monitor_network). Faults off, a tree run must produce the
+  /// same detector stream as its star twin — the tree-vs-star oracle.
+  int tree_fanout = 0;
+
   /// Trials for the jobs-differential oracle (jobs=1 vs jobs=N campaigns).
   int campaign_runs = 2;
 

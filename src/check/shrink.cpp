@@ -28,16 +28,18 @@ std::vector<Scenario> candidates(const Scenario& s) {
   push([](Scenario& c) { c.tool_delay_mean = 0; });
   push([](Scenario& c) { c.tool_monitor_crashes = 0; });
   push([](Scenario& c) { c.tool_lead_crash = false; });
+  push([](Scenario& c) { c.tree_fanout = 0; });  // back to the flat star
   push([](Scenario& c) { c.with_timeout_detector = false; });
   push([](Scenario& c) { c.with_io_watchdog = false; });
   push([](Scenario& c) { c.background_slowdowns = false; });
   push([](Scenario& c) {
-    // Dropping the network also disarms every tool fault.
+    // Dropping the network also disarms every tool fault and the tree.
     c.use_monitor_network = false;
     c.tool_loss = 0.0;
     c.tool_delay_mean = 0;
     c.tool_monitor_crashes = 0;
     c.tool_lead_crash = false;
+    c.tree_fanout = 0;
   });
   push([](Scenario& c) { c.platform = 0; });
   push([](Scenario& c) {

@@ -4,47 +4,70 @@
 #include <optional>
 #include <vector>
 
+#include "core/monitor_substrate.hpp"
+#include "core/monitor_topology.hpp"
 #include "faults/fault.hpp"
 #include "simmpi/types.hpp"
 #include "simmpi/world.hpp"
 #include "trace/inspector.hpp"
+#include "util/bitset.hpp"
 #include "util/rng.hpp"
 
 namespace parastack::obs::perf {
 class Counter;
-}
+class HighWater;
+}  // namespace parastack::obs::perf
 
 namespace parastack::core {
 
 /// The distributed tool topology of paper §3.3/§5: ParaStack launches one
 /// monitor per node. At any moment only the monitors hosting currently
 /// monitored ranks are ACTIVE — they ptrace their local targets and send
-/// one partial count to the lead monitor, which aggregates S_crout. All
-/// other monitors idle in a sleep + nonblocking-probe loop. This is what
-/// makes the tool's cost O(C), independent of the job size:
+/// one partial count toward the lead monitor, which aggregates S_crout.
+/// All other monitors idle in a sleep + nonblocking-probe loop. This is
+/// what makes the tool's cost O(C), independent of the job size:
 ///   - at most C processes are traced per sample,
 ///   - at most C monitor messages cross the network per sample,
 ///   - idle monitors consume (simulated) nothing.
 ///
+/// Two aggregation shapes exist. The compatibility default is the paper's
+/// flat star: every active monitor reports straight to the lead. Arming a
+/// k-ary MonitorTopology (set_topology) routes partial counts level by
+/// level up an aggregation tree instead, bounding every monitor's fan-in
+/// by O(fanout) so the root never becomes the hot spot at extreme scale.
+///
 /// The network can additionally carry a faults::ToolFaultPlan
-/// (set_tool_faults): partial-count messages may then be lost or delayed,
-/// monitors may crash on a schedule, and a dead lead triggers deterministic
-/// failover to the lowest surviving monitor id. With no plan (or an
-/// inactive one) the original zero-fault path runs unchanged — no extra RNG
-/// draws, identical accounting, identical telemetry.
+/// (set_tool_faults): partial-count messages may then be lost or delayed
+/// per hop, monitors may crash on a schedule, a dead root triggers
+/// deterministic failover to its lowest surviving child (star: the lowest
+/// surviving monitor id), and a dead interior monitor promotes its lowest
+/// surviving child and re-parents the subtree. With no plan (or an
+/// inactive one) the original zero-fault path runs unchanged — no extra
+/// RNG draws, identical accounting, identical telemetry.
 class MonitorNetwork {
  public:
   explicit MonitorNetwork(simmpi::World& world,
                           trace::StackInspector& inspector);
+  /// Drive the aggregation layer over any substrate (synthetic worlds for
+  /// the extreme-scale benches). The substrate must outlive the network.
+  explicit MonitorNetwork(MonitorSubstrate& substrate);
 
   struct Measurement {
     double scrout = 0.0;      ///< over the partials that reached the lead
     int ranks_traced = 0;     ///< ranks actually ptraced this sample
     int active_monitors = 0;  ///< distinct nodes hosting the set
-    /// Tool-internal latency to gather the partial counts at the lead
-    /// monitor (tree over the active monitors, plus timeout/retry/failover
-    /// penalties under an active tool-fault plan).
+    /// Tool-internal latency to gather the partial counts at the root.
+    /// Star: one binomial-tree gather over the active monitors. Tree: the
+    /// sum of the per-level gathers along the aggregation tree. Both plus
+    /// timeout/retry/failover penalties under an active tool-fault plan.
     sim::Time aggregation_latency = 0;
+    /// Aggregation rounds behind `aggregation_latency`: the binomial
+    /// gather depth for the star, the deepest carrier level for a tree.
+    int levels = 0;
+    /// Partial counts received directly by the root this sample (the
+    /// root's fan-in — O(active monitors) for the star, O(fanout) for a
+    /// tree; the quantity the scalability benches plot).
+    int root_fan_in = 0;
     // Tool-fault bookkeeping; defaults describe a healthy sample.
     int partials_missing = 0;  ///< partial counts that never arrived
     int retries = 0;           ///< retransmissions this sample
@@ -58,16 +81,28 @@ class MonitorNetwork {
   /// inspector.
   Measurement measure(const std::vector<simmpi::Rank>& set);
 
+  /// Arm the k-ary aggregation tree. Call before the first sample and
+  /// before set_tool_faults (crash victim selection must know the root).
+  /// A non-tree config (fanout <= 0, the "infinite fanout" star) is
+  /// ignored and keeps the flat-star path byte-identical.
+  void set_topology(const TopologyConfig& config);
+  bool tree_mode() const noexcept { return topology_.built(); }
+  /// The armed tree (star mode: nullptr).
+  const MonitorTopology* topology() const noexcept {
+    return topology_.built() ? &topology_ : nullptr;
+  }
+
   /// Arm the tool-side fault model. Call before the first sample; an
   /// inactive plan is ignored (the healthy path stays byte-identical).
   void set_tool_faults(const faults::ToolFaultPlan& plan);
   bool tool_faults_active() const noexcept { return plan_.has_value(); }
 
-  int monitor_count() const noexcept { return world_.nnodes(); }
+  int monitor_count() const noexcept { return sub_.nnodes(); }
   /// Monitors that would be active for `set` (distinct hosting nodes).
   int active_monitors_for(const std::vector<simmpi::Rank>& set) const;
-  /// Current aggregation root (lowest surviving monitor id; -1 = none
-  /// left). Without a fault plan the lead is monitor 0 and immortal.
+  /// Current aggregation root (star: lowest surviving monitor id; tree:
+  /// the topology root; -1 = none left). Without a fault plan the lead is
+  /// immortal.
   int lead_monitor() const noexcept { return lead_; }
   bool monitor_alive(int node) const;
 
@@ -78,34 +113,72 @@ class MonitorNetwork {
   /// Ranks traced through the network (sampling only; detection-time full
   /// sweeps go directly through the inspector and are one-off O(P)).
   std::uint64_t ranks_traced_total() const noexcept { return traced_; }
+  /// Messages received directly by the root (== messages_sent for the
+  /// star; O(fanout) per sample for a tree).
+  std::uint64_t root_messages() const noexcept { return root_messages_; }
+  /// Parent-hops traversed by aggregated partials (tree mode; the star
+  /// counts every message as one hop to the lead).
+  std::uint64_t tree_hops() const noexcept { return tree_hops_; }
+  /// Largest per-monitor fan-in seen in any single sample.
+  int max_fan_in() const noexcept { return max_fan_in_; }
 
   /// Tool-fault outcome counters (all zero without an active plan).
   std::uint64_t monitor_crashes() const noexcept { return crashes_; }
   std::uint64_t lead_failovers() const noexcept { return failovers_; }
+  /// Interior-monitor deaths that promoted a child and re-parented its
+  /// subtree (tree mode only; root deaths count as lead failovers).
+  std::uint64_t subtree_failovers() const noexcept {
+    return subtree_failovers_;
+  }
   std::uint64_t partials_lost() const noexcept { return lost_; }
   std::uint64_t retransmissions() const noexcept { return retries_total_; }
 
  private:
   Measurement measure_healthy(const std::vector<simmpi::Rank>& set);
   Measurement measure_under_faults(const std::vector<simmpi::Rank>& set);
+  Measurement measure_tree_healthy(const std::vector<simmpi::Rank>& set);
+  Measurement measure_tree_under_faults(const std::vector<simmpi::Rank>& set);
   /// Apply every scheduled crash whose instant has passed; maintains the
-  /// lead and emits crash/failover telemetry.
+  /// root and emits crash/failover telemetry.
   void advance_tool_state(sim::Time now);
   void crash_monitor(int node, sim::Time at);
   void emit_sample_event(const Measurement& measurement, std::uint64_t messages,
                          std::uint64_t bytes);
+  void init_perf();
+  void init_tree_perf();
+  /// Distinct nodes hosting `set`, via the pooled node mark (no sort, no
+  /// allocation once the scratch is warm).
+  int count_active_nodes(const std::vector<simmpi::Rank>& set);
+  /// Group `set` by hosting node into the pooled CSR scratch:
+  /// active_nodes_ ascending, grouped_ holding the ranks node by node
+  /// (set order within a node), group_offset_[i] the start of node i's
+  /// slice. Replaces the per-sample vector-of-vectors.
+  void group_set_by_node(const std::vector<simmpi::Rank>& set);
+  /// Collect the carriers (active nodes plus their ancestors) for the
+  /// current grouping into carriers_, deepest level first, ascending node
+  /// id within a level; fills fan_in_ for every carrier.
+  void collect_carriers(bool alive_only);
+  /// Sum of per-level binomial gathers over the carrier fan-ins; also
+  /// updates the fan-in high-water marks and emits MonitorLevelEvents.
+  sim::Time tree_gather_latency(int levels, sim::Time now);
 
-  simmpi::World& world_;
-  trace::StackInspector& inspector_;
+  std::optional<WorldSubstrate> owned_;  ///< backs sub_ for the World ctor
+  MonitorSubstrate& sub_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t samples_ = 0;
   std::uint64_t traced_ = 0;
+  std::uint64_t root_messages_ = 0;
+  std::uint64_t tree_hops_ = 0;
+  int max_fan_in_ = 0;
+
+  // Aggregation topology (flat star unless set_topology armed a tree).
+  MonitorTopology topology_;
 
   // Tool-fault state (untouched unless set_tool_faults armed a plan).
   std::optional<faults::ToolFaultPlan> plan_;
   util::Rng tool_rng_;
-  std::vector<bool> dead_;
+  util::DynamicBitset dead_;
   std::vector<faults::MonitorCrash> crash_schedule_;  ///< victims resolved
   std::size_t next_crash_ = 0;
   bool lead_crash_applied_ = false;
@@ -113,8 +186,27 @@ class MonitorNetwork {
   sim::Time pending_reregistration_ = 0;
   std::uint64_t crashes_ = 0;
   std::uint64_t failovers_ = 0;
+  std::uint64_t subtree_failovers_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t retries_total_ = 0;
+
+  // Pooled per-sample scratch (SoA: flat arrays indexed by node, a bitset
+  // mark, and one CSR payload — no per-sample heap churn, bits per rank).
+  util::DynamicBitset node_mark_;
+  std::vector<int> node_count_;           ///< per-node rank count
+  std::vector<int> node_slot_;            ///< node -> index in active_nodes_
+  std::vector<int> active_nodes_;         ///< sorted distinct hosting nodes
+  std::vector<int> group_offset_;         ///< CSR offsets (active_nodes_+1)
+  std::vector<simmpi::Rank> grouped_;     ///< set ranks grouped by node
+  std::vector<int> carriers_;             ///< tree carriers, deepest first
+  std::vector<int> fan_in_;               ///< per-node fan-in this sample
+  std::vector<int> agg_monitors_;         ///< partials aggregated per node
+  std::vector<int> agg_covered_;          ///< covered ranks per node
+  std::vector<int> agg_out_;              ///< OUT_MPI ranks per node
+  std::vector<sim::Time> agg_penalty_;    ///< accumulated wait per node
+  std::vector<int> level_max_fan_in_;     ///< per-level gather width
+  std::vector<int> level_senders_;        ///< carriers forwarding per level
+  std::vector<int> group_cursor_;         ///< CSR scatter cursors
 
   // Perf mirrors of the counters above, resolved once from the engine's
   // ProfileRegistry (all null when perf accounting is off).
@@ -122,8 +214,12 @@ class MonitorNetwork {
   obs::perf::Counter* perf_messages_ = nullptr;
   obs::perf::Counter* perf_retries_ = nullptr;
   obs::perf::Counter* perf_failovers_ = nullptr;
+  obs::perf::Counter* perf_subtree_failovers_ = nullptr;
   obs::perf::Counter* perf_crashes_ = nullptr;
   obs::perf::Counter* perf_lost_ = nullptr;
+  obs::perf::Counter* perf_root_messages_ = nullptr;
+  obs::perf::Counter* perf_tree_hops_ = nullptr;
+  obs::perf::HighWater* perf_fan_in_ = nullptr;
 };
 
 }  // namespace parastack::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "simmpi/types.hpp"
+#include "simmpi/world.hpp"
+#include "trace/inspector.hpp"
+
+namespace parastack::core {
+
+/// What MonitorNetwork actually needs from the simulated machine: the
+/// node map, the clock, the wire latency, and a way to classify one rank
+/// (charging it the ptrace suspension). Factoring this out of
+/// simmpi::World lets extreme-scale benches drive the aggregation layer
+/// over a synthetic million-rank world without paying for per-rank
+/// process objects, while the production path wraps the real World.
+class MonitorSubstrate {
+ public:
+  virtual ~MonitorSubstrate() = default;
+
+  virtual int nranks() const = 0;
+  virtual int nnodes() const = 0;
+  virtual int node_of(simmpi::Rank rank) const = 0;
+  virtual sim::Engine& engine() = 0;
+  virtual sim::Time network_latency() const = 0;
+  /// Sampling-path trace of one rank: charges the ptrace cost and
+  /// returns true when the rank is OUT of MPI.
+  virtual bool trace_out_mpi(simmpi::Rank rank) = 0;
+};
+
+/// The production substrate: a real simulated World traced through the
+/// StackInspector's allocation-free sampling path.
+class WorldSubstrate final : public MonitorSubstrate {
+ public:
+  WorldSubstrate(simmpi::World& world, trace::StackInspector& inspector)
+      : world_(world), inspector_(inspector) {}
+
+  int nranks() const override { return world_.nranks(); }
+  int nnodes() const override { return world_.nnodes(); }
+  int node_of(simmpi::Rank rank) const override {
+    return world_.node_of(rank);
+  }
+  sim::Engine& engine() override { return world_.engine(); }
+  sim::Time network_latency() const override {
+    return world_.platform().network_latency;
+  }
+  bool trace_out_mpi(simmpi::Rank rank) override {
+    return inspector_.trace_out_mpi(rank);
+  }
+
+ private:
+  simmpi::World& world_;
+  trace::StackInspector& inspector_;
+};
+
+}  // namespace parastack::core

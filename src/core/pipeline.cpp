@@ -49,11 +49,22 @@ void ScroutSampler::choose_monitor_sets() {
       std::max(1, std::min(config_.monitored_count, nranks / 2));
   sets_[0].assign(all.begin(), all.begin() + per_set);
   sets_[1].assign(all.begin() + per_set, all.begin() + 2 * per_set);
+  for (int set = 0; set < 2; ++set) {
+    masks_[set].assign(static_cast<std::size_t>(nranks), false);
+    for (const simmpi::Rank r : sets_[set]) {
+      masks_[set].set(static_cast<std::size_t>(r));
+    }
+  }
 }
 
 const std::vector<simmpi::Rank>& ScroutSampler::monitor_set(int index) const {
   PS_CHECK(index == 0 || index == 1, "two monitor sets exist");
   return sets_[index];
+}
+
+const util::DynamicBitset& ScroutSampler::monitored_mask(int index) const {
+  PS_CHECK(index == 0 || index == 1, "two monitor sets exist");
+  return masks_[index];
 }
 
 double ScroutSampler::measure() { return measure_qualified().scrout; }
@@ -71,8 +82,9 @@ ScroutSampler::Sample ScroutSampler::measure_qualified() {
   }
   int out = 0;
   for (const simmpi::Rank r : set) {
-    const auto snapshot = inspector_.trace(r);
-    if (!snapshot.in_mpi) ++out;
+    // Allocation-free sweep: identical RNG draw and suspension charge as
+    // trace(), minus the frame strings nobody reads here.
+    if (inspector_.trace_out_mpi(r)) ++out;
   }
   sample.scrout = static_cast<double>(out) / static_cast<double>(set.size());
   return sample;

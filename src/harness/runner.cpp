@@ -318,6 +318,20 @@ RunResult run_one(const RunConfig& config) {
     };
   }
 
+  // k-ary aggregation tree: armed only on request, so star-mode runs keep
+  // their exact RNG stream and journal bytes. Seed 0 derives the placement
+  // seed from the run seed by hashing (NOT by drawing rng.next()): arming
+  // the tree must not shift the streams of anything constructed later —
+  // that is what lets a tree run be byte-compared against its star twin.
+  if (monitors && config.monitor_tree.tree()) {
+    core::TopologyConfig tree = config.monitor_tree;
+    if (tree.seed == 0) {
+      std::uint64_t state = config.seed ^ 0x7472656553656564ull;  // "treeSeed"
+      tree.seed = util::splitmix64(state);
+    }
+    monitors->set_topology(tree);
+  }
+
   // Tool-fault plan: the plan seed is drawn only when a plan is active so
   // faults-off runs keep their exact RNG stream (byte-identical journals).
   if (monitors && config.tool_faults.active()) {
@@ -424,6 +438,10 @@ RunResult run_one(const RunConfig& config) {
     result.lead_failovers = monitors->lead_failovers();
     result.partials_lost = monitors->partials_lost();
     result.sample_retries = monitors->retransmissions();
+    result.subtree_failovers = monitors->subtree_failovers();
+    result.root_messages = monitors->root_messages();
+    result.tree_hops = monitors->tree_hops();
+    result.max_monitor_fan_in = monitors->max_fan_in();
   }
   result.traces = inspector.traces();
   result.trace_cost = inspector.total_cost_charged();

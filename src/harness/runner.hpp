@@ -8,6 +8,7 @@
 #include "core/config.hpp"
 #include "core/detector.hpp"
 #include "core/io_watchdog.hpp"
+#include "core/monitor_topology.hpp"
 #include "core/report.hpp"
 #include "core/timeout_detector.hpp"
 #include "faults/fault.hpp"
@@ -97,6 +98,13 @@ struct RunConfig {
   /// tool's own traffic is accounted (observable values are identical).
   bool use_monitor_network = true;
 
+  /// Aggregation-tree shape for the monitor network. Default (fanout <= 0)
+  /// is the flat star — byte-identical journals to every prior release.
+  /// When armed with seed 0 the placement seed is derived from the run
+  /// seed without consuming the run's RNG stream, so a tree run and its
+  /// star twin differ only in monitor-side telemetry.
+  core::TopologyConfig monitor_tree;
+
   /// Tool-side fault plan (monitor crashes, partial loss, delays). Applied
   /// to the monitor network when active(); inert by default. The plan seed
   /// is drawn from the run seed when left at 0 — and that draw only happens
@@ -161,6 +169,11 @@ struct RunResult {
   std::uint64_t partials_lost = 0;
   std::uint64_t sample_retries = 0;
   std::size_t degraded_entries = 0;
+  /// Tree-mode accounting (zero in star mode).
+  std::uint64_t subtree_failovers = 0;
+  std::uint64_t root_messages = 0;
+  std::uint64_t tree_hops = 0;
+  int max_monitor_fan_in = 0;
 
   /// First entry of this kind, or nullptr.
   const DetectorRunResult* detector(core::DetectorKind kind) const;

@@ -206,6 +206,39 @@ void ChromeTraceWriter::on_monitor_sample(const MonitorSampleEvent& e) {
   ev += "}}";
 }
 
+void ChromeTraceWriter::on_monitor_level(const MonitorLevelEvent& e) {
+  // One complete event per tree level on the monitor-network track: the
+  // per-level gather latency becomes a visible slice, widest-fan-in level
+  // dominating the sample's aggregation span.
+  std::string& ev = begin_event();
+  ev += "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"cat\":\"tree-gather\","
+        "\"name\":\"level ";
+  ev += std::to_string(e.level);
+  ev += " gather\",\"ts\":";
+  append_ts(ev, e.time);
+  ev += ",\"dur\":";
+  append_ts(ev, std::max<sim::Time>(e.latency, 1));
+  ev += ",\"args\":{\"senders\":";
+  ev += std::to_string(e.senders);
+  ev += ",\"max_fan_in\":";
+  ev += std::to_string(e.max_fan_in);
+  ev += "}}";
+}
+
+void ChromeTraceWriter::on_tree_failover(const TreeFailoverEvent& e) {
+  std::string& ev = begin_event();
+  ev += "{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":1,"
+        "\"name\":\"tree failover: ";
+  ev += std::to_string(e.failed);
+  ev += " -> ";
+  ev += std::to_string(e.promoted);
+  ev += " (+";
+  ev += std::to_string(e.adopted);
+  ev += " adopted)\",\"ts\":";
+  append_ts(ev, e.time);
+  ev += '}';
+}
+
 void ChromeTraceWriter::on_phase_change(const PhaseChangeEvent& e) {
   std::string& ev = begin_event();
   ev += "{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"name\":\"phase ";

@@ -33,6 +33,8 @@ class ChromeTraceWriter final : public TelemetrySink {
   void on_hang(const HangEvent& e) override;
   void on_slowdown(const SlowdownEvent& e) override;
   void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_monitor_level(const MonitorLevelEvent& e) override;
+  void on_tree_failover(const TreeFailoverEvent& e) override;
   void on_phase_change(const PhaseChangeEvent& e) override;
   void on_fault(const FaultEvent& e) override;
   void on_run_start(const RunStartEvent& e) override;

@@ -190,6 +190,13 @@ void JsonlJournal::on_monitor_sample(const MonitorSampleEvent& e) {
       .field("messages", e.messages)
       .field("bytes", e.bytes)
       .field("agg_latency_ns", e.aggregation_latency);
+  // Tree fields appear only when a k-ary topology is armed: flat-star
+  // journals stay byte-identical to the pre-tree format.
+  if (e.tree) {
+    line.field("tree", true)
+        .field("levels", e.levels)
+        .field("root_fan_in", e.root_fan_in);
+  }
   // Tool-fault fields appear only on impaired samples: healthy journals
   // stay byte-identical to the pre-fault-model format.
   if (e.partials_missing > 0 || e.retries > 0 || e.coverage < 1.0 ||
@@ -199,6 +206,19 @@ void JsonlJournal::on_monitor_sample(const MonitorSampleEvent& e) {
         .field("coverage", e.coverage)
         .field("degraded", e.degraded);
   }
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_monitor_level(const MonitorLevelEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "monitor_level")
+      .field("t_ns", e.time)
+      .field("level", e.level)
+      .field("senders", e.senders)
+      .field("max_fan_in", e.max_fan_in)
+      .field("latency_ns", e.latency);
   line.done();
   out_ << '\n';
   ++lines_;
@@ -222,6 +242,20 @@ void JsonlJournal::on_lead_failover(const LeadFailoverEvent& e) {
       .field("t_ns", e.time)
       .field("from", e.from)
       .field("to", e.to)
+      .field("rereg_ns", e.reregistration_latency);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
+void JsonlJournal::on_tree_failover(const TreeFailoverEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "tree_failover")
+      .field("t_ns", e.time)
+      .field("failed", e.failed)
+      .field("promoted", e.promoted)
+      .field("parent", e.parent)
+      .field("adopted", e.adopted)
       .field("rereg_ns", e.reregistration_latency);
   line.done();
   out_ << '\n';

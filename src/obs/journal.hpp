@@ -34,8 +34,10 @@ class JsonlJournal final : public TelemetrySink {
   void on_slowdown(const SlowdownEvent& e) override;
   void on_detection(const DetectionEvent& e) override;
   void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_monitor_level(const MonitorLevelEvent& e) override;
   void on_monitor_crash(const MonitorCrashEvent& e) override;
   void on_lead_failover(const LeadFailoverEvent& e) override;
+  void on_tree_failover(const TreeFailoverEvent& e) override;
   void on_sample_timeout(const SampleTimeoutEvent& e) override;
   void on_degraded_mode(const DegradedModeEvent& e) override;
   void on_phase_change(const PhaseChangeEvent& e) override;

@@ -204,6 +204,22 @@ void MetricsSink::on_monitor_sample(const MonitorSampleEvent& e) {
   }
   if (e.coverage < 1.0) registry_.summary("monitor.coverage").add(e.coverage);
   if (e.degraded) ++registry_.counter("monitor.degraded_samples");
+  // Tree-mode keys appear only when a k-ary topology is armed: the metrics
+  // document of a flat-star run stays byte-identical to the pre-tree one.
+  if (e.tree) {
+    registry_.summary("monitor.tree_levels")
+        .add(static_cast<double>(e.levels));
+    registry_.summary("monitor.root_fan_in")
+        .add(static_cast<double>(e.root_fan_in));
+  }
+}
+
+void MetricsSink::on_monitor_level(const MonitorLevelEvent& e) {
+  ++registry_.counter("monitor.level_gathers");
+  registry_.summary("monitor.level_latency_us")
+      .add(static_cast<double>(e.latency) / 1e3);
+  registry_.summary("monitor.level_fan_in")
+      .add(static_cast<double>(e.max_fan_in));
 }
 
 void MetricsSink::on_monitor_crash(const MonitorCrashEvent&) {
@@ -212,6 +228,12 @@ void MetricsSink::on_monitor_crash(const MonitorCrashEvent&) {
 
 void MetricsSink::on_lead_failover(const LeadFailoverEvent&) {
   ++registry_.counter("monitor.lead_failovers");
+}
+
+void MetricsSink::on_tree_failover(const TreeFailoverEvent& e) {
+  ++registry_.counter("monitor.subtree_failovers");
+  registry_.counter("monitor.subtree_ranks_adopted") +=
+      static_cast<std::uint64_t>(e.adopted);
 }
 
 void MetricsSink::on_sample_timeout(const SampleTimeoutEvent& e) {

@@ -69,11 +69,19 @@ void RecordingSink::on_monitor_sample(const MonitorSampleEvent& e) {
   events_.push_back(e);
 }
 
+void RecordingSink::on_monitor_level(const MonitorLevelEvent& e) {
+  events_.push_back(e);
+}
+
 void RecordingSink::on_monitor_crash(const MonitorCrashEvent& e) {
   events_.push_back(e);
 }
 
 void RecordingSink::on_lead_failover(const LeadFailoverEvent& e) {
+  events_.push_back(e);
+}
+
+void RecordingSink::on_tree_failover(const TreeFailoverEvent& e) {
   events_.push_back(e);
 }
 
@@ -138,11 +146,17 @@ void RecordingSink::replay(TelemetrySink& target) const {
     void operator()(const MonitorSampleEvent& e) const {
       target.on_monitor_sample(e);
     }
+    void operator()(const MonitorLevelEvent& e) const {
+      target.on_monitor_level(e);
+    }
     void operator()(const MonitorCrashEvent& e) const {
       target.on_monitor_crash(e);
     }
     void operator()(const LeadFailoverEvent& e) const {
       target.on_lead_failover(e);
+    }
+    void operator()(const TreeFailoverEvent& e) const {
+      target.on_tree_failover(e);
     }
     void operator()(const SampleTimeoutEvent& e) const {
       target.on_sample_timeout(e);

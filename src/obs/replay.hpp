@@ -47,8 +47,10 @@ class RecordingSink final : public TelemetrySink {
   void on_slowdown(const SlowdownEvent& e) override;
   void on_detection(const DetectionEvent& e) override;
   void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_monitor_level(const MonitorLevelEvent& e) override;
   void on_monitor_crash(const MonitorCrashEvent& e) override;
   void on_lead_failover(const LeadFailoverEvent& e) override;
+  void on_tree_failover(const TreeFailoverEvent& e) override;
   void on_sample_timeout(const SampleTimeoutEvent& e) override;
   void on_degraded_mode(const DegradedModeEvent& e) override;
   void on_phase_change(const PhaseChangeEvent& e) override;
@@ -63,10 +65,11 @@ class RecordingSink final : public TelemetrySink {
   using Event =
       std::variant<SampleEvent, RunsTestEvent, IntervalEvent, StreakEvent,
                    FilterEvent, SweepEvent, HangEvent, SlowdownEvent,
-                   DetectionEvent, MonitorSampleEvent, MonitorCrashEvent,
-                   LeadFailoverEvent, SampleTimeoutEvent, DegradedModeEvent,
-                   PhaseChangeEvent, FaultEvent, RunStartEvent, RunEndEvent,
-                   DetectionSpanEvent, RankSpanEvent>;
+                   DetectionEvent, MonitorSampleEvent, MonitorLevelEvent,
+                   MonitorCrashEvent, LeadFailoverEvent, TreeFailoverEvent,
+                   SampleTimeoutEvent, DegradedModeEvent, PhaseChangeEvent,
+                   FaultEvent, RunStartEvent, RunEndEvent, DetectionSpanEvent,
+                   RankSpanEvent>;
 
   /// Copy `view` into the arena and return a view of the stable copy.
   std::string_view intern(std::string_view view);

@@ -46,11 +46,17 @@ void MultiSink::on_detection(const DetectionEvent& e) {
 void MultiSink::on_monitor_sample(const MonitorSampleEvent& e) {
   for (auto* s : sinks_) s->on_monitor_sample(e);
 }
+void MultiSink::on_monitor_level(const MonitorLevelEvent& e) {
+  for (auto* s : sinks_) s->on_monitor_level(e);
+}
 void MultiSink::on_monitor_crash(const MonitorCrashEvent& e) {
   for (auto* s : sinks_) s->on_monitor_crash(e);
 }
 void MultiSink::on_lead_failover(const LeadFailoverEvent& e) {
   for (auto* s : sinks_) s->on_lead_failover(e);
+}
+void MultiSink::on_tree_failover(const TreeFailoverEvent& e) {
+  for (auto* s : sinks_) s->on_tree_failover(e);
 }
 void MultiSink::on_sample_timeout(const SampleTimeoutEvent& e) {
   for (auto* s : sinks_) s->on_sample_timeout(e);

@@ -140,12 +140,29 @@ struct MonitorSampleEvent {
   std::uint64_t messages = 0;      ///< tool messages this sample
   std::uint64_t bytes = 0;         ///< tool bytes this sample
   sim::Time aggregation_latency = 0;
+  // Aggregation-tree shape of this sample; `tree` false means the flat
+  // star, and the journal then omits the tree fields so star output stays
+  // byte-identical to the pre-tree schema.
+  bool tree = false;
+  int levels = 0;        ///< aggregation rounds (star: binomial depth)
+  int root_fan_in = 0;   ///< partials received directly by the root
   // Tool-fault bookkeeping; all stay at their defaults on a healthy sample
   // (and the journal omits them, keeping faults-off output byte-identical).
   int partials_missing = 0;  ///< partial counts that never reached the lead
   int retries = 0;           ///< partial-count retransmissions this sample
   double coverage = 1.0;     ///< fraction of the monitored set counted
   bool degraded = false;     ///< no partial arrived: sample carries no signal
+};
+
+/// One gather step of a tree-mode aggregation: the monitors at `level`
+/// forwarded their accumulated partials to their parents. Emitted only in
+/// tree mode (per sample, deepest level first).
+struct MonitorLevelEvent {
+  sim::Time time = 0;
+  int level = 0;        ///< depth of the senders (root's children = 1)
+  int senders = 0;      ///< carrier monitors forwarding at this level
+  int max_fan_in = 0;   ///< widest receiver fan-in of this step
+  sim::Time latency = 0;  ///< gather latency contributed by this step
 };
 
 /// A per-node monitor process died (tool-side fault model).
@@ -161,6 +178,19 @@ struct LeadFailoverEvent {
   sim::Time time = 0;
   int from = -1;
   int to = -1;           ///< -1: no survivor, the tool is blind
+  sim::Time reregistration_latency = 0;
+};
+
+/// An interior monitor of the aggregation tree died: its lowest surviving
+/// child was promoted into the vacated position and the rest of the
+/// subtree re-parented under it (the tree-mode generalization of lead
+/// failover; root deaths still emit LeadFailoverEvent).
+struct TreeFailoverEvent {
+  sim::Time time = 0;
+  int failed = -1;    ///< the dead interior monitor
+  int promoted = -1;  ///< child promoted into its position
+  int parent = -1;    ///< the promotee's new parent (-1: became the root)
+  int adopted = 0;    ///< siblings re-parented under the promotee
   sim::Time reregistration_latency = 0;
 };
 
@@ -277,8 +307,10 @@ class TelemetrySink {
   virtual void on_slowdown(const SlowdownEvent&) {}
   virtual void on_detection(const DetectionEvent&) {}
   virtual void on_monitor_sample(const MonitorSampleEvent&) {}
+  virtual void on_monitor_level(const MonitorLevelEvent&) {}
   virtual void on_monitor_crash(const MonitorCrashEvent&) {}
   virtual void on_lead_failover(const LeadFailoverEvent&) {}
+  virtual void on_tree_failover(const TreeFailoverEvent&) {}
   virtual void on_sample_timeout(const SampleTimeoutEvent&) {}
   virtual void on_degraded_mode(const DegradedModeEvent&) {}
   virtual void on_phase_change(const PhaseChangeEvent&) {}
@@ -318,8 +350,10 @@ class MultiSink final : public TelemetrySink {
   void on_slowdown(const SlowdownEvent& e) override;
   void on_detection(const DetectionEvent& e) override;
   void on_monitor_sample(const MonitorSampleEvent& e) override;
+  void on_monitor_level(const MonitorLevelEvent& e) override;
   void on_monitor_crash(const MonitorCrashEvent& e) override;
   void on_lead_failover(const LeadFailoverEvent& e) override;
+  void on_tree_failover(const TreeFailoverEvent& e) override;
   void on_sample_timeout(const SampleTimeoutEvent& e) override;
   void on_degraded_mode(const DegradedModeEvent& e) override;
   void on_phase_change(const PhaseChangeEvent& e) override;

@@ -49,4 +49,19 @@ StackSnapshot StackInspector::trace(simmpi::Rank rank) {
   return snapshot;
 }
 
+bool StackInspector::trace_out_mpi(simmpi::Rank rank) {
+  auto& process = world_.rank(rank);
+  const bool in_mpi = process.in_mpi();
+  // The cost draw and charge must stay bit-identical to trace(): the
+  // sampling path switching to this overload may not perturb any stream.
+  const double sampled = rng_.lognormal_mean_cv(
+      static_cast<double>(config_.trace_cost_mean), config_.trace_cost_cv);
+  const auto cost = std::max<sim::Time>(static_cast<sim::Time>(sampled),
+                                        sim::from_micros(50));
+  process.add_suspension(cost);
+  ++traces_;
+  charged_ += cost;
+  return !in_mpi;
+}
+
 }  // namespace parastack::trace

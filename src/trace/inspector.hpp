@@ -48,6 +48,13 @@ class StackInspector {
   /// Snapshot one rank's stack (charging it the trace cost).
   StackSnapshot trace(simmpi::Rank rank);
 
+  /// Allocation-free fast path for the S_crout sampling sweep: classifies
+  /// the rank and charges the identical ptrace suspension — same RNG
+  /// draw, same cost floor, same counters as trace() — without
+  /// materializing the frame strings nobody reads on this path. Returns
+  /// true when the rank is OUT of MPI.
+  bool trace_out_mpi(simmpi::Rank rank);
+
   /// Total traces performed (paper Table 3's n).
   std::uint64_t traces() const noexcept { return traces_; }
   /// Total suspension charged to targets (paper Table 3's O_t).

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parastack::util {
+
+/// Flat bit vector for per-rank hot state on the sampling path.
+///
+/// `std::vector<bool>` already packs bits but hides its word layout;
+/// this class exposes the 64-bit words so membership masks over a
+/// million ranks can be cleared, counted, and walked word-at-a-time.
+/// The capacity accessors exist so tests can assert the bytes-per-rank
+/// budget of SoA state directly.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits) { resize(nbits); }
+
+  /// Resize to `nbits`, zero-filling any newly exposed bits. Shrinking
+  /// keeps the low bits and clears the tail word's dead bits so count()
+  /// stays exact.
+  void resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.resize((nbits + 63) / 64, 0);
+    trim_tail();
+  }
+
+  /// Resize and clear in one go (the per-sample reset path).
+  void assign(std::size_t nbits, bool value) {
+    nbits_ = nbits;
+    words_.assign((nbits + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    trim_tail();
+  }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= bit(i); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~bit(i); }
+  void set(std::size_t i, bool value) noexcept { value ? set(i) : reset(i); }
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] & bit(i)) != 0;
+  }
+
+  /// Zero every bit without touching capacity (no allocation).
+  void clear() noexcept {
+    for (auto& word : words_) word = 0;
+  }
+
+  std::size_t size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const auto word : words_) {
+      total += static_cast<std::size_t>(std::popcount(word));
+    }
+    return total;
+  }
+
+  bool none() const noexcept {
+    for (const auto word : words_) {
+      if (word != 0) return false;
+    }
+    return true;
+  }
+
+  bool any() const noexcept { return !none(); }
+
+  /// Visit every set bit in ascending order: fn(std::size_t index).
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int lowest = std::countr_zero(word);
+        fn((w << 6) + static_cast<std::size_t>(lowest));
+        word &= word - 1;  // clear the lowest set bit
+      }
+    }
+  }
+
+  /// Heap bytes held by the mask — the number the bytes-per-rank budget
+  /// tests check against (capacity, not size: what the allocator charged).
+  std::size_t bytes_capacity() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  static std::uint64_t bit(std::size_t i) noexcept {
+    return std::uint64_t{1} << (i & 63);
+  }
+
+  /// Clear bits past nbits_ in the last word so count()/none() are exact.
+  void trim_tail() noexcept {
+    const std::size_t tail = nbits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t nbits_ = 0;
+};
+
+}  // namespace parastack::util

@@ -1,0 +1,134 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parastack::util {
+namespace {
+
+/// The bitset and a std::vector<bool> reference must agree bit-for-bit.
+void expect_matches(const DynamicBitset& bits,
+                    const std::vector<bool>& reference) {
+  ASSERT_EQ(bits.size(), reference.size());
+  std::size_t expected_count = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(bits.test(i), reference[i]) << "bit " << i;
+    if (reference[i]) ++expected_count;
+  }
+  EXPECT_EQ(bits.count(), expected_count);
+  EXPECT_EQ(bits.any(), expected_count > 0);
+  EXPECT_EQ(bits.none(), expected_count == 0);
+  // for_each_set walks exactly the set bits, ascending.
+  std::vector<std::size_t> walked;
+  bits.for_each_set([&walked](std::size_t i) { walked.push_back(i); });
+  EXPECT_EQ(walked.size(), expected_count);
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (!reference[i]) continue;
+    ASSERT_LT(at, walked.size());
+    EXPECT_EQ(walked[at++], i);
+  }
+}
+
+TEST(DynamicBitset, EmptySet) {
+  DynamicBitset bits;
+  EXPECT_TRUE(bits.empty());
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_TRUE(bits.none());
+  EXPECT_FALSE(bits.any());
+  bits.for_each_set([](std::size_t) { FAIL() << "empty set has no bits"; });
+}
+
+TEST(DynamicBitset, FullWorldSet) {
+  // Odd size on purpose: the tail word has dead bits that must stay out
+  // of count()/none().
+  constexpr std::size_t kBits = 193;
+  DynamicBitset bits;
+  bits.assign(kBits, true);
+  expect_matches(bits, std::vector<bool>(kBits, true));
+  bits.clear();
+  expect_matches(bits, std::vector<bool>(kBits, false));
+}
+
+TEST(DynamicBitset, RandomizedEquivalenceWithVectorBool) {
+  Rng rng(0xb175e7);
+  for (int round = 0; round < 8; ++round) {
+    // Sizes straddle word boundaries: 0, 1, 63, 64, 65, ... plus odd ones.
+    const std::size_t nbits = rng.uniform_int(300);
+    DynamicBitset bits(nbits);
+    std::vector<bool> reference(nbits, false);
+    for (int op = 0; op < 2000 && nbits > 0; ++op) {
+      const std::size_t i = rng.uniform_int(nbits);
+      if (rng.bernoulli(0.5)) {
+        bits.set(i);
+        reference[i] = true;
+      } else if (rng.bernoulli(0.5)) {
+        bits.reset(i);
+        reference[i] = false;
+      } else {
+        const bool value = rng.bernoulli(0.5);
+        bits.set(i, value);
+        reference[i] = value;
+      }
+    }
+    expect_matches(bits, reference);
+  }
+}
+
+TEST(DynamicBitset, ResizeKeepsLowBitsAndZeroFillsNewOnes) {
+  DynamicBitset bits(70);
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(69);
+  bits.resize(65);  // drops bit 69, keeps 0/63/64
+  EXPECT_EQ(bits.count(), 3u);
+  bits.resize(200);  // regrown tail must come back zeroed
+  EXPECT_EQ(bits.count(), 3u);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_FALSE(bits.test(69));
+  EXPECT_FALSE(bits.test(199));
+}
+
+TEST(DynamicBitset, MillionRankSmokeStaysOnBitBudget) {
+  // The SoA coverage mask is the per-rank hot state at extreme scale:
+  // 1M ranks must cost ~1 bit each, not a byte or a word. Allow the
+  // vector's allocation slack but pin the order of magnitude.
+  constexpr std::size_t kRanks = 1u << 20;
+  DynamicBitset bits(kRanks);
+  constexpr std::size_t kExactBytes = kRanks / 8;
+  EXPECT_GE(bits.bytes_capacity(), kExactBytes);
+  EXPECT_LE(bits.bytes_capacity(), 2 * kExactBytes)
+      << "coverage mask exceeds the bits-per-rank budget";
+
+  // Sparse usage pattern of the sampling path: mark C << P ranks, count,
+  // walk, clear — no reallocation afterwards.
+  const std::size_t before = bits.bytes_capacity();
+  Rng rng(7);
+  for (int sample = 0; sample < 50; ++sample) {
+    for (int c = 0; c < 512; ++c) bits.set(rng.uniform_int(kRanks));
+    EXPECT_GT(bits.count(), 0u);
+    bits.clear();
+    EXPECT_TRUE(bits.none());
+  }
+  EXPECT_EQ(bits.bytes_capacity(), before);
+}
+
+TEST(DynamicBitset, WordsExposeTheLayout) {
+  DynamicBitset bits(128);
+  bits.set(0);
+  bits.set(65);
+  ASSERT_EQ(bits.words().size(), 2u);
+  EXPECT_EQ(bits.words()[0], std::uint64_t{1});
+  EXPECT_EQ(bits.words()[1], std::uint64_t{2});
+}
+
+}  // namespace
+}  // namespace parastack::util

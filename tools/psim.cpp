@@ -22,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "harness/campaign.hpp"
@@ -52,6 +53,11 @@ int usage() {
                "hardware threads; results and\n"
                "            telemetry are byte-identical for any --jobs)\n"
                "  submit:   --system slurm|torque --walltime-min M\n"
+               "  topology (run/campaign): --tree FANOUT[,DEPTH] routes "
+               "monitor aggregation through a\n"
+               "            k-ary tree (FANOUT 'inf' or 0 = the flat star "
+               "default; DEPTH caps the tree,\n"
+               "            widening the fan-out to fit)\n"
                "  tool faults (run/campaign): --tool-faults "
                "key=value[,key=value...] with keys\n"
                "            loss|delay-ms|crash(NODE@SEC or rand@SEC)|"
@@ -330,6 +336,33 @@ harness::RunConfig build_config(const util::Args& args, bool& ok) {
   if (auto* parastack = config.find(core::DetectorKind::kParastack)) {
     parastack->parastack.alpha = args.get_double("alpha", 0.001);
   }
+  if (const std::string spec = args.get("tree", ""); !spec.empty()) {
+    // FANOUT[,DEPTH]; 'inf' (or 0) keeps the flat star for A/B sweeps that
+    // drive both shapes through one script.
+    try {
+      const std::size_t comma = spec.find(',');
+      const std::string fanout = spec.substr(0, comma);
+      if (fanout == "inf" || fanout == "star") {
+        config.monitor_tree.fanout = 0;
+      } else {
+        config.monitor_tree.fanout = static_cast<int>(std::stol(fanout));
+      }
+      if (comma != std::string::npos) {
+        config.monitor_tree.depth =
+            static_cast<int>(std::stol(spec.substr(comma + 1)));
+      }
+      if (config.monitor_tree.fanout < 0 || config.monitor_tree.depth < 0) {
+        throw std::invalid_argument("negative");
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "bad --tree value '%s' (expected FANOUT[,DEPTH], "
+                   "FANOUT >= 0 or 'inf')\n",
+                   spec.c_str());
+      ok = false;
+      return config;
+    }
+  }
   if (const std::string spec = args.get("tool-faults", ""); !spec.empty()) {
     try {
       if (!parse_tool_faults(spec, config)) {
@@ -413,6 +446,16 @@ int cmd_run(const util::Args& args) {
                  static_cast<unsigned long long>(result.partials_lost),
                  static_cast<unsigned long long>(result.sample_retries),
                  result.degraded_entries);
+  }
+  if (config.monitor_tree.tree()) {
+    std::fprintf(telemetry.human(),
+                 "tree: fan-out %d, %llu root messages, %llu hops, "
+                 "max fan-in %d, %llu subtree failovers\n",
+                 config.monitor_tree.fanout,
+                 static_cast<unsigned long long>(result.root_messages),
+                 static_cast<unsigned long long>(result.tree_hops),
+                 result.max_monitor_fan_in,
+                 static_cast<unsigned long long>(result.subtree_failovers));
   }
   return telemetry.finish() ? 0 : 1;
 }
