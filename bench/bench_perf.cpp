@@ -1,11 +1,12 @@
 // bench_perf — the canonical self-measurement binary behind the repo's
 // perf trajectory (ISSUE 6; BENCH_7 marks the ISSUE 7 engine overhaul,
-// BENCH_8 the ISSUE 8 aggregation-tree refactor with its tree scenario).
+// BENCH_8 the ISSUE 8 aggregation-tree refactor with its tree scenario,
+// BENCH_9 the ISSUE 9 recovery subsystem with its recovery scenario).
 // Where every other bench reproduces a paper
 // table, this one measures the simulator itself: campaign throughput
 // (trials/sec), DES hot-loop rate (sim-events/sec), the cost of leaving
 // the perf counters attached, and the detection-latency span percentiles.
-// Results go to BENCH_8.json; `tools/psperf` compares trajectory files and
+// Results go to BENCH_9.json; `tools/psperf` compares trajectory files and
 // turns regressions into CI failures.
 //
 //   bench_perf [--quick] [--out FILE] [--jobs N] [--metrics-out FILE]
@@ -39,6 +40,7 @@ struct ScenarioSpec {
   int runs_quick;  ///< erroneous runs per timed repeat
   int runs_full;
   int tree_fanout = 0;  ///< > 0: route aggregation through a k-ary tree
+  const char* recovery = nullptr;  ///< non-null: arm a recovery policy
 };
 
 constexpr ScenarioSpec kScenarios[] = {
@@ -50,6 +52,10 @@ constexpr ScenarioSpec kScenarios[] = {
     // carrier walk, per-level gathers, and tree perf counters are on the
     // timed path and their snapshots in the trajectory.
     {"tree", 256, 401, 4, 12, 2},
+    // The detect->recover loop: every kill rolls back to a checkpoint and
+    // the multi-attempt driver, snapshot replay, and recover.* counters
+    // are on the timed path.
+    {"recovery", 64, 501, 6, 18, 0, "ckpt:30"},
 };
 
 struct Record {
@@ -74,6 +80,9 @@ harness::CampaignConfig make_campaign(const ScenarioSpec& spec, int runs) {
   campaign.seed0 = spec.seed0;
   campaign.jobs = bench::jobs();
   campaign.base.monitor_tree.fanout = spec.tree_fanout;
+  if (spec.recovery != nullptr) {
+    campaign.base.recovery = *recover::parse_recovery(spec.recovery);
+  }
   return campaign;
 }
 
@@ -91,7 +100,7 @@ double timed_repeat(const ScenarioSpec& spec, int runs,
 
 void write_bench_json(std::ostream& out, const std::vector<Record>& records,
                       bool quick) {
-  out << "{\"bench\":\"bench_perf\",\"issue\":8,\"mode\":"
+  out << "{\"bench\":\"bench_perf\",\"issue\":9,\"mode\":"
       << (quick ? "\"quick\"" : "\"full\"") << ",\"records\":[";
   bool first_record = true;
   for (const auto& record : records) {
@@ -125,7 +134,7 @@ void write_bench_json(std::ostream& out, const std::vector<Record>& records,
 int main(int argc, char** argv) {
   bench::parse_jobs(argc, argv);
   bool quick = !bench::full_scale();
-  std::string out_path = "BENCH_8.json";
+  std::string out_path = "BENCH_9.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -138,7 +147,7 @@ int main(int argc, char** argv) {
   const int repeats = quick ? 3 : 5;
 
   bench::header("bench_perf: simulator self-measurement",
-                "tooling (no paper table): the BENCH_8.json perf trajectory");
+                "tooling (no paper table): the BENCH_9.json perf trajectory");
 
   std::vector<Record> records;
   for (const auto& spec : kScenarios) {

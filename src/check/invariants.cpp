@@ -211,8 +211,39 @@ void InvariantSink::on_phase_change(const obs::PhaseChangeEvent& e) {
 
 void InvariantSink::on_fault(const obs::FaultEvent& e) {
   clock(e.time, "fault");
-  if (++faults_activated_ > 1) {
-    violation("application fault activated more than once");
+  if (++faults_activated_ > fault_budget_) {
+    violation("application fault activated more than once per attempt");
+  }
+}
+
+void InvariantSink::on_recovery(const obs::RecoveryEvent& e) {
+  clock(e.time, "recovery");
+  if (e.attempt <= last_recovery_attempt_) {
+    violation(format("recovery attempt %d after attempt %d", e.attempt,
+                     last_recovery_attempt_));
+  }
+  last_recovery_attempt_ = e.attempt;
+  if (e.overhead < 0) violation("negative recovery overhead");
+  if (e.action == "restore") {
+    if (e.resume_from > e.time) {
+      violation("restore resumes from a snapshot taken after the kill");
+    }
+    if (e.next_start < e.time + e.overhead) {
+      violation("restored attempt starts before kill time plus overhead");
+    }
+    // A restore launches a fresh world: the fault may re-arm, the fresh
+    // detectors re-derive their own streak/degraded state, and the monitor
+    // population is relaunched from scratch.
+    ++fault_budget_;
+    monitors_alive_ = -1;
+    for (auto& [label, det] : detectors_) {
+      det.streak = 0;
+      det.verified = false;
+      det.degraded = false;
+    }
+  } else if (e.action != "give-up") {
+    violation(format("unknown recovery action '%.*s'",
+                     static_cast<int>(e.action.size()), e.action.data()));
   }
 }
 

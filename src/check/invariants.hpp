@@ -32,7 +32,11 @@ namespace parastack::check {
 ///   - detection-latency spans are well-formed: begin >= 0, end >= begin,
 ///     and the span closes at or before its emission instant;
 ///   - run framing: at most one run_start/run_end pair per run index, no
-///     events after run_end, at most one application fault activation.
+///     events after run_end, at most one application fault activation per
+///     attempt (each recovery restore re-arms the budget by one);
+///   - recovery legality: attempts strictly increase, a restore resumes
+///     from a snapshot taken at or before the kill it recovers from, and
+///     the next attempt starts after the kill plus the policy overhead.
 class InvariantSink final : public obs::TelemetrySink {
  public:
   static constexpr std::size_t kMaxViolations = 16;
@@ -61,6 +65,7 @@ class InvariantSink final : public obs::TelemetrySink {
   void on_fault(const obs::FaultEvent& e) override;
   void on_run_start(const obs::RunStartEvent& e) override;
   void on_run_end(const obs::RunEndEvent& e) override;
+  void on_recovery(const obs::RecoveryEvent& e) override;
 
  private:
   struct DetectorState {
@@ -81,6 +86,8 @@ class InvariantSink final : public obs::TelemetrySink {
   bool run_started_ = false;
   bool run_ended_ = false;
   int faults_activated_ = 0;
+  int fault_budget_ = 1;  ///< each recovery restore re-arms one activation
+  int last_recovery_attempt_ = 0;
   int monitors_alive_ = -1;  ///< -1 until the first crash event reports it
   std::map<std::string, DetectorState, std::less<>> detectors_;
 };

@@ -187,6 +187,11 @@ class ClockWarpSink final : public obs::TelemetrySink {
     w.time = warp(w.time);
     inner_.on_run_end(w);
   }
+  void on_recovery(const obs::RecoveryEvent& e) override {
+    auto w = e;
+    w.time = warp(w.time);
+    inner_.on_recovery(w);
+  }
 
  private:
   sim::Time warp(sim::Time t) {
@@ -209,6 +214,28 @@ void check_faults_off_silence(const harness::RunResult& result,
                   result.hangs().size(),
                   sim::to_seconds(result.hangs().front().detected_at));
     fail(report, "faults-off", buffer);
+  }
+}
+
+/// A faults-off run with a recovery policy armed must never recover: no
+/// kill happens, so the driver must finish in one attempt with zero
+/// recovery overhead (the policy's mere presence is free on healthy runs —
+/// team replication's SU multiplier is the policy's steady-state price and
+/// is exempt).
+void check_recovery_quiet(const harness::RunResult& result,
+                          SeedReport& report) {
+  if (!result.recovery.enabled) return;
+  if (result.recovery.attempts_used != 1 || result.recovery.recovered ||
+      result.recovery.gave_up || result.recovery.overhead_total != 0) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof buffer,
+                  "recovery acted on a faults-off run (%d attempts, "
+                  "recovered=%d, gave_up=%d, overhead=%.2fs)",
+                  result.recovery.attempts_used,
+                  result.recovery.recovered ? 1 : 0,
+                  result.recovery.gave_up ? 1 : 0,
+                  sim::to_seconds(result.recovery.overhead_total));
+    fail(report, "recovery-quiet", buffer);
   }
 }
 
@@ -478,9 +505,11 @@ SeedReport check_scenario(const Scenario& scenario,
       const harness::RunResult clean = harness::run_one(quiet);
       ++report.runs_executed;
       check_faults_off_silence(clean, report);
+      check_recovery_quiet(clean, report);
     } else {
       // The base run already is the faults-off run.
       check_faults_off_silence(base, report);
+      check_recovery_quiet(base, report);
     }
   }
 

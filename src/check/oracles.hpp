@@ -25,8 +25,8 @@ struct OracleOptions {
 struct OracleFailure {
   std::string oracle;  ///< "invariants", "conservation", "determinism",
                        ///< "perf-determinism", "replay", "faults-off",
-                       ///< "jobs-differential", "perf-jobs",
-                       ///< "rank-relabel", "planted-clock"
+                       ///< "recovery-quiet", "jobs-differential",
+                       ///< "perf-jobs", "rank-relabel", "planted-clock"
   std::string detail;
 };
 
@@ -59,6 +59,12 @@ struct SeedReport {
 ///     high-water gauges; wall-clock timers are excluded by construction)
 ///     is identical to the base run's — counters count simulated facts and
 ///     must be pure functions of the seed;
+///   - recovery-quiet: with the scenario's faults stripped but its recovery
+///     policy still armed, the run must finish in one attempt with zero
+///     recovery overhead — an armed policy is free on healthy runs. The
+///     determinism/replay/jobs-differential oracles above already run with
+///     the sampled recovery spec in place, so recovery's multi-attempt
+///     driver is held to the same byte-identity bar as everything else;
 ///   - jobs-differential: a --jobs=1 campaign and a --jobs=N campaign over
 ///     the same seeds write byte-identical journals;
 ///   - perf-jobs: those two campaigns, each summing into its own shared

@@ -129,7 +129,48 @@ Scenario generate_scenario(std::uint64_t fuzz_seed) {
     s.tree_fanout =
         kFanouts[rng.uniform_int(std::uint64_t{std::size(kFanouts)})];
   }
+
+  // Recovery dimension, drawn after the tree for the same reason: a fuzz
+  // seed's pre-recovery scenario shape never changes under this addition.
+  if (rng.bernoulli(0.35)) {
+    const double pick = rng.uniform();
+    if (pick < 0.40) {
+      s.recovery_policy = 1;  // ckpt
+      constexpr int kIntervals[] = {15, 30, 60};
+      s.recovery_param =
+          kIntervals[rng.uniform_int(std::uint64_t{std::size(kIntervals)})];
+    } else if (pick < 0.70) {
+      s.recovery_policy = 2;  // spare
+      s.recovery_param = static_cast<int>(rng.uniform_int(1, 2));
+    } else {
+      s.recovery_policy = 3;  // team
+      s.recovery_param = static_cast<int>(rng.uniform_int(2, 3));
+    }
+    if (rng.bernoulli(0.25)) s.recovery_refault = 1;
+  }
   return s;
+}
+
+recover::RecoverySpec Scenario::recovery_spec() const {
+  recover::RecoverySpec spec;
+  switch (recovery_policy) {
+    case 1:
+      spec.policy = recover::RecoveryPolicy::kCheckpointRestart;
+      spec.checkpoint_interval = recovery_param * sim::kSecond;
+      break;
+    case 2:
+      spec.policy = recover::RecoveryPolicy::kSpareFailover;
+      spec.spare_count = recovery_param;
+      break;
+    case 3:
+      spec.policy = recover::RecoveryPolicy::kTeamReplication;
+      spec.replicas = recovery_param;
+      break;
+    default:
+      break;
+  }
+  spec.refault_attempts = recovery_refault;
+  return spec;
 }
 
 harness::RunConfig to_run_config(const Scenario& scenario) {
@@ -184,6 +225,9 @@ harness::RunConfig to_run_config(const Scenario& scenario) {
   if (scenario.use_monitor_network && scenario.tree_fanout > 0) {
     config.monitor_tree.fanout = scenario.tree_fanout;
   }
+  if (scenario.recovery_policy != 0) {
+    config.recovery = scenario.recovery_spec();
+  }
   return config;
 }
 
@@ -205,7 +249,18 @@ std::string to_repro(const Scenario& s) {
       static_cast<long long>(s.tool_delay_mean / sim::kMicrosecond),
       s.tool_monitor_crashes, s.tool_lead_crash ? 1 : 0, s.campaign_runs,
       s.tree_fanout);
-  return buffer;
+  std::string out = buffer;
+  // Recovery keys only when armed: repro strings for recovery-free
+  // scenarios stay byte-identical to the pre-recovery format.
+  if (s.recovery_policy != 0) {
+    std::snprintf(buffer, sizeof buffer, ",recovery=%s,rparam=%d,refault=%d",
+                  recover::recovery_policy_name(
+                      s.recovery_spec().policy)
+                      .data(),
+                  s.recovery_param, s.recovery_refault);
+    out += buffer;
+  }
+  return out;
 }
 
 std::optional<Scenario> parse_repro(const std::string& repro) {
@@ -273,6 +328,24 @@ std::optional<Scenario> parse_repro(const std::string& repro) {
     } else if (key == "tree") {
       s.tree_fanout = std::atoi(value.c_str());
       if (s.tree_fanout < 0) return std::nullopt;
+    } else if (key == "recovery") {
+      if (value == "none") {
+        s.recovery_policy = 0;
+      } else if (value == "ckpt") {
+        s.recovery_policy = 1;
+      } else if (value == "spare") {
+        s.recovery_policy = 2;
+      } else if (value == "team") {
+        s.recovery_policy = 3;
+      } else {
+        return std::nullopt;
+      }
+    } else if (key == "rparam") {
+      s.recovery_param = std::atoi(value.c_str());
+      if (s.recovery_param < 0) return std::nullopt;
+    } else if (key == "refault") {
+      s.recovery_refault = std::atoi(value.c_str());
+      if (s.recovery_refault < 0) return std::nullopt;
     } else {
       return std::nullopt;  // unknown key: refuse to half-reproduce
     }

@@ -6,6 +6,7 @@
 
 #include "faults/fault.hpp"
 #include "harness/runner.hpp"
+#include "recover/spec.hpp"
 #include "sim/time.hpp"
 #include "workloads/catalog.hpp"
 
@@ -45,6 +46,15 @@ struct Scenario {
   /// same detector stream as its star twin — the tree-vs-star oracle.
   int tree_fanout = 0;
 
+  /// Recovery policy closing the detection loop: 0 = none (kill-only),
+  /// 1 = ckpt, 2 = spare, 3 = team. `recovery_param` is the policy's one
+  /// sampled knob (ckpt interval in seconds / spare count / replicas);
+  /// `recovery_refault` re-arms the fault on that many restarted attempts
+  /// (exercising give-up and recovery-races-a-second-hang paths).
+  int recovery_policy = 0;
+  int recovery_param = 0;
+  int recovery_refault = 0;
+
   /// Trials for the jobs-differential oracle (jobs=1 vs jobs=N campaigns).
   int campaign_runs = 2;
 
@@ -59,6 +69,10 @@ struct Scenario {
            (tool_loss > 0.0 || tool_delay_mean > 0 ||
             tool_monitor_crashes > 0 || tool_lead_crash);
   }
+
+  /// The RecoverySpec the sampled recovery dimension describes (policy
+  /// kNone when recovery_policy == 0).
+  recover::RecoverySpec recovery_spec() const;
 };
 
 /// Expand a fuzz seed into a scenario. Deterministic: the same seed always

@@ -29,6 +29,13 @@ std::vector<Scenario> candidates(const Scenario& s) {
   push([](Scenario& c) { c.tool_monitor_crashes = 0; });
   push([](Scenario& c) { c.tool_lead_crash = false; });
   push([](Scenario& c) { c.tree_fanout = 0; });  // back to the flat star
+  push([](Scenario& c) {
+    // Back to kill-only: drops the whole multi-attempt recovery driver.
+    c.recovery_policy = 0;
+    c.recovery_param = 0;
+    c.recovery_refault = 0;
+  });
+  push([](Scenario& c) { c.recovery_refault = 0; });
   push([](Scenario& c) { c.with_timeout_detector = false; });
   push([](Scenario& c) { c.with_io_watchdog = false; });
   push([](Scenario& c) { c.background_slowdowns = false; });

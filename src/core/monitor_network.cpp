@@ -165,9 +165,18 @@ sim::Time MonitorNetwork::tree_gather_latency(int levels, sim::Time now) {
        --receiver_level) {
     const int fan = std::max(
         level_max_fan_in_[static_cast<std::size_t>(receiver_level)], 1);
-    const sim::Time gather =
+    sim::Time gather =
         static_cast<sim::Time>(std::bit_width(static_cast<unsigned>(fan))) *
         sub_.network_latency();
+    // A per-level deadline bounds how long any one gather step may take:
+    // a straggling wide level forwards what arrived in time instead of
+    // stalling the sample. Latency-only — partial counts still aggregate
+    // in full (the model treats the overage as pipelined into the next
+    // level), so S_crout is unchanged; only the latency model tightens.
+    if (level_deadline_ > 0 && gather > level_deadline_) {
+      gather = level_deadline_;
+      ++deadline_hits_;
+    }
     total += gather;
     if (sink != nullptr) {
       obs::MonitorLevelEvent event;
@@ -196,6 +205,7 @@ void MonitorNetwork::set_topology(const TopologyConfig& config) {
   PS_CHECK(!plan_.has_value(),
            "set_topology must be called before set_tool_faults");
   topology_.build(sub_.nnodes(), config);
+  level_deadline_ = config.level_deadline;
   lead_ = topology_.root();
   init_tree_perf();
 }

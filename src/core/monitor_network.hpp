@@ -121,6 +121,11 @@ class MonitorNetwork {
   std::uint64_t tree_hops() const noexcept { return tree_hops_; }
   /// Largest per-monitor fan-in seen in any single sample.
   int max_fan_in() const noexcept { return max_fan_in_; }
+  /// Tree levels whose gather hit the per-level deadline and forwarded
+  /// early (always zero in star mode or without a configured deadline).
+  std::uint64_t level_deadline_hits() const noexcept {
+    return deadline_hits_;
+  }
 
   /// Tool-fault outcome counters (all zero without an active plan).
   std::uint64_t monitor_crashes() const noexcept { return crashes_; }
@@ -174,6 +179,8 @@ class MonitorNetwork {
 
   // Aggregation topology (flat star unless set_topology armed a tree).
   MonitorTopology topology_;
+  sim::Time level_deadline_ = 0;  ///< per-level gather cap (0 = none)
+  std::uint64_t deadline_hits_ = 0;
 
   // Tool-fault state (untouched unless set_tool_faults armed a plan).
   std::optional<faults::ToolFaultPlan> plan_;

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/time.hpp"
+
 namespace parastack::core {
 
 /// Shape of the monitor aggregation topology (one monitor per node).
@@ -24,6 +26,12 @@ struct TopologyConfig {
   /// shuffles placement deterministically, which is how a trial seed
   /// yields a trial-specific tree without extra draws from the trial RNG.
   std::uint64_t seed = 0;
+  /// Per-level gather deadline: each tree level's gather step contributes
+  /// at most this much latency — a straggling wide level forwards whatever
+  /// partial counts arrived in time instead of stalling the whole sample.
+  /// 0 (the default) = no deadline, the latency model is unchanged. Only
+  /// meaningful in tree mode; the star ignores it.
+  sim::Time level_deadline = 0;
 
   bool tree() const noexcept { return fanout > 0; }
   bool operator==(const TopologyConfig&) const = default;

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "simmpi/types.hpp"
+#include "simmpi/world.hpp"
+#include "core/report.hpp"
+
+namespace parastack::core {
+
+/// Everything the detection side knows at the instant a kill fires — the
+/// input a recovery policy arbitrates on. Built by the harness from the
+/// killing Detection plus the primary ParaStack instance's state.
+struct RecoveryVerdict {
+  sim::Time killed_at = 0;
+  DetectorKind kind = DetectorKind::kParastack;
+  /// The verdict is second-hand: the kill came from the degraded-mode
+  /// fallback timeout, or the primary detector was below quorum when it
+  /// fired. Policies that arbitrate between replicas must pay extra
+  /// verification cost before trusting it (DESIGN.md §13).
+  bool degraded = false;
+  /// FaultyIdentifier's faulty-rank set (empty for communication errors and
+  /// for non-ParaStack verdicts). Spare-rank failover replaces exactly this.
+  std::vector<simmpi::Rank> faulty_ranks;
+  int attempt = 0;  ///< 0-based index of the attempt that was killed
+};
+
+/// What a policy tells the harness to do after a kill.
+struct RecoveryDecision {
+  /// False = the policy is out of resources (spares exhausted, no replica
+  /// left to promote): give up, the job ends killed.
+  bool restart = false;
+  /// Progress the next attempt resumes from. Empty = cold restart.
+  simmpi::WorldSnapshot resume;
+  /// Restore/failover/arbitration time between the kill and the next
+  /// attempt's start (job-timeline cost, billed to the allocation).
+  sim::Time overhead = 0;
+  /// Telemetry note, e.g. "rollback to t=142s" / "promoted replica 1".
+  std::string detail;
+};
+
+/// Verdict -> action interface next to Detector: a recovery policy consumes
+/// detection verdicts and drives the job back to completion. Implementations
+/// (checkpoint/restart, warm spare-rank failover, team replication) live in
+/// src/recover; the harness only sees this surface.
+class RecoveryAction {
+ public:
+  RecoveryAction(const RecoveryAction&) = delete;
+  RecoveryAction& operator=(const RecoveryAction&) = delete;
+  virtual ~RecoveryAction() = default;
+
+  /// Stable lowercase policy name ("ckpt" | "spare" | "team"), used as the
+  /// telemetry label and the psim --recovery spelling.
+  virtual std::string_view policy_name() const noexcept = 0;
+
+  /// Progress-capture cadence the harness runs while an attempt executes
+  /// (0 = the policy needs no periodic snapshots). For team replication
+  /// this is the replica skew: the healthy team trails by one cadence.
+  virtual sim::Time checkpoint_interval() const noexcept { return 0; }
+  /// In-world cost of one capture, charged to progressing ranks.
+  virtual sim::Time checkpoint_cost() const noexcept { return 0; }
+
+  /// Service-unit billing multiplier relative to a single world (team
+  /// replication burns `replicas` allocations concurrently).
+  virtual double su_multiplier() const noexcept { return 1.0; }
+
+  /// Arbitrate one kill. `last_checkpoint` is the most recent periodic
+  /// capture (null if none was taken); `at_kill` is the progress of the
+  /// killed world at the kill instant — the survivors' warm state. May
+  /// mutate policy state (spares consumed, replicas burned).
+  virtual RecoveryDecision on_kill(const RecoveryVerdict& verdict,
+                                   const simmpi::WorldSnapshot* last_checkpoint,
+                                   const simmpi::WorldSnapshot& at_kill) = 0;
+
+ protected:
+  RecoveryAction() = default;
+};
+
+}  // namespace parastack::core

@@ -7,7 +7,11 @@
 
 #include "core/detector_bank.hpp"
 #include "core/monitor_network.hpp"
+#include "core/recovery.hpp"
 #include "faults/injector.hpp"
+#include "obs/perf.hpp"
+#include "recover/policy.hpp"
+#include "sched/scheduler.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "workloads/synthetic.hpp"
@@ -206,8 +210,34 @@ sim::Time estimate_clean_runtime(const workloads::BenchmarkProfile& profile,
   return static_cast<sim::Time>(total * 1.15);
 }
 
-RunResult run_one(const RunConfig& config) {
-  util::Rng rng(config.seed);
+namespace {
+
+/// Cross-attempt plumbing for the recovery driver. Null = the legacy
+/// single-attempt path, which stays byte-for-byte identical: no extra RNG
+/// draws, no extra events, no telemetry changes.
+struct AttemptContext {
+  // Driver -> attempt:
+  int attempt = 0;
+  std::uint64_t seed = 0;
+  sim::Time start_time = 0;      ///< absolute job-timeline start
+  bool inject_fault = true;      ///< false: this attempt outlives the fault
+  const simmpi::WorldSnapshot* resume = nullptr;  ///< null = cold start
+  sim::Time checkpoint_interval = 0;              ///< 0 = no checkpoints
+  sim::Time checkpoint_cost = 0;
+  bool emit_run_start = false;
+  // Attempt -> driver:
+  std::vector<simmpi::WorldSnapshot> checkpoints;
+  simmpi::WorldSnapshot at_kill;  ///< progress at the kill instant
+  bool killed = false;
+  sim::Time kill_time = 0;
+  bool degraded_kill = false;
+  core::DetectorKind kill_kind = core::DetectorKind::kParastack;
+  std::vector<simmpi::Rank> faulty_ranks;
+  sim::Time end_now = 0;  ///< engine clock when the attempt wound down
+};
+
+RunResult run_attempt(const RunConfig& config, AttemptContext* ctx) {
+  util::Rng rng(ctx == nullptr ? config.seed : ctx->seed);
 
   const std::string input =
       config.input.empty()
@@ -225,6 +255,7 @@ RunResult run_one(const RunConfig& config) {
   // Fault plan.
   faults::FaultPlan plan;
   plan.type = config.fault;
+  if (ctx != nullptr && !ctx->inject_fault) plan.type = faults::FaultType::kNone;
   if (plan.type != faults::FaultType::kNone) {
     plan.victim =
         static_cast<simmpi::Rank>(rng.uniform_int(
@@ -244,6 +275,9 @@ RunResult run_one(const RunConfig& config) {
                         static_cast<double>(result.estimated_clean));
     }
     plan.trigger_time = static_cast<sim::Time>(rng.uniform(lo, hi));
+    // A refault strikes at the same relative position on the restarted
+    // attempt's own stretch of the job timeline.
+    if (ctx != nullptr) plan.trigger_time += ctx->start_time;
   }
   faults::FaultInjector injector(plan);
 
@@ -252,6 +286,12 @@ RunResult run_one(const RunConfig& config) {
   world_config.platform = config.platform;
   world_config.seed = rng.next();
   world_config.background_slowdowns = config.background_slowdowns;
+  if (ctx != nullptr) {
+    world_config.start_time = ctx->start_time;
+    if (ctx->resume != nullptr && !ctx->resume->empty()) {
+      world_config.replay_actions = ctx->resume->rank_actions;
+    }
+  }
   simmpi::World world(world_config,
                       injector.wrap(workloads::make_factory(profile)));
   world.engine().set_telemetry(config.telemetry);
@@ -267,6 +307,7 @@ RunResult run_one(const RunConfig& config) {
 
   bool killed = false;
   sim::Time kill_time = 0;
+  bool kill_from_fallback = false;
 
   // Per-detector seeds are drawn in spec order so a fixed prefix of the
   // detector list always receives the same stream regardless of what is
@@ -357,6 +398,7 @@ RunResult run_one(const RunConfig& config) {
         if (!killed) {
           killed = true;
           kill_time = detection.detected_at;
+          kill_from_fallback = true;
         }
       };
     }
@@ -369,7 +411,7 @@ RunResult run_one(const RunConfig& config) {
     };
   }
 
-  if (config.telemetry != nullptr) {
+  if (config.telemetry != nullptr && (ctx == nullptr || ctx->emit_run_start)) {
     obs::RunStartEvent event;
     event.bench = workloads::bench_name(config.bench);
     event.input = input;
@@ -388,12 +430,55 @@ RunResult run_one(const RunConfig& config) {
   bank.start_all();
 
   auto& engine = world.engine();
+
+  // Periodic coordinated checkpoints (recovery policies that roll back).
+  // Scheduling is RNG-free; each capture charges every progressing rank the
+  // checkpoint cost through the same suspension mechanism ptrace stops use
+  // (blocked ranks were waiting anyway, DESIGN.md decision #5).
+  std::function<void()> take_checkpoint;
+  if (ctx != nullptr && ctx->checkpoint_interval > 0) {
+    take_checkpoint = [&] {
+      if (world.all_finished() || killed) return;
+      ctx->checkpoints.push_back(world.snapshot_progress());
+      if (ctx->checkpoint_cost > 0) {
+        for (int r = 0; r < config.nranks; ++r) {
+          world.rank(static_cast<simmpi::Rank>(r))
+              .add_suspension(ctx->checkpoint_cost);
+        }
+      }
+      engine.schedule_after(ctx->checkpoint_interval,
+                            [&] { take_checkpoint(); });
+    };
+    engine.schedule_after(ctx->checkpoint_interval,
+                          [&] { take_checkpoint(); });
+  }
+
   while (!world.all_finished() && !killed && engine.now() <= result.walltime) {
     if (!engine.step()) break;
   }
 
   bank.stop_all();
   if (fallback) fallback->stop();
+
+  if (ctx != nullptr) {
+    ctx->killed = killed;
+    if (killed) {
+      ctx->kill_time = kill_time;
+      ctx->at_kill = world.snapshot_progress();
+      ctx->kill_kind = config.detectors.empty()
+                           ? core::DetectorKind::kParastack
+                           : config.detectors.front().kind;
+      if (kill_from_fallback) ctx->kill_kind = core::DetectorKind::kTimeout;
+      ctx->degraded_kill =
+          kill_from_fallback ||
+          (primary_parastack != nullptr && primary_parastack->degraded());
+      if (primary_parastack != nullptr &&
+          !primary_parastack->hang_reports().empty()) {
+        ctx->faulty_ranks =
+            primary_parastack->hang_reports().back().faulty_ranks;
+      }
+    }
+  }
 
   result.completed = world.all_finished();
   if (result.completed) result.finish_time = world.finish_time();
@@ -486,7 +571,10 @@ RunResult run_one(const RunConfig& config) {
     }
   }
 
-  if (config.telemetry != nullptr) {
+  if (ctx != nullptr) ctx->end_now = engine.now();
+  // Multi-attempt runs get ONE run_end, emitted by the driver after the
+  // final attempt with counts summed across attempts.
+  if (config.telemetry != nullptr && ctx == nullptr) {
     obs::RunEndEvent event;
     event.time = engine.now();
     event.run_index = config.run_index;
@@ -509,6 +597,285 @@ RunResult run_one(const RunConfig& config) {
   // nothing dangles if the caller keeps the world alive via captures.
   world.engine().set_telemetry(nullptr);
   world.engine().set_perf(nullptr);
+  return result;
+}
+
+}  // namespace
+
+RunResult run_one(const RunConfig& config) {
+  if (!config.recovery.active()) return run_attempt(config, nullptr);
+
+  const recover::RecoverySpec& spec = config.recovery;
+  const std::unique_ptr<core::RecoveryAction> policy =
+      recover::make_policy(spec);
+  PS_CHECK(policy != nullptr, "active recovery spec produced no policy");
+
+  obs::perf::Counter* perf_attempts = nullptr;
+  obs::perf::Counter* perf_restores = nullptr;
+  obs::perf::Counter* perf_give_ups = nullptr;
+  obs::perf::Counter* perf_checkpoints = nullptr;
+  if (config.perf != nullptr) {
+    perf_attempts = config.perf->counter("recover.attempts");
+    perf_restores = config.perf->counter("recover.restores");
+    perf_give_ups = config.perf->counter("recover.give_ups");
+    perf_checkpoints = config.perf->counter("recover.checkpoints");
+  }
+
+  sched::JobLifecycle lifecycle(spec.max_restarts);
+
+  RunResult result;
+  std::vector<AttemptRecord> attempts;
+  std::vector<DetectorRunResult> merged;
+  std::uint64_t traces = 0;
+  sim::Time trace_cost = 0;
+  std::uint64_t monitor_crashes = 0;
+  std::uint64_t lead_failovers = 0;
+  std::uint64_t partials_lost = 0;
+  std::uint64_t sample_retries = 0;
+  std::uint64_t subtree_failovers = 0;
+  std::uint64_t root_messages = 0;
+  std::uint64_t tree_hops = 0;
+  int max_fan_in = 0;
+  std::size_t degraded_entries = 0;
+  int hangs_total = 0;
+  int slowdowns_total = 0;
+  faults::FaultRecord fault_record;
+  bool fault_recorded = false;
+
+  simmpi::WorldSnapshot resume;           // what the next attempt replays
+  simmpi::WorldSnapshot last_checkpoint;  // latest periodic capture seen
+  sim::Time offset = 0;                   // next attempt's start instant
+  sim::Time first_kill_time = -1;
+  sim::Time first_restore_start = -1;
+  bool final_killed = false;
+  sim::Time final_now = 0;
+
+  RecoverySummary summary;
+  summary.enabled = true;
+  summary.policy = spec.policy;
+  summary.su_multiplier = policy->su_multiplier();
+
+  for (int attempt = 0;; ++attempt) {
+    AttemptContext ctx;
+    ctx.attempt = attempt;
+    if (attempt == 0) {
+      // Attempt 0 runs under the job seed exactly: a recovery-armed run
+      // whose fault never fires is the same simulation it always was.
+      ctx.seed = config.seed;
+    } else {
+      std::uint64_t state = config.seed ^ 0x7265636f76657279ull ^  // "recovery"
+                            static_cast<std::uint64_t>(attempt);
+      ctx.seed = util::splitmix64(state);
+    }
+    ctx.start_time = offset;
+    ctx.inject_fault = attempt == 0 || attempt <= spec.refault_attempts;
+    ctx.resume = resume.empty() ? nullptr : &resume;
+    ctx.checkpoint_interval = policy->checkpoint_interval();
+    ctx.checkpoint_cost = policy->checkpoint_cost();
+    ctx.emit_run_start = attempt == 0;
+
+    if (attempt == 0) lifecycle.launch(0);
+    PS_PERF_ADD(perf_attempts, 1);
+
+    RunResult r = run_attempt(config, &ctx);
+
+    AttemptRecord record;
+    record.attempt = attempt;
+    record.seed = ctx.seed;
+    record.start_time = ctx.start_time;
+    record.end_time = r.end_time;
+    record.completed = r.completed;
+    record.killed = ctx.killed;
+    record.resumed_from = resume.taken_at;
+    attempts.push_back(std::move(record));
+
+    // Merge the attempt's detector streams so the cumulative accessors
+    // (hangs(), detections) describe the whole job, matching the single
+    // run_end the driver emits below.
+    for (const auto& entry : r.detectors) {
+      DetectorRunResult* into = nullptr;
+      for (auto& m : merged) {
+        if (m.label == entry.label && m.kind == entry.kind) {
+          into = &m;
+          break;
+        }
+      }
+      if (into == nullptr) {
+        merged.push_back(entry);
+      } else {
+        into->detections.insert(into->detections.end(),
+                                entry.detections.begin(),
+                                entry.detections.end());
+        into->hang_reports.insert(into->hang_reports.end(),
+                                  entry.hang_reports.begin(),
+                                  entry.hang_reports.end());
+        into->slowdown_reports.insert(into->slowdown_reports.end(),
+                                      entry.slowdown_reports.begin(),
+                                      entry.slowdown_reports.end());
+      }
+    }
+    hangs_total += static_cast<int>(r.hangs().size());
+    slowdowns_total += static_cast<int>(r.slowdowns().size());
+    traces += r.traces;
+    trace_cost += r.trace_cost;
+    monitor_crashes += r.monitor_crashes;
+    lead_failovers += r.lead_failovers;
+    partials_lost += r.partials_lost;
+    sample_retries += r.sample_retries;
+    subtree_failovers += r.subtree_failovers;
+    root_messages += r.root_messages;
+    tree_hops += r.tree_hops;
+    max_fan_in = std::max(max_fan_in, r.max_monitor_fan_in);
+    degraded_entries += r.degraded_entries;
+    if (attempt == 0 || (!fault_recorded && r.fault.activated())) {
+      fault_record = r.fault;
+      fault_recorded = r.fault.activated();
+    }
+
+    if (!ctx.checkpoints.empty()) {
+      last_checkpoint = ctx.checkpoints.back();
+      summary.checkpoints_taken += ctx.checkpoints.size();
+      PS_PERF_ADD(perf_checkpoints, ctx.checkpoints.size());
+    }
+
+    final_now = ctx.end_now;
+    final_killed = ctx.killed;
+
+    if (r.completed) {
+      lifecycle.complete(*r.finish_time);
+      summary.recovered = attempt > 0;
+      result = std::move(r);
+      break;
+    }
+    if (!ctx.killed) {
+      // Slot exhausted with no kill: terminal for the whole job — there is
+      // no walltime left to restart into.
+      lifecycle.expire(r.end_time);
+      result = std::move(r);
+      break;
+    }
+
+    if (first_kill_time < 0) first_kill_time = ctx.kill_time;
+
+    core::RecoveryVerdict verdict;
+    verdict.killed_at = ctx.kill_time;
+    verdict.kind = ctx.kill_kind;
+    verdict.degraded = ctx.degraded_kill;
+    verdict.faulty_ranks = ctx.faulty_ranks;
+    verdict.attempt = attempt;
+
+    lifecycle.suspect(ctx.kill_time);
+    lifecycle.kill(ctx.kill_time);
+
+    core::RecoveryDecision decision;
+    bool giving_up = !lifecycle.try_restore(ctx.kill_time);
+    if (giving_up) {
+      decision.detail = "restart budget exhausted";
+    } else {
+      decision = policy->on_kill(
+          verdict, last_checkpoint.empty() ? nullptr : &last_checkpoint,
+          ctx.at_kill);
+      if (!decision.restart) {
+        giving_up = true;
+        lifecycle.give_up(ctx.kill_time);
+      }
+    }
+    attempts.back().recovery_detail = decision.detail;
+
+    if (config.telemetry != nullptr) {
+      obs::RecoveryEvent event;
+      event.time = ctx.kill_time;
+      event.policy = policy->policy_name();
+      event.action = giving_up ? "give-up" : "restore";
+      event.attempt = attempt + 1;
+      event.degraded = verdict.degraded;
+      event.resume_from = decision.resume.taken_at;
+      event.overhead = decision.overhead;
+      event.next_start = ctx.kill_time + decision.overhead;
+      event.run_index = config.run_index;
+      event.detail = decision.detail;
+      config.telemetry->on_recovery(event);
+    }
+
+    if (giving_up) {
+      PS_PERF_ADD(perf_give_ups, 1);
+      summary.gave_up = true;
+      result = std::move(r);
+      break;
+    }
+
+    PS_PERF_ADD(perf_restores, 1);
+    summary.overhead_total += decision.overhead;
+    resume = std::move(decision.resume);
+    offset = ctx.kill_time + decision.overhead;
+    if (first_restore_start < 0) first_restore_start = offset;
+    if (offset + sim::kSecond >= r.walltime) {
+      // The restore outlived the allocation (or left under a second of
+      // slot): there is nothing to resume into, so the job expires
+      // mid-restore rather than launching a dead attempt past walltime.
+      lifecycle.expire(r.walltime);
+      result = std::move(r);
+      break;
+    }
+    lifecycle.resume(offset);
+  }
+
+  result.attempts = std::move(attempts);
+  summary.attempts_used = static_cast<int>(result.attempts.size());
+  result.recovery = summary;
+  result.fault = fault_record;
+  result.detectors = std::move(merged);
+  result.traces = traces;
+  result.trace_cost = trace_cost;
+  result.monitor_crashes = monitor_crashes;
+  result.lead_failovers = lead_failovers;
+  result.partials_lost = partials_lost;
+  result.sample_retries = sample_retries;
+  result.subtree_failovers = subtree_failovers;
+  result.root_messages = root_messages;
+  result.tree_hops = tree_hops;
+  result.max_monitor_fan_in = max_fan_in;
+  result.degraded_entries = degraded_entries;
+
+  if (config.telemetry != nullptr) {
+    // Recovery spans: fault -> detect -> restore -> done, the end-to-end
+    // legs the bench sweeps aggregate (emitted before run_end so the
+    // journal's time order holds).
+    const auto emit_span = [&](std::string_view span, sim::Time begin,
+                               sim::Time end) {
+      if (begin < 0 || end < begin) return;
+      obs::DetectionSpanEvent event;
+      event.time = final_now;
+      event.detector = "recovery";
+      event.span = span;
+      event.begin = begin;
+      event.end = end;
+      event.run_index = config.run_index;
+      config.telemetry->on_detection_span(event);
+    };
+    if (summary.recovered) {
+      emit_span("kill-to-restore", first_kill_time, first_restore_start);
+      emit_span("restore-to-done", first_restore_start, result.end_time);
+      if (fault_record.activated()) {
+        emit_span("fault-to-done", fault_record.activated_at, result.end_time);
+      }
+    }
+
+    obs::RunEndEvent event;
+    event.time = final_now;
+    event.run_index = config.run_index;
+    event.completed = result.completed;
+    event.killed = final_killed && !result.completed;
+    event.finish_time = result.finish_time.value_or(-1);
+    event.end_time = result.end_time;
+    event.traces = traces;
+    event.trace_cost = trace_cost;
+    event.hangs = hangs_total;
+    event.slowdowns = slowdowns_total;
+    event.model_samples = result.model_samples;
+    event.final_interval = result.final_interval;
+    config.telemetry->on_run_end(event);
+  }
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "core/timeout_detector.hpp"
 #include "faults/fault.hpp"
 #include "obs/telemetry.hpp"
+#include "recover/spec.hpp"
 #include "sim/platform.hpp"
 #include "workloads/catalog.hpp"
 
@@ -105,6 +106,15 @@ struct RunConfig {
   /// star twin differ only in monitor-side telemetry.
   core::TopologyConfig monitor_tree;
 
+  /// Recovery policy closing the detection loop (src/recover): what happens
+  /// after kill_on_detection fires. Inert by default — with policy == kNone
+  /// the run is a single attempt and consumes exactly the RNG stream and
+  /// journal bytes it always did. With a policy armed, a kill becomes a
+  /// restore attempt (checkpoint rollback / spare failover / replica
+  /// promotion) until the job completes, the retry budget runs out, or the
+  /// walltime slot expires.
+  recover::RecoverySpec recovery;
+
   /// Tool-side fault plan (monitor crashes, partial loss, delays). Applied
   /// to the monitor network when active(); inert by default. The plan seed
   /// is drawn from the run seed when left at 0 — and that draw only happens
@@ -148,8 +158,39 @@ struct DetectorRunResult {
   bool detected() const noexcept { return !detections.empty(); }
 };
 
+/// One attempt's provenance within a multi-attempt (recovery) run.
+struct AttemptRecord {
+  int attempt = 0;        ///< 0-based position in the attempt sequence
+  std::uint64_t seed = 0; ///< RNG seed this attempt ran under
+  sim::Time start_time = 0;  ///< absolute job-timeline start of the attempt
+  sim::Time end_time = 0;    ///< kill / completion / walltime expiry
+  bool completed = false;
+  bool killed = false;
+  /// Snapshot instant the attempt resumed from (0 = cold start).
+  sim::Time resumed_from = 0;
+  /// Policy detail for the kill that ended this attempt (empty otherwise).
+  std::string recovery_detail;
+};
+
+/// End-of-run recovery accounting (all defaults when recovery was off).
+struct RecoverySummary {
+  bool enabled = false;
+  recover::RecoveryPolicy policy = recover::RecoveryPolicy::kNone;
+  int attempts_used = 1;
+  bool recovered = false;  ///< completed on an attempt after a restore
+  bool gave_up = false;    ///< retry budget or policy resources exhausted
+  double su_multiplier = 1.0;  ///< allocation billing factor (team: replicas)
+  sim::Time overhead_total = 0;  ///< restore/failover/arbitration time
+  std::uint64_t checkpoints_taken = 0;
+};
+
 struct RunResult {
   bool completed = false;
+  /// Multi-attempt semantics (recovery on): `finish_time` and `end_time`
+  /// always describe the FINAL attempt — the job as the scheduler bills it.
+  /// Per-attempt values live in `attempts`; `first_attempt_end_time()` is
+  /// the original kill instant recovery rescued the job from. With recovery
+  /// off these are exactly the single attempt's values, unchanged.
   std::optional<sim::Time> finish_time;  ///< set iff the job completed
   sim::Time end_time = 0;  ///< kill / completion / walltime expiry
   sim::Time estimated_clean = 0;
@@ -174,6 +215,9 @@ struct RunResult {
   std::uint64_t root_messages = 0;
   std::uint64_t tree_hops = 0;
   int max_monitor_fan_in = 0;
+  /// Per-attempt provenance; empty when recovery was off (single attempt).
+  std::vector<AttemptRecord> attempts;
+  RecoverySummary recovery;
 
   /// First entry of this kind, or nullptr.
   const DetectorRunResult* detector(core::DetectorKind kind) const;
@@ -205,6 +249,16 @@ struct RunResult {
   /// Seconds from fault activation to ParaStack's first post-fault report
   /// (detected runs).
   double response_delay_seconds() const;
+
+  /// Explicit final-attempt aliases of the compat fields above, for call
+  /// sites that care about the distinction once recovery is in play.
+  sim::Time job_end_time() const noexcept { return end_time; }
+  std::optional<sim::Time> job_finish_time() const { return finish_time; }
+  /// End of the first attempt: the kill (or expiry) instant the recovery
+  /// loop first intervened at. Equals end_time for single-attempt runs.
+  sim::Time first_attempt_end_time() const noexcept {
+    return attempts.empty() ? end_time : attempts.front().end_time;
+  }
 };
 
 /// Compute-only runtime estimate used for fault windows and walltime

@@ -350,6 +350,24 @@ void JsonlJournal::on_run_end(const RunEndEvent& e) {
   ++lines_;
 }
 
+void JsonlJournal::on_recovery(const RecoveryEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "recovery")
+      .field("t_ns", e.time)
+      .field("policy", e.policy)
+      .field("action", e.action)
+      .field("attempt", e.attempt)
+      .field("degraded", e.degraded)
+      .field("resume_ns", e.resume_from)
+      .field("overhead_ns", e.overhead)
+      .field("next_start_ns", e.next_start)
+      .field("run", e.run_index);
+  if (!e.detail.empty()) line.field("detail", e.detail);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
 void JsonlJournal::on_detection_span(const DetectionSpanEvent& e) {
   JsonObject line(out_);
   line.field("ev", "det_span");

@@ -270,6 +270,17 @@ void MetricsSink::on_run_end(const RunEndEvent& e) {
       .add(sim::to_seconds(e.trace_cost));
 }
 
+void MetricsSink::on_recovery(const RecoveryEvent& e) {
+  ++registry_.counter("recovery.events");
+  if (e.action == "restore") ++registry_.counter("recovery.restores");
+  if (e.action == "give-up") ++registry_.counter("recovery.give_ups");
+  if (e.degraded) ++registry_.counter("recovery.degraded_verdicts");
+  registry_.summary("recovery.overhead_seconds")
+      .add(sim::to_seconds(e.overhead));
+  registry_.summary("recovery.rollback_seconds")
+      .add(sim::to_seconds(e.time - e.resume_from));
+}
+
 void MetricsSink::on_detection_span(const DetectionSpanEvent& e) {
   registry_.digest("span." + std::string(e.span) + "_ms")
       .add(sim::to_millis(e.end - e.begin));

@@ -88,6 +88,7 @@ class MetricsSink final : public TelemetrySink {
   void on_fault(const FaultEvent& e) override;
   void on_run_start(const RunStartEvent& e) override;
   void on_run_end(const RunEndEvent& e) override;
+  void on_recovery(const RecoveryEvent& e) override;
   void on_detection_span(const DetectionSpanEvent& e) override;
 
  private:

@@ -118,6 +118,13 @@ void RecordingSink::on_run_start(const RunStartEvent& e) {
 
 void RecordingSink::on_run_end(const RunEndEvent& e) { events_.push_back(e); }
 
+void RecordingSink::on_recovery(const RecoveryEvent& e) {
+  RecoveryEvent copy = e;
+  copy.policy = intern(e.policy);
+  copy.action = intern(e.action);
+  events_.push_back(copy);
+}
+
 void RecordingSink::on_detection_span(const DetectionSpanEvent& e) {
   DetectionSpanEvent copy = e;
   copy.detector = intern(e.detector);
@@ -170,6 +177,7 @@ void RecordingSink::replay(TelemetrySink& target) const {
     void operator()(const FaultEvent& e) const { target.on_fault(e); }
     void operator()(const RunStartEvent& e) const { target.on_run_start(e); }
     void operator()(const RunEndEvent& e) const { target.on_run_end(e); }
+    void operator()(const RecoveryEvent& e) const { target.on_recovery(e); }
     void operator()(const DetectionSpanEvent& e) const {
       target.on_detection_span(e);
     }

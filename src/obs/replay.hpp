@@ -57,6 +57,7 @@ class RecordingSink final : public TelemetrySink {
   void on_fault(const FaultEvent& e) override;
   void on_run_start(const RunStartEvent& e) override;
   void on_run_end(const RunEndEvent& e) override;
+  void on_recovery(const RecoveryEvent& e) override;
   void on_detection_span(const DetectionSpanEvent& e) override;
   void on_rank_span(const RankSpanEvent& e) override;
   bool wants_rank_spans() const override { return wants_rank_spans_; }
@@ -68,8 +69,8 @@ class RecordingSink final : public TelemetrySink {
                    DetectionEvent, MonitorSampleEvent, MonitorLevelEvent,
                    MonitorCrashEvent, LeadFailoverEvent, TreeFailoverEvent,
                    SampleTimeoutEvent, DegradedModeEvent, PhaseChangeEvent,
-                   FaultEvent, RunStartEvent, RunEndEvent, DetectionSpanEvent,
-                   RankSpanEvent>;
+                   FaultEvent, RunStartEvent, RunEndEvent, RecoveryEvent,
+                   DetectionSpanEvent, RankSpanEvent>;
 
   /// Copy `view` into the arena and return a view of the stable copy.
   std::string_view intern(std::string_view view);

@@ -76,6 +76,9 @@ void MultiSink::on_run_start(const RunStartEvent& e) {
 void MultiSink::on_run_end(const RunEndEvent& e) {
   for (auto* s : sinks_) s->on_run_end(e);
 }
+void MultiSink::on_recovery(const RecoveryEvent& e) {
+  for (auto* s : sinks_) s->on_recovery(e);
+}
 void MultiSink::on_detection_span(const DetectionSpanEvent& e) {
   for (auto* s : sinks_) s->on_detection_span(e);
 }

@@ -259,6 +259,24 @@ struct RunEndEvent {
   sim::Time final_interval = 0;
 };
 
+/// One recovery action of the detect -> recover loop: the harness killed an
+/// attempt on a detection verdict and a recovery policy arbitrated what
+/// happens next (restore, failover, replica promotion — or give-up).
+/// Emitted between a failed attempt's last event and the next attempt's
+/// first, so journal time order holds across the whole multi-attempt run.
+struct RecoveryEvent {
+  sim::Time time = 0;          ///< the kill instant being recovered from
+  std::string_view policy;     ///< "ckpt" | "spare" | "team"
+  std::string_view action;     ///< "restore" | "give-up"
+  int attempt = 0;             ///< 0-based index of the killed attempt
+  bool degraded = false;       ///< the verdict was second-hand (tool faults)
+  sim::Time resume_from = 0;   ///< progress instant the job resumes from
+  sim::Time overhead = 0;      ///< restore/failover/arbitration cost
+  sim::Time next_start = 0;    ///< absolute start of the next attempt
+  int run_index = 0;
+  std::string detail;          ///< policy-specific note
+};
+
 /// One leg of the detection-latency breakdown for a verified hang: how long
 /// the run spent between two milestones of the detection path. The harness
 /// emits the full set at end of run (fault-to-suspicion, suspicion-to-
@@ -317,6 +335,7 @@ class TelemetrySink {
   virtual void on_fault(const FaultEvent&) {}
   virtual void on_run_start(const RunStartEvent&) {}
   virtual void on_run_end(const RunEndEvent&) {}
+  virtual void on_recovery(const RecoveryEvent&) {}
   virtual void on_detection_span(const DetectionSpanEvent&) {}
   virtual void on_rank_span(const RankSpanEvent&) {}
 
@@ -360,6 +379,7 @@ class MultiSink final : public TelemetrySink {
   void on_fault(const FaultEvent& e) override;
   void on_run_start(const RunStartEvent& e) override;
   void on_run_end(const RunEndEvent& e) override;
+  void on_recovery(const RecoveryEvent& e) override;
   void on_detection_span(const DetectionSpanEvent& e) override;
   void on_rank_span(const RankSpanEvent& e) override;
   bool wants_rank_spans() const override;

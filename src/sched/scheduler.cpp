@@ -14,6 +14,80 @@ double service_units(const JobTicket& ticket, sim::Time elapsed) {
          static_cast<double>(ticket.cores_per_node) * hours;
 }
 
+std::string_view job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kSuspected: return "suspected";
+    case JobState::kKilled: return "killed";
+    case JobState::kRestoring: return "restoring";
+    case JobState::kCompleted: return "completed";
+    case JobState::kGaveUp: return "gave-up";
+    case JobState::kExpired: return "expired";
+  }
+  return "?";
+}
+
+void JobLifecycle::move_to(JobState to, sim::Time at) {
+  history_.push_back({state_, to, at});
+  state_ = to;
+}
+
+void JobLifecycle::launch(sim::Time at) {
+  PS_CHECK(state_ == JobState::kPending, "launch from non-pending state");
+  move_to(JobState::kRunning, at);
+}
+
+void JobLifecycle::suspect(sim::Time at) {
+  PS_CHECK(state_ == JobState::kRunning, "suspect from non-running state");
+  move_to(JobState::kSuspected, at);
+}
+
+void JobLifecycle::clear_suspicion(sim::Time at) {
+  PS_CHECK(state_ == JobState::kSuspected,
+           "clear_suspicion without a live suspicion");
+  move_to(JobState::kRunning, at);
+}
+
+void JobLifecycle::kill(sim::Time at) {
+  PS_CHECK(state_ == JobState::kRunning || state_ == JobState::kSuspected,
+           "kill from a state with no live job");
+  move_to(JobState::kKilled, at);
+}
+
+bool JobLifecycle::try_restore(sim::Time at) {
+  PS_CHECK(state_ == JobState::kKilled, "restore without a kill");
+  if (restarts_ >= max_restarts_) {
+    move_to(JobState::kGaveUp, at);
+    return false;
+  }
+  move_to(JobState::kRestoring, at);
+  return true;
+}
+
+void JobLifecycle::give_up(sim::Time at) {
+  PS_CHECK(state_ == JobState::kKilled || state_ == JobState::kRestoring,
+           "give_up without a kill");
+  move_to(JobState::kGaveUp, at);
+}
+
+void JobLifecycle::resume(sim::Time at) {
+  PS_CHECK(state_ == JobState::kRestoring, "resume without a restore");
+  ++restarts_;
+  move_to(JobState::kRunning, at);
+}
+
+void JobLifecycle::complete(sim::Time at) {
+  PS_CHECK(state_ == JobState::kRunning || state_ == JobState::kSuspected,
+           "complete from a state with no live job");
+  move_to(JobState::kCompleted, at);
+}
+
+void JobLifecycle::expire(sim::Time at) {
+  PS_CHECK(!terminal(), "expire on an already-terminal job");
+  move_to(JobState::kExpired, at);
+}
+
 JobCharge settle(const JobTicket& ticket, std::optional<sim::Time> finish,
                  std::optional<sim::Time> detection) {
   JobCharge charge;
@@ -31,6 +105,19 @@ JobCharge settle(const JobTicket& ticket, std::optional<sim::Time> finish,
     charge.elapsed = ticket.walltime;
   }
   charge.service_units = service_units(ticket, charge.elapsed);
+  return charge;
+}
+
+JobCharge settle_recovered(const JobTicket& ticket,
+                           std::optional<sim::Time> finish,
+                           std::optional<sim::Time> ended, bool gave_up,
+                           double su_multiplier) {
+  PS_CHECK(su_multiplier > 0.0, "su_multiplier must be positive");
+  JobCharge charge = settle(ticket, finish, ended);
+  if (gave_up && charge.end == JobEnd::kKilledOnHangDetection) {
+    charge.end = JobEnd::kGaveUp;
+  }
+  charge.service_units *= su_multiplier;
   return charge;
 }
 

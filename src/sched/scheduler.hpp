@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -23,6 +26,73 @@ enum class JobEnd {
   kCompleted,             ///< application finished inside the slot
   kKilledOnHangDetection, ///< ParaStack terminated it early
   kWalltimeExpired,       ///< hung (or slow) job burned the whole slot
+  kGaveUp,                ///< recovery exhausted its retry budget
+};
+
+/// Job lifecycle under the detect -> recover loop (DESIGN.md §13):
+///
+///   pending -> running -> suspected -> killed -> restoring -> running ...
+///
+/// with the terminal exits completed (app finished), gave-up (retry budget
+/// exhausted) and expired (walltime ran out in any non-terminal state).
+enum class JobState : std::uint8_t {
+  kPending,
+  kRunning,
+  kSuspected,  ///< a detector's suspicion streak is live / verification runs
+  kKilled,     ///< kill-on-detection fired; recovery arbitration pending
+  kRestoring,  ///< restore/failover/arbitration overhead in progress
+  kCompleted,
+  kGaveUp,
+  kExpired,
+};
+
+std::string_view job_state_name(JobState state) noexcept;
+
+/// Legality-checked state machine for one job's recovery lifecycle. Every
+/// transition records (from, to, at) history, so tests and telemetry can
+/// audit the exact path a job took; illegal transitions fail loudly
+/// (PS_CHECK) instead of silently corrupting accounting.
+class JobLifecycle {
+ public:
+  /// `max_restarts`: restores allowed before kill escalates to give-up.
+  explicit JobLifecycle(int max_restarts = 0) : max_restarts_(max_restarts) {}
+
+  JobState state() const noexcept { return state_; }
+  int restarts() const noexcept { return restarts_; }
+  int max_restarts() const noexcept { return max_restarts_; }
+  bool terminal() const noexcept {
+    return state_ == JobState::kCompleted || state_ == JobState::kGaveUp ||
+           state_ == JobState::kExpired;
+  }
+
+  void launch(sim::Time at);           ///< pending -> running
+  void suspect(sim::Time at);          ///< running -> suspected
+  void clear_suspicion(sim::Time at);  ///< suspected -> running (transient)
+  void kill(sim::Time at);             ///< running | suspected -> killed
+  /// killed -> restoring when restart budget remains, else -> gave-up.
+  /// Returns true when a restore began.
+  bool try_restore(sim::Time at);
+  /// killed | restoring -> gave-up: the policy itself is out of resources
+  /// (spares exhausted, no replica left) even though restarts remained.
+  void give_up(sim::Time at);
+  void resume(sim::Time at);           ///< restoring -> running (counts one restart)
+  void complete(sim::Time at);         ///< running | suspected -> completed
+  void expire(sim::Time at);           ///< any non-terminal -> expired
+
+  struct Transition {
+    JobState from = JobState::kPending;
+    JobState to = JobState::kPending;
+    sim::Time at = 0;
+  };
+  const std::vector<Transition>& history() const noexcept { return history_; }
+
+ private:
+  void move_to(JobState to, sim::Time at);
+
+  JobState state_ = JobState::kPending;
+  int max_restarts_ = 0;
+  int restarts_ = 0;
+  std::vector<Transition> history_;
 };
 
 /// What the machine bills for the job. Supercomputers charge Service Units
@@ -45,6 +115,17 @@ double service_units(const JobTicket& ticket, sim::Time elapsed);
 /// either, the job burns its slot.
 JobCharge settle(const JobTicket& ticket, std::optional<sim::Time> finish,
                  std::optional<sim::Time> detection);
+
+/// Settle a multi-attempt (recovered) job. `finish` is the absolute
+/// completion time of the final attempt (restarts and restore overheads
+/// included); `ended` the instant the job was last killed or abandoned when
+/// it did not finish. `gave_up` reclassifies a kill as retry-budget
+/// exhaustion; `su_multiplier` scales the bill for replicated allocations
+/// (team replication burns `replicas` worlds for the same wall-clock).
+JobCharge settle_recovered(const JobTicket& ticket,
+                           std::optional<sim::Time> finish,
+                           std::optional<sim::Time> ended, bool gave_up,
+                           double su_multiplier);
 
 /// The submission command the integration would generate (paper §5
 /// "Job submission": one ParaStack monitor per node, launched alongside the

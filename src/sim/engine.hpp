@@ -102,6 +102,16 @@ class Engine {
   /// (even if the queue drained earlier). Stops early if stop() is called.
   void run_until(Time t);
 
+  /// Jump the clock forward to `t` without firing anything. Only legal when
+  /// nothing is pending before `t` — in practice, before a simulation phase
+  /// begins. The recovery harness uses this to place a restart attempt's
+  /// world at its absolute position on the job timeline, so telemetry time
+  /// stays monotone across attempts.
+  void advance_to(Time t) {
+    PS_CHECK(t >= now_, "cannot advance the clock backwards");
+    now_ = t;
+  }
+
   /// Run until the queue is empty or stop() is called.
   void run_until_idle();
 

@@ -130,6 +130,10 @@ sim::Time RankProcess::sample_compute(sim::Time mean, double cv) {
   const double scaled = static_cast<double>(mean) * platform_.compute_scale *
                         compute_factor_;
   const double sampled = rng_.lognormal_mean_cv(scaled, combined_cv_);
+  // Replay prefix (resume-from-checkpoint): the draw above still happened —
+  // the variate stream keeps its shape — but already-checkpointed work
+  // costs only the floor, so the rank fast-forwards to its snapshot point.
+  if (actions_ < replay_target_) return 100;
   return std::max<sim::Time>(static_cast<sim::Time>(sampled), 100);
 }
 

@@ -80,6 +80,18 @@ class RankProcess {
   /// their user_func naming; used by tests and fault placement).
   std::uint64_t actions_executed() const noexcept { return actions_; }
 
+  /// Resume-from-checkpoint support: fast-forward the first `actions - 1`
+  /// actions by clamping their compute durations to the floor (the RNG draw
+  /// still happens, keeping the variate stream's shape; communication runs
+  /// normally, so the replay prefix costs its comm time — the restore
+  /// duration). The action in flight when the snapshot was taken re-executes
+  /// at full cost: a rollback loses that partial work. Call before start().
+  void set_replay_target(std::uint64_t actions) noexcept {
+    replay_target_ = actions;
+  }
+  /// True while the rank is still inside its replay prefix.
+  bool replaying() const noexcept { return actions_ < replay_target_; }
+
   // --- Inspector interface -------------------------------------------------
 
   /// Charge the rank a ptrace-stop of `dt`. Only ranks that are actually
@@ -173,6 +185,7 @@ class RankProcess {
   sim::Time suspend_debt_ = 0;
   sim::Time finished_at_ = -1;
   std::uint64_t actions_ = 0;
+  std::uint64_t replay_target_ = 0;
   int blocking_parts_pending_ = 0;  // Sendrecv = 2 halves
 };
 

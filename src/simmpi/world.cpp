@@ -15,6 +15,11 @@ World::World(WorldConfig config, const ProgramFactory& factory)
   PS_CHECK(config_.nranks >= 1, "world needs at least one rank");
   PS_CHECK(config_.platform.cores_per_node >= 1, "cores_per_node >= 1");
   PS_CHECK(static_cast<bool>(factory), "world needs a program factory");
+  PS_CHECK(config_.replay_actions.empty() ||
+               config_.replay_actions.size() ==
+                   static_cast<std::size_t>(config_.nranks),
+           "replay_actions must cover every rank");
+  if (config_.start_time > 0) engine_.advance_to(config_.start_time);
   comm_ = std::make_unique<CommEngine>(engine_, config_.platform,
                                        config_.nranks);
   ranks_.reserve(static_cast<std::size_t>(config_.nranks));
@@ -35,6 +40,10 @@ World::World(WorldConfig config, const ProgramFactory& factory)
     if (config_.threads_per_rank > 1) {
       ranks_.back()->configure_threads(config_.threads_per_rank,
                                        config_.mpi_thread_multiple);
+    }
+    if (!config_.replay_actions.empty()) {
+      ranks_.back()->set_replay_target(
+          config_.replay_actions[static_cast<std::size_t>(r)]);
     }
   }
   for (int node = 0; node < nnodes_; ++node) {
@@ -75,6 +84,16 @@ void World::start() {
       schedule_node_slowdown_cycle(node);
     }
   }
+}
+
+WorldSnapshot World::snapshot_progress() const {
+  WorldSnapshot snapshot;
+  snapshot.taken_at = engine_.now();
+  snapshot.rank_actions.reserve(ranks_.size());
+  for (const auto& rank_process : ranks_) {
+    snapshot.rank_actions.push_back(rank_process->actions_executed());
+  }
+  return snapshot;
 }
 
 void World::schedule_node_slowdown_cycle(int node) {

@@ -32,6 +32,27 @@ struct WorldConfig {
   /// (MPI_THREAD_SERIALIZED/MULTIPLE) or only the master (FUNNELED).
   int threads_per_rank = 1;
   bool mpi_thread_multiple = false;
+
+  /// Absolute virtual time this world begins at. The engine clock is
+  /// advanced here before anything is scheduled, so a restart attempt's
+  /// events land at their true position on the job timeline and telemetry
+  /// time stays monotone across attempts. 0 (the default) is a no-op.
+  sim::Time start_time = 0;
+  /// Per-rank replay targets (empty = cold start). Rank r fast-forwards
+  /// through its first replay_actions[r] - 1 actions with near-zero compute
+  /// cost — communication still executes, so the replay prefix's comm time
+  /// is the restore duration — then runs at full cost. This is how a
+  /// recovery attempt resumes from a progress snapshot.
+  std::vector<std::uint64_t> replay_actions;
+};
+
+/// Per-rank progress capture (a checkpoint): enough to rebuild an
+/// equivalent world that resumes from here via WorldConfig::replay_actions.
+struct WorldSnapshot {
+  sim::Time taken_at = 0;
+  std::vector<std::uint64_t> rank_actions;
+
+  bool empty() const noexcept { return rank_actions.empty(); }
 };
 
 /// A simulated MPI job: N ranks placed contiguously on nodes
@@ -62,6 +83,11 @@ class World {
 
   /// Launch all ranks (schedules their first actions).
   void start();
+
+  /// Capture every rank's progress (completed-action counts) right now.
+  /// Feeding the result into a fresh world's WorldConfig::replay_actions
+  /// resumes the job from this point.
+  WorldSnapshot snapshot_progress() const;
 
   bool all_finished() const noexcept {
     return finished_ == config_.nranks;

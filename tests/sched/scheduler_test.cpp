@@ -75,5 +75,100 @@ TEST(SubmissionCommand, TorqueShape) {
   EXPECT_NE(command.find("walltime=01:00:00"), std::string::npos);
 }
 
+TEST(JobLifecycle, HappyPathRecoversOnce) {
+  JobLifecycle job(/*max_restarts=*/2);
+  job.launch(0);
+  job.suspect(10);
+  job.kill(20);
+  EXPECT_TRUE(job.try_restore(20));
+  job.resume(25);
+  EXPECT_EQ(job.restarts(), 1);
+  job.complete(100);
+  EXPECT_TRUE(job.terminal());
+  EXPECT_EQ(job.state(), JobState::kCompleted);
+  // Every hop is on the audit trail, in order.
+  ASSERT_EQ(job.history().size(), 6u);
+  EXPECT_EQ(job.history().front().to, JobState::kRunning);
+  EXPECT_EQ(job.history().back().to, JobState::kCompleted);
+}
+
+TEST(JobLifecycle, RetryBudgetEscalatesKillToGiveUp) {
+  JobLifecycle job(/*max_restarts=*/1);
+  job.launch(0);
+  job.kill(20);
+  ASSERT_TRUE(job.try_restore(20));
+  job.resume(25);
+  job.kill(50);
+  // The budget is spent: the same call that would restore now gives up.
+  EXPECT_FALSE(job.try_restore(50));
+  EXPECT_EQ(job.state(), JobState::kGaveUp);
+  EXPECT_TRUE(job.terminal());
+  EXPECT_EQ(job.restarts(), 1);
+}
+
+TEST(JobLifecycle, PolicyExhaustionGivesUpMidRestore) {
+  // give_up() is legal from restoring too: a policy can discover mid-restore
+  // (spares gone, no replica) that it cannot actually produce a world.
+  JobLifecycle job(/*max_restarts=*/5);
+  job.launch(0);
+  job.kill(20);
+  ASSERT_TRUE(job.try_restore(20));
+  job.give_up(22);
+  EXPECT_EQ(job.state(), JobState::kGaveUp);
+}
+
+TEST(JobLifecycle, WalltimeExpiryIsLegalFromAnyNonTerminalState) {
+  for (const bool mid_restore : {false, true}) {
+    JobLifecycle job(/*max_restarts=*/3);
+    job.launch(0);
+    job.kill(20);
+    if (mid_restore) {
+      ASSERT_TRUE(job.try_restore(20));
+    }
+    job.expire(3600);
+    EXPECT_EQ(job.state(), JobState::kExpired);
+    EXPECT_TRUE(job.terminal());
+  }
+}
+
+TEST(JobLifecycleDeath, IllegalTransitionsFailLoudly) {
+  JobLifecycle job(/*max_restarts=*/1);
+  EXPECT_DEATH(job.kill(0), "");  // pending, never launched
+  job.launch(0);
+  job.complete(10);
+  EXPECT_DEATH(job.launch(20), "");  // terminal states stay terminal
+}
+
+TEST(SettleRecovered, RecoveredJobBillsThroughTheFinalAttempt) {
+  // The recovered job bills its whole occupancy — restarts and restore
+  // overheads included — but ends as a completion, not a kill.
+  const auto charge = settle_recovered(ticket_64x16(),
+                                       /*finish=*/45 * sim::kMinute,
+                                       /*ended=*/45 * sim::kMinute,
+                                       /*gave_up=*/false,
+                                       /*su_multiplier=*/1.0);
+  EXPECT_EQ(charge.end, JobEnd::kCompleted);
+  EXPECT_EQ(charge.elapsed, 45 * sim::kMinute);
+  EXPECT_DOUBLE_EQ(charge.service_units, 768.0);
+}
+
+TEST(SettleRecovered, GiveUpReclassifiesTheKill) {
+  const auto charge = settle_recovered(ticket_64x16(), std::nullopt,
+                                       /*ended=*/30 * sim::kMinute,
+                                       /*gave_up=*/true, 1.0);
+  EXPECT_EQ(charge.end, JobEnd::kGaveUp);
+  EXPECT_EQ(charge.elapsed, 30 * sim::kMinute);
+}
+
+TEST(SettleRecovered, ReplicationMultipliesTheBill) {
+  // Team replication burns `replicas` allocations for the same wall-clock.
+  const auto charge = settle_recovered(ticket_64x16(),
+                                       /*finish=*/30 * sim::kMinute,
+                                       /*ended=*/30 * sim::kMinute,
+                                       /*gave_up=*/false,
+                                       /*su_multiplier=*/3.0);
+  EXPECT_DOUBLE_EQ(charge.service_units, 3.0 * 512.0);
+}
+
 }  // namespace
 }  // namespace parastack::sched

@@ -5,6 +5,7 @@
 //                 [--seed N] [--detectors parastack,timeout,io-watchdog]
 //                 [--no-parastack] [--timeout-baseline I,K]
 //                 [--threads T] [--alpha A]
+//                 [--recovery none|ckpt[:INTERVAL,COST]|spare[:N]|team[:R]]
 //                 [--tool-faults loss=P,crash=NODE@SEC,lead-crash=SEC,...]
 //                 [--journal FILE] [--metrics-out FILE] [--chrome-trace FILE]
 //                 [--trace-ranks N] [--log-level LEVEL]
@@ -31,6 +32,7 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
+#include "recover/spec.hpp"
 #include "sched/scheduler.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
@@ -53,11 +55,18 @@ int usage() {
                "hardware threads; results and\n"
                "            telemetry are byte-identical for any --jobs)\n"
                "  submit:   --system slurm|torque --walltime-min M\n"
-               "  topology (run/campaign): --tree FANOUT[,DEPTH] routes "
-               "monitor aggregation through a\n"
-               "            k-ary tree (FANOUT 'inf' or 0 = the flat star "
-               "default; DEPTH caps the tree,\n"
-               "            widening the fan-out to fit)\n"
+               "  topology (run/campaign): --tree FANOUT[,DEPTH][,DEADLINE-MS]"
+               " routes monitor aggregation\n"
+               "            through a k-ary tree (FANOUT 'inf' or 0 = the "
+               "flat star default; DEPTH caps the\n"
+               "            tree, widening the fan-out to fit; DEADLINE-MS "
+               "bounds each level's gather step,\n"
+               "            0 = no deadline)\n"
+               "  recovery (run/campaign): --recovery "
+               "none|ckpt[:INTERVAL,COST]|spare[:COUNT]|team[:REPLICAS]\n"
+               "            closes the detection loop — a detector kill "
+               "restores the job instead of just\n"
+               "            charging the loss (durations in seconds)\n"
                "  tool faults (run/campaign): --tool-faults "
                "key=value[,key=value...] with keys\n"
                "            loss|delay-ms|crash(NODE@SEC or rand@SEC)|"
@@ -337,8 +346,9 @@ harness::RunConfig build_config(const util::Args& args, bool& ok) {
     parastack->parastack.alpha = args.get_double("alpha", 0.001);
   }
   if (const std::string spec = args.get("tree", ""); !spec.empty()) {
-    // FANOUT[,DEPTH]; 'inf' (or 0) keeps the flat star for A/B sweeps that
-    // drive both shapes through one script.
+    // FANOUT[,DEPTH][,DEADLINE-MS]; 'inf' (or 0) keeps the flat star for
+    // A/B sweeps that drive both shapes through one script. The optional
+    // third field bounds each level's gather step (0 = no deadline).
     try {
       const std::size_t comma = spec.find(',');
       const std::string fanout = spec.substr(0, comma);
@@ -348,20 +358,40 @@ harness::RunConfig build_config(const util::Args& args, bool& ok) {
         config.monitor_tree.fanout = static_cast<int>(std::stol(fanout));
       }
       if (comma != std::string::npos) {
+        const std::string rest = spec.substr(comma + 1);
+        const std::size_t comma2 = rest.find(',');
         config.monitor_tree.depth =
-            static_cast<int>(std::stol(spec.substr(comma + 1)));
+            static_cast<int>(std::stol(rest.substr(0, comma2)));
+        if (comma2 != std::string::npos) {
+          config.monitor_tree.level_deadline =
+              sim::from_millis(std::stod(rest.substr(comma2 + 1)));
+        }
       }
-      if (config.monitor_tree.fanout < 0 || config.monitor_tree.depth < 0) {
+      if (config.monitor_tree.fanout < 0 || config.monitor_tree.depth < 0 ||
+          config.monitor_tree.level_deadline < 0) {
         throw std::invalid_argument("negative");
       }
     } catch (const std::exception&) {
       std::fprintf(stderr,
-                   "bad --tree value '%s' (expected FANOUT[,DEPTH], "
-                   "FANOUT >= 0 or 'inf')\n",
+                   "bad --tree value '%s' (expected "
+                   "FANOUT[,DEPTH][,DEADLINE-MS], FANOUT >= 0 or 'inf')\n",
                    spec.c_str());
       ok = false;
       return config;
     }
+  }
+  if (const std::string spec = args.get("recovery", ""); !spec.empty()) {
+    const auto parsed = recover::parse_recovery(spec);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "bad --recovery value '%s' (expected none|"
+                   "ckpt[:INTERVAL,COST]|spare[:COUNT]|team[:REPLICAS], "
+                   "durations in seconds)\n",
+                   spec.c_str());
+      ok = false;
+      return config;
+    }
+    config.recovery = *parsed;
   }
   if (const std::string spec = args.get("tool-faults", ""); !spec.empty()) {
     try {
@@ -456,6 +486,21 @@ int cmd_run(const util::Args& args) {
                  static_cast<unsigned long long>(result.tree_hops),
                  result.max_monitor_fan_in,
                  static_cast<unsigned long long>(result.subtree_failovers));
+  }
+  if (config.recovery.active()) {
+    const auto& rec = result.recovery;
+    std::fprintf(telemetry.human(),
+                 "recovery (%s): %d attempt%s, %s, %.1fs overhead, "
+                 "%llu checkpoints, SU x%.1f\n",
+                 recover::recovery_policy_name(rec.policy).data(),
+                 rec.attempts_used, rec.attempts_used == 1 ? "" : "s",
+                 rec.gave_up              ? "gave up"
+                 : rec.recovered          ? "recovered"
+                 : result.completed       ? "no recovery needed"
+                                          : "not recovered",
+                 sim::to_seconds(rec.overhead_total),
+                 static_cast<unsigned long long>(rec.checkpoints_taken),
+                 rec.su_multiplier);
   }
   return telemetry.finish() ? 0 : 1;
 }
