@@ -1,12 +1,13 @@
 // bench_perf — the canonical self-measurement binary behind the repo's
 // perf trajectory (ISSUE 6; BENCH_7 marks the ISSUE 7 engine overhaul,
 // BENCH_8 the ISSUE 8 aggregation-tree refactor with its tree scenario,
-// BENCH_9 the ISSUE 9 recovery subsystem with its recovery scenario).
+// BENCH_9 the ISSUE 9 recovery subsystem with its recovery scenario,
+// BENCH_10 the ISSUE 10 fleet layer with its fleet scenario).
 // Where every other bench reproduces a paper
 // table, this one measures the simulator itself: campaign throughput
 // (trials/sec), DES hot-loop rate (sim-events/sec), the cost of leaving
 // the perf counters attached, and the detection-latency span percentiles.
-// Results go to BENCH_9.json; `tools/psperf` compares trajectory files and
+// Results go to BENCH_10.json; `tools/psperf` compares trajectory files and
 // turns regressions into CI failures.
 //
 //   bench_perf [--quick] [--out FILE] [--jobs N] [--metrics-out FILE]
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fleet/fleet.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "util/summary.hpp"
@@ -41,6 +43,8 @@ struct ScenarioSpec {
   int runs_full;
   int tree_fanout = 0;  ///< > 0: route aggregation through a k-ary tree
   const char* recovery = nullptr;  ///< non-null: arm a recovery policy
+  bool fleet = false;  ///< run the multi-tenant fleet instead of a campaign
+                       ///< (runs = tenant count)
 };
 
 constexpr ScenarioSpec kScenarios[] = {
@@ -56,6 +60,11 @@ constexpr ScenarioSpec kScenarios[] = {
     // the multi-attempt driver, snapshot replay, and recover.* counters
     // are on the timed path.
     {"recovery", 64, 501, 6, 18, 0, "ckpt:30"},
+    // The multi-tenant fleet: `runs` tenants arrive over Poisson gaps,
+    // contend at admission, and stream through the central ingestion
+    // layer, so the fleet driver and fleet.* counters are on the timed
+    // path and their snapshots in the trajectory.
+    {"fleet", 64, 601, 8, 24, 0, nullptr, true},
 };
 
 struct Record {
@@ -86,10 +95,31 @@ harness::CampaignConfig make_campaign(const ScenarioSpec& spec, int runs) {
   return campaign;
 }
 
-/// One timed repeat: the erroneous campaign under `perf` (null = counters
-/// detached). Returns elapsed wall seconds.
+fleet::FleetConfig make_fleet(const ScenarioSpec& spec, int tenants) {
+  fleet::FleetConfig config;
+  config.base =
+      bench::erroneous_config(workloads::Bench::kLU, "", spec.nranks,
+                              sim::Platform::tardis());
+  config.base.seed = spec.seed0;
+  config.base.perf = nullptr;  // run_fleet attaches its own registry
+  config.arrivals.jobs = tenants;
+  config.arrivals.mean_interarrival = 5 * sim::kSecond;
+  config.jobs = bench::jobs();
+  return config;
+}
+
+/// One timed repeat: the erroneous campaign — or, for the fleet scenario,
+/// the multi-tenant fleet — under `perf` (null = counters detached).
+/// Returns elapsed wall seconds.
 double timed_repeat(const ScenarioSpec& spec, int runs,
                     obs::perf::ProfileRegistry* perf) {
+  if (spec.fleet) {
+    fleet::FleetConfig config = make_fleet(spec, runs);
+    config.perf = perf;
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)fleet::run_fleet(config);
+    return seconds_since(t0);
+  }
   harness::CampaignConfig campaign = make_campaign(spec, runs);
   campaign.base.perf = perf;
   campaign.base.telemetry = nullptr;  // pure throughput: no sinks
@@ -100,7 +130,7 @@ double timed_repeat(const ScenarioSpec& spec, int runs,
 
 void write_bench_json(std::ostream& out, const std::vector<Record>& records,
                       bool quick) {
-  out << "{\"bench\":\"bench_perf\",\"issue\":9,\"mode\":"
+  out << "{\"bench\":\"bench_perf\",\"issue\":10,\"mode\":"
       << (quick ? "\"quick\"" : "\"full\"") << ",\"records\":[";
   bool first_record = true;
   for (const auto& record : records) {
@@ -134,7 +164,7 @@ void write_bench_json(std::ostream& out, const std::vector<Record>& records,
 int main(int argc, char** argv) {
   bench::parse_jobs(argc, argv);
   bool quick = !bench::full_scale();
-  std::string out_path = "BENCH_9.json";
+  std::string out_path = "BENCH_10.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -147,7 +177,7 @@ int main(int argc, char** argv) {
   const int repeats = quick ? 3 : 5;
 
   bench::header("bench_perf: simulator self-measurement",
-                "tooling (no paper table): the BENCH_9.json perf trajectory");
+                "tooling (no paper table): the BENCH_10.json perf trajectory");
 
   std::vector<Record> records;
   for (const auto& spec : kScenarios) {
@@ -195,7 +225,12 @@ int main(int argc, char** argv) {
     // real counters too.
     obs::MetricsRegistry span_registry;
     obs::MetricsSink span_sink(span_registry);
-    {
+    if (spec.fleet) {
+      fleet::FleetConfig config = make_fleet(spec, runs);
+      config.perf = &bench::perf_registry();
+      config.telemetry = &span_sink;
+      (void)fleet::run_fleet(config);
+    } else {
       harness::CampaignConfig campaign = make_campaign(spec, runs);
       campaign.base.telemetry = &span_sink;
       (void)harness::run_erroneous_campaign(campaign);

@@ -11,6 +11,7 @@
 #include "check/invariants.hpp"
 #include "core/faulty_id.hpp"
 #include "core/slowdown_filter.hpp"
+#include "fleet/fleet.hpp"
 #include "harness/campaign.hpp"
 #include "harness/runner.hpp"
 #include "obs/journal.hpp"
@@ -556,6 +557,59 @@ SeedReport check_scenario(const Scenario& scenario,
                                               parallel_perf.counter_snapshot());
         !diff.empty()) {
       fail(report, "perf-jobs", diff);
+    }
+  }
+
+  // --- Fleet-identity oracle ---
+  // A single-tenant fleet is the legacy single-job path wearing a different
+  // entry point: its combined journal must reproduce the base run's bytes
+  // exactly — no fleet_admit lines, no reordering, no RNG perturbation.
+  {
+    fleet::FleetConfig single;
+    single.base = to_run_config(scenario);
+    single.arrivals.jobs = 1;
+    std::ostringstream fleet_bytes;
+    obs::JsonlJournal fleet_journal(fleet_bytes);
+    single.telemetry = &fleet_journal;
+    (void)fleet::run_fleet(single);
+    ++report.runs_executed;
+    if (const auto diff = first_divergence(live_bytes.str(), fleet_bytes.str());
+        !diff.empty()) {
+      fail(report, "fleet-identity", diff);
+    }
+  }
+
+  // --- Tenant-isolation oracle ---
+  // A tenant's own journal stream must be a pure function of its arrival —
+  // adding an idle co-tenant at the back of the fleet must not move a byte
+  // of any earlier tenant's stream (arrivals are tenant-indexed hashes, so
+  // this holds by construction; the oracle keeps it that way).
+  if (scenario.fleet_jobs > 1) {
+    const auto tenant_journals = [&](int tenants) {
+      fleet::FleetConfig config;
+      config.base = to_run_config(scenario);
+      config.arrivals.jobs = tenants;
+      config.arrivals.model = scenario.fleet_arrival == 1
+                                  ? fleet::ArrivalModel::kTrace
+                                  : fleet::ArrivalModel::kPoisson;
+      config.jobs = options.jobs;
+      config.capture_tenant_journals = true;
+      const fleet::FleetResult result = fleet::run_fleet(config);
+      report.runs_executed += tenants;
+      return result.tenant_journals;
+    };
+    const auto fleet_run = tenant_journals(scenario.fleet_jobs);
+    const auto grown = tenant_journals(scenario.fleet_jobs + 1);
+    for (std::size_t t = 0; t < fleet_run.size(); ++t) {
+      if (const auto diff = first_divergence(fleet_run[t], grown[t]);
+          !diff.empty()) {
+        char buffer[160];
+        std::snprintf(buffer, sizeof buffer,
+                      "tenant %zu's journal moved when a co-tenant joined: %s",
+                      t, diff.c_str());
+        fail(report, "fleet-isolation", buffer);
+        break;
+      }
     }
   }
 

@@ -26,7 +26,8 @@ struct OracleFailure {
   std::string oracle;  ///< "invariants", "conservation", "determinism",
                        ///< "perf-determinism", "replay", "faults-off",
                        ///< "recovery-quiet", "jobs-differential",
-                       ///< "perf-jobs", "rank-relabel", "planted-clock"
+                       ///< "perf-jobs", "rank-relabel", "planted-clock",
+                       ///< "fleet-identity", "fleet-isolation"
   std::string detail;
 };
 
@@ -72,7 +73,11 @@ struct SeedReport {
 ///     and maxes are order-independent);
 ///   - rank-relabel: permuting rank labels permutes the identified faulty
 ///     set and leaves the transient-slowdown verdict unchanged
-///     (metamorphic, on the pure pipeline functions).
+///     (metamorphic, on the pure pipeline functions);
+///   - fleet-identity: a single-tenant fleet (src/fleet) writes a journal
+///     byte-identical to the legacy single-job path;
+///   - fleet-isolation (fleet_jobs > 1 scenarios): per-tenant journal
+///     streams are unchanged when an idle co-tenant joins the fleet.
 SeedReport check_scenario(const Scenario& scenario,
                           const OracleOptions& options = {});
 

@@ -148,6 +148,14 @@ Scenario generate_scenario(std::uint64_t fuzz_seed) {
     }
     if (rng.bernoulli(0.25)) s.recovery_refault = 1;
   }
+
+  // Fleet dimension, drawn last (same stability contract as the tree and
+  // recovery dimensions above): most seeds stay single-job — the fleet
+  // oracles are the sweep's most expensive, one simulation per tenant.
+  if (rng.bernoulli(0.20)) {
+    s.fleet_jobs = static_cast<int>(rng.uniform_int(2, 3));
+    s.fleet_arrival = rng.bernoulli(0.4) ? 1 : 0;
+  }
   return s;
 }
 
@@ -260,6 +268,12 @@ std::string to_repro(const Scenario& s) {
                   s.recovery_param, s.recovery_refault);
     out += buffer;
   }
+  // Fleet keys only for multi-tenant scenarios, same stability contract.
+  if (s.fleet_jobs > 1) {
+    std::snprintf(buffer, sizeof buffer, ",fleet=%d,arrival=%s", s.fleet_jobs,
+                  s.fleet_arrival == 1 ? "trace" : "poisson");
+    out += buffer;
+  }
   return out;
 }
 
@@ -346,6 +360,17 @@ std::optional<Scenario> parse_repro(const std::string& repro) {
     } else if (key == "refault") {
       s.recovery_refault = std::atoi(value.c_str());
       if (s.recovery_refault < 0) return std::nullopt;
+    } else if (key == "fleet") {
+      s.fleet_jobs = std::atoi(value.c_str());
+      if (s.fleet_jobs < 1) return std::nullopt;
+    } else if (key == "arrival") {
+      if (value == "poisson") {
+        s.fleet_arrival = 0;
+      } else if (value == "trace") {
+        s.fleet_arrival = 1;
+      } else {
+        return std::nullopt;
+      }
     } else {
       return std::nullopt;  // unknown key: refuse to half-reproduce
     }

@@ -58,6 +58,13 @@ struct Scenario {
   /// Trials for the jobs-differential oracle (jobs=1 vs jobs=N campaigns).
   int campaign_runs = 2;
 
+  /// Fleet dimension: tenants sharing the detector service (1 = legacy
+  /// single-job path; the fleet-identity oracle holds that equivalence to
+  /// byte identity). `fleet_arrival`: 0 = Poisson arrivals of the base job,
+  /// 1 = trace-driven rotation through the workload catalog.
+  int fleet_jobs = 1;
+  int fleet_arrival = 0;
+
   bool operator==(const Scenario&) const = default;
 
   /// True when any application or tool fault is armed.

@@ -36,6 +36,14 @@ std::vector<Scenario> candidates(const Scenario& s) {
     c.recovery_refault = 0;
   });
   push([](Scenario& c) { c.recovery_refault = 0; });
+  push([](Scenario& c) {
+    // Back to the legacy single-job path: drops the whole fleet layer.
+    c.fleet_jobs = 1;
+    c.fleet_arrival = 0;
+  });
+  if (s.fleet_jobs > 2) {
+    push([](Scenario& c) { c.fleet_jobs = 2; });
+  }
   push([](Scenario& c) { c.with_timeout_detector = false; });
   push([](Scenario& c) { c.with_io_watchdog = false; });
   push([](Scenario& c) { c.background_slowdowns = false; });

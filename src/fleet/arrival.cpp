@@ -1,0 +1,85 @@
+#include "fleet/arrival.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace parastack::fleet {
+
+namespace {
+
+/// Trace-mode rotation: a fast, scale-agnostic slice of the paper's Table 2
+/// mix (test-speed inputs, matching the fuzz suite's choices).
+struct TraceEntry {
+  workloads::Bench bench;
+  const char* input;
+};
+
+constexpr TraceEntry kTraceMix[] = {
+    {workloads::Bench::kLU, "C"},
+    {workloads::Bench::kCG, "C"},
+    {workloads::Bench::kMG, "C"},
+    {workloads::Bench::kSP, "C"},
+    {workloads::Bench::kFT, "C"},
+};
+
+/// Tenant-indexed hash stream: a function of (seed0, tenant, salt) only, so
+/// tenant K's draws never move when the fleet grows or shrinks around it.
+std::uint64_t tenant_hash(std::uint64_t seed0, int tenant,
+                          std::uint64_t salt) {
+  std::uint64_t state = seed0 ^ salt ^
+                        (0x9e3779b97f4a7c15ULL *
+                         (static_cast<std::uint64_t>(tenant) + 1));
+  return util::splitmix64(state);
+}
+
+constexpr std::uint64_t kSeedSalt = 0x666c6565745365ULL;   // "fleetSe"
+constexpr std::uint64_t kGapSalt = 0x666c656574476100ULL;  // "fleetGa"
+
+}  // namespace
+
+std::string_view arrival_model_name(ArrivalModel model) noexcept {
+  switch (model) {
+    case ArrivalModel::kPoisson: return "poisson";
+    case ArrivalModel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::vector<Arrival> generate_arrivals(const ArrivalConfig& arrivals,
+                                       const harness::RunConfig& base) {
+  PS_CHECK(arrivals.jobs >= 1, "a fleet needs at least one tenant");
+  PS_CHECK(arrivals.mean_interarrival > 0,
+           "mean inter-arrival gap must be positive");
+  std::vector<Arrival> out;
+  out.reserve(static_cast<std::size_t>(arrivals.jobs));
+
+  sim::Time clock = 0;
+  for (int tenant = 0; tenant < arrivals.jobs; ++tenant) {
+    Arrival arrival;
+    arrival.tenant = tenant;
+    arrival.config = base;
+    arrival.config.telemetry = nullptr;
+    arrival.config.perf = nullptr;
+    arrival.config.run_index = tenant;
+    if (tenant > 0) {
+      arrival.config.seed = tenant_hash(base.seed, tenant, kSeedSalt);
+      if (arrivals.model == ArrivalModel::kPoisson) {
+        util::Rng gap_rng(tenant_hash(base.seed, tenant, kGapSalt));
+        clock += sim::from_seconds(gap_rng.exponential(
+            sim::to_seconds(arrivals.mean_interarrival)));
+      } else {
+        const auto& entry =
+            kTraceMix[static_cast<std::size_t>(tenant - 1) %
+                      (sizeof kTraceMix / sizeof kTraceMix[0])];
+        arrival.config.bench = entry.bench;
+        arrival.config.input = entry.input;
+        clock += arrivals.mean_interarrival;
+      }
+    }
+    arrival.at = clock;
+    out.push_back(std::move(arrival));
+  }
+  return out;
+}
+
+}  // namespace parastack::fleet

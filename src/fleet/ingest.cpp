@@ -1,0 +1,183 @@
+#include "fleet/ingest.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parastack::fleet {
+
+double IngestStats::sustained_per_sec() const {
+  const double span = sim::to_seconds(last_done - first_at);
+  return span > 0.0 ? static_cast<double>(processed) / span : 0.0;
+}
+
+Ingestor::Ingestor(const IngestConfig& config, int tenants,
+                   obs::perf::ProfileRegistry* perf)
+    : config_(config),
+      side_(static_cast<std::size_t>(tenants)),
+      in_queue_(static_cast<std::size_t>(tenants), 0),
+      tenants_(static_cast<std::size_t>(tenants)) {
+  PS_CHECK(tenants >= 1, "ingestor needs at least one tenant");
+  PS_CHECK(config_.batch_max >= 1, "batches must hold at least one record");
+  PS_CHECK(config_.queue_bound >= config_.batch_max,
+           "queue bound must hold at least one full batch");
+  PS_CHECK(config_.batch_tick > 0, "batch tick must be positive");
+  PS_CHECK(config_.service_per_sample >= 0, "negative service cost");
+  PS_CHECK(config_.tenant_window >= 1, "tenant window must be positive");
+  if (perf != nullptr) {
+    perf_samples_ = perf->counter("fleet.ingest.samples");
+    perf_batches_ = perf->counter("fleet.ingest.batches");
+    perf_backpressure_ = perf->counter("fleet.ingest.backpressure");
+    perf_deferred_ = perf->counter("fleet.ingest.deferred");
+    perf_queue_depth_ = perf->high_water("fleet.ingest.queue_depth");
+  }
+}
+
+const TenantIngest& Ingestor::tenant(int t) const {
+  PS_CHECK(t >= 0 && t < tenants(), "tenant index out of range");
+  return tenants_[static_cast<std::size_t>(t)];
+}
+
+Ingestor::Due Ingestor::next_due() const {
+  PS_CHECK(!queue_.empty(), "no batch to schedule");
+  Due due;
+  if (queue_.size() >= config_.batch_max) {
+    due.size_triggered = true;
+    due.flush_at = std::max(
+        busy_until_, queue_[config_.batch_max - 1].entered);
+  } else {
+    const sim::Time oldest = queue_.front().entered;
+    const sim::Time tick =
+        ((oldest + config_.batch_tick - 1) / config_.batch_tick) *
+        config_.batch_tick;
+    due.flush_at = std::max(busy_until_, tick);
+  }
+  return due;
+}
+
+void Ingestor::flush_batch(const Due& due) {
+  const std::size_t n = std::min(config_.batch_max, queue_.size());
+  PS_CHECK(n > 0, "flushing an empty batch");
+  ++stats_.batches;
+  if (due.size_triggered) {
+    ++stats_.size_flushes;
+  } else {
+    ++stats_.tick_flushes;
+  }
+  PS_PERF_ADD(perf_batches_, 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Pending pending = queue_.front();
+    queue_.pop_front();
+    const SampleRecord& r = pending.record;
+    --in_queue_[static_cast<std::size_t>(r.tenant)];
+    const sim::Time done =
+        due.flush_at +
+        config_.service_per_sample * static_cast<sim::Time>(j + 1);
+    TenantIngest& ledger = tenants_[static_cast<std::size_t>(r.tenant)];
+    ledger.latency_ms.add(sim::to_seconds(done - r.at) * 1e3);
+    if (r.verdict) {
+      ++ledger.verdicts;
+      ledger.verdict_delay_ms.add(sim::to_seconds(done - r.at) * 1e3);
+      if (!ledger.first_verdict_done.has_value()) {
+        ledger.first_verdict_done = done;
+      }
+    }
+    ++stats_.processed;
+    stats_.last_done = std::max(stats_.last_done, done);
+  }
+  busy_until_ = due.flush_at + config_.service_per_sample *
+                                   static_cast<sim::Time>(n);
+  promote_deferred(due.flush_at);
+}
+
+void Ingestor::promote_deferred(sim::Time at) {
+  for (std::size_t t = 0; t < side_.size(); ++t) {
+    while (!side_[t].empty() && queue_.size() < config_.queue_bound &&
+           in_queue_[t] < config_.tenant_window) {
+      queue_.push_back({side_[t].front(), at});
+      side_[t].pop_front();
+      ++in_queue_[t];
+      stats_.queue_high_water =
+          std::max(stats_.queue_high_water, queue_.size());
+      PS_PERF_OBSERVE(perf_queue_depth_, queue_.size());
+    }
+  }
+}
+
+void Ingestor::advance_to(sim::Time t) {
+  while (!queue_.empty()) {
+    const Due due = next_due();
+    if (due.flush_at > t) break;
+    flush_batch(due);
+  }
+}
+
+void Ingestor::note_quorum(const SampleRecord& record) {
+  TenantIngest& ledger = tenants_[static_cast<std::size_t>(record.tenant)];
+  if (record.coverage < config_.quorum) {
+    ++ledger.low_streak;
+    if (!ledger.degraded && ledger.low_streak >= config_.quorum_streak) {
+      ledger.degraded = true;
+      ++ledger.degraded_entries;
+    }
+  } else {
+    ledger.low_streak = 0;
+    ledger.degraded = false;
+  }
+}
+
+void Ingestor::push(const SampleRecord& record) {
+  PS_CHECK(record.tenant >= 0 && record.tenant < tenants(),
+           "record from an unknown tenant");
+  PS_CHECK(record.at >= last_push_at_, "records must arrive in time order");
+  last_push_at_ = record.at;
+  advance_to(record.at);
+
+  TenantIngest& ledger = tenants_[static_cast<std::size_t>(record.tenant)];
+  if (stats_.pushed == 0) stats_.first_at = record.at;
+  ++stats_.pushed;
+  ++ledger.samples;
+  PS_PERF_ADD(perf_samples_, 1);
+  note_quorum(record);
+
+  const std::size_t t = static_cast<std::size_t>(record.tenant);
+  if (in_queue_[t] >= config_.tenant_window) {
+    // Starvation guard: the tenant already fills its central-queue window;
+    // the record waits in its side queue and only this tenant pays.
+    side_[t].push_back(record);
+    ++stats_.deferred;
+    ++ledger.deferred;
+    PS_PERF_ADD(perf_deferred_, 1);
+    return;
+  }
+
+  sim::Time entered = record.at;
+  while (queue_.size() >= config_.queue_bound) {
+    // Backpressure: the producer blocks until the server frees a slot. A
+    // full queue always holds a size-triggered batch, so the next flush is
+    // already scheduled — the wait is the gap to that flush.
+    const Due due = next_due();
+    ++stats_.backpressure_waits;
+    stats_.backpressure_wait_total +=
+        std::max<sim::Time>(0, due.flush_at - record.at);
+    PS_PERF_ADD(perf_backpressure_, 1);
+    flush_batch(due);
+    entered = std::max(entered, due.flush_at);
+  }
+  queue_.push_back({record, entered});
+  ++in_queue_[t];
+  stats_.queue_high_water = std::max(stats_.queue_high_water, queue_.size());
+  PS_PERF_OBSERVE(perf_queue_depth_, queue_.size());
+}
+
+void Ingestor::finish() {
+  while (true) {
+    if (queue_.empty()) {
+      promote_deferred(std::max(last_push_at_, busy_until_));
+      if (queue_.empty()) break;
+    }
+    flush_batch(next_due());
+  }
+}
+
+}  // namespace parastack::fleet

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "obs/perf.hpp"
+#include "sim/time.hpp"
+#include "util/summary.hpp"
+
+namespace parastack::fleet {
+
+/// Central ingestion service shared by every tenant of the fleet.
+struct IngestConfig {
+  /// Central queue capacity; a push into a full queue blocks the producer
+  /// until the service drains a batch (backpressure). Must hold at least
+  /// one full batch.
+  std::size_t queue_bound = 4096;
+  /// A batch flushes as soon as it holds this many records...
+  std::size_t batch_max = 64;
+  /// ...or at the first tick boundary after its oldest record arrived,
+  /// whichever comes first.
+  sim::Time batch_tick = 250 * sim::kMillisecond;
+  /// Service cost per record inside a flushed batch.
+  sim::Time service_per_sample = 20 * sim::kMicrosecond;
+  /// Starvation guard: at most this many records of one tenant may occupy
+  /// the central queue; the excess waits in a per-tenant side queue so a
+  /// flooding tenant delays itself, not its co-tenants.
+  std::size_t tenant_window = 1024;
+  /// Per-tenant quorum state: coverage below this floor for
+  /// `quorum_streak` consecutive records flags the tenant degraded.
+  double quorum = 0.5;
+  std::size_t quorum_streak = 3;
+};
+
+/// One tenant sample on the fleet timeline, as the ingestion layer sees it.
+struct SampleRecord {
+  int tenant = 0;
+  sim::Time at = 0;       ///< emission instant (fleet timeline)
+  double coverage = 1.0;  ///< monitor coverage behind the sample
+  bool verdict = false;   ///< a detection verdict rode on this record
+};
+
+/// Per-tenant ingestion ledger.
+struct TenantIngest {
+  std::uint64_t samples = 0;   ///< records pushed (queued or deferred)
+  std::uint64_t deferred = 0;  ///< held in the side queue by the guard
+  std::uint64_t verdicts = 0;
+  util::Summary latency_ms;       ///< emission -> batch completion
+  util::Summary verdict_delay_ms; ///< ingest delay of verdict records
+  /// Service-side completion instant of the tenant's first verdict record
+  /// (detection latency as the fleet operator observes it).
+  std::optional<sim::Time> first_verdict_done;
+  /// Quorum state.
+  std::size_t low_streak = 0;
+  bool degraded = false;
+  std::uint64_t degraded_entries = 0;
+};
+
+/// Fleet-wide ingestion ledger.
+struct IngestStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t size_flushes = 0;  ///< batches closed by batch_max
+  std::uint64_t tick_flushes = 0;  ///< batches closed by the tick boundary
+  std::uint64_t backpressure_waits = 0;
+  sim::Time backpressure_wait_total = 0;
+  std::uint64_t deferred = 0;      ///< starvation-guard holds
+  std::size_t queue_high_water = 0;
+  sim::Time first_at = 0;   ///< first record's emission instant
+  sim::Time last_done = 0;  ///< last batch completion
+  /// Records per virtual second over the busy span (0 when empty).
+  double sustained_per_sec() const;
+};
+
+/// Deterministic single-server model of the central ingestion layer:
+/// batching, a bounded queue with producer backpressure, a per-tenant
+/// starvation guard, and per-tenant quorum state. Everything runs on the
+/// virtual fleet timeline — push records in non-decreasing `at` order, call
+/// finish() to drain, then read the ledgers. Pure function of its inputs:
+/// no wall-clock, no RNG.
+///
+/// The machine: queued records form batches in FIFO order. A batch becomes
+/// due at max(server-free instant, trigger), where the trigger is the
+/// arrival of its batch_max-th record (size flush) or the first tick
+/// boundary at/after its oldest record entered (tick flush). A due batch
+/// occupies the server for batch_size x service_per_sample; the j-th record
+/// completes service_per_sample x (j+1) after the flush instant.
+class Ingestor {
+ public:
+  /// `perf` may be null (no counters). When set, fleet.ingest.* counters
+  /// and the queue-depth high-water register in it — callers gate this on
+  /// multi-tenant fleets so single-tenant metrics stay byte-identical.
+  Ingestor(const IngestConfig& config, int tenants,
+           obs::perf::ProfileRegistry* perf = nullptr);
+
+  /// Admit one record. Records must arrive in non-decreasing time order.
+  void push(const SampleRecord& record);
+  /// Drain every queued and deferred record through the server.
+  void finish();
+
+  const IngestStats& stats() const noexcept { return stats_; }
+  const TenantIngest& tenant(int t) const;
+  int tenants() const noexcept { return static_cast<int>(tenants_.size()); }
+
+ private:
+  struct Pending {
+    SampleRecord record;
+    sim::Time entered = 0;  ///< instant it occupied a central-queue slot
+  };
+
+  struct Due {
+    sim::Time flush_at = 0;
+    bool size_triggered = false;
+  };
+
+  Due next_due() const;
+  void flush_batch(const Due& due);
+  void promote_deferred(sim::Time at);
+  void advance_to(sim::Time t);
+  void note_quorum(const SampleRecord& record);
+
+  IngestConfig config_;
+  std::deque<Pending> queue_;
+  std::vector<std::deque<SampleRecord>> side_;  ///< per-tenant guard queues
+  std::vector<std::size_t> in_queue_;           ///< per-tenant central slots
+  std::vector<TenantIngest> tenants_;
+  IngestStats stats_;
+  sim::Time busy_until_ = 0;
+  sim::Time last_push_at_ = 0;
+
+  obs::perf::Counter* perf_samples_ = nullptr;
+  obs::perf::Counter* perf_batches_ = nullptr;
+  obs::perf::Counter* perf_backpressure_ = nullptr;
+  obs::perf::Counter* perf_deferred_ = nullptr;
+  obs::perf::HighWater* perf_queue_depth_ = nullptr;
+};
+
+}  // namespace parastack::fleet

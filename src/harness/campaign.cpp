@@ -31,35 +31,49 @@ std::vector<RunResult> execute_trials(const CampaignConfig& config) {
   PS_CHECK(config.runs >= 0, "campaign needs a non-negative run count");
   const int n = config.runs;
   assert_trial_seeds_distinct(config.seed0, n);
-  std::vector<RunResult> results(static_cast<std::size_t>(n));
   const int jobs = n == 0 ? 1 : std::min(resolve_jobs(config.jobs), n);
   if (jobs <= 1) {
+    std::vector<RunResult> results(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) results[static_cast<std::size_t>(i)] =
         run_one(trial_config(config, i));
     return results;
   }
 
   obs::TelemetrySink* sink = config.base.telemetry;
-  std::vector<std::unique_ptr<obs::RecordingSink>> recordings(
-      static_cast<std::size_t>(n));
-  parallel_for(n, jobs, [&](int i) {
-    RunConfig run_config = trial_config(config, i);
-    if (sink != nullptr) {
-      recordings[static_cast<std::size_t>(i)] =
-          std::make_unique<obs::RecordingSink>(sink->wants_rank_spans());
-      run_config.telemetry = recordings[static_cast<std::size_t>(i)].get();
-    }
-    results[static_cast<std::size_t>(i)] = run_one(run_config);
-  });
-  if (sink != nullptr) {
-    for (const auto& recording : recordings) {
-      if (recording) recording->replay(*sink);
-    }
+  std::vector<RecordedRun> recorded = run_recorded(
+      n, jobs,
+      sink != nullptr ? std::optional<bool>(sink->wants_rank_spans())
+                      : std::nullopt,
+      [&](int i) { return trial_config(config, i); });
+  std::vector<RunResult> results;
+  results.reserve(static_cast<std::size_t>(n));
+  for (RecordedRun& run : recorded) {
+    if (sink != nullptr && run.recording) run.recording->replay(*sink);
+    results.push_back(std::move(run.result));
   }
   return results;
 }
 
 }  // namespace
+
+std::vector<RecordedRun> run_recorded(
+    int n, int jobs, std::optional<bool> record_rank_spans,
+    const std::function<RunConfig(int)>& make_config) {
+  PS_CHECK(n >= 0, "run_recorded needs a non-negative run count");
+  std::vector<RecordedRun> runs(static_cast<std::size_t>(n));
+  const int workers = n == 0 ? 1 : std::min(resolve_jobs(jobs), n);
+  parallel_for(n, workers, [&](int i) {
+    RecordedRun& run = runs[static_cast<std::size_t>(i)];
+    RunConfig config = make_config(i);
+    config.telemetry = nullptr;
+    if (record_rank_spans.has_value()) {
+      run.recording = std::make_unique<obs::RecordingSink>(*record_rank_spans);
+      config.telemetry = run.recording.get();
+    }
+    run.result = run_one(config);
+  });
+  return runs;
+}
 
 double ErroneousCampaignResult::accuracy() const {
   return runs == 0 ? 0.0

@@ -1,13 +1,37 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "harness/parallel.hpp"
 #include "harness/runner.hpp"
+#include "obs/replay.hpp"
 #include "util/summary.hpp"
 
 namespace parastack::harness {
+
+/// One run of a parallel fan-out: the result plus the telemetry stream it
+/// emitted, captured for later replay (null when recording was off).
+struct RecordedRun {
+  RunResult result;
+  std::unique_ptr<obs::RecordingSink> recording;
+};
+
+/// Fan `n` independently seeded runs across `jobs` worker threads and
+/// return them indexed by trial. This is the determinism backbone shared by
+/// the campaign runners and the fleet driver: configs come from
+/// `make_config(i)` (whose telemetry pointer is ignored), and when
+/// `record_rank_spans` is set each run streams into a private RecordingSink
+/// (capturing rank spans iff *record_rank_spans), so replaying the
+/// recordings in trial order reproduces the serial stream byte-for-byte at
+/// any worker count. With `record_rank_spans == nullopt` the runs execute
+/// with no sink attached (pure throughput).
+std::vector<RecordedRun> run_recorded(
+    int n, int jobs, std::optional<bool> record_rank_spans,
+    const std::function<RunConfig(int)>& make_config);
 
 /// A batch of runs sharing one configuration, differing only by seed.
 ///

@@ -813,7 +813,11 @@ RunResult run_one(const RunConfig& config) {
       // The restore outlived the allocation (or left under a second of
       // slot): there is nothing to resume into, so the job expires
       // mid-restore rather than launching a dead attempt past walltime.
+      // The job's billable end is the walltime expiry the lifecycle just
+      // recorded — not the kill instant the last attempt stopped at
+      // (attempts.back().end_time still holds that).
       lifecycle.expire(r.walltime);
+      r.end_time = r.walltime;
       result = std::move(r);
       break;
     }

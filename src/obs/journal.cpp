@@ -368,6 +368,20 @@ void JsonlJournal::on_recovery(const RecoveryEvent& e) {
   ++lines_;
 }
 
+void JsonlJournal::on_fleet_admit(const FleetAdmitEvent& e) {
+  JsonObject line(out_);
+  line.field("ev", "fleet_admit")
+      .field("t_ns", e.time)
+      .field("tenant", e.tenant)
+      .field("admitted", e.admitted)
+      .field("monitors", e.monitors)
+      .field("pool_in_use", e.pool_in_use);
+  if (e.pool_capacity > 0) line.field("pool_capacity", e.pool_capacity);
+  line.done();
+  out_ << '\n';
+  ++lines_;
+}
+
 void JsonlJournal::on_detection_span(const DetectionSpanEvent& e) {
   JsonObject line(out_);
   line.field("ev", "det_span");

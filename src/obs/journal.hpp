@@ -45,6 +45,7 @@ class JsonlJournal final : public TelemetrySink {
   void on_run_start(const RunStartEvent& e) override;
   void on_run_end(const RunEndEvent& e) override;
   void on_recovery(const RecoveryEvent& e) override;
+  void on_fleet_admit(const FleetAdmitEvent& e) override;
   void on_detection_span(const DetectionSpanEvent& e) override;
   void on_rank_span(const RankSpanEvent& e) override;
   bool wants_rank_spans() const override { return options_.record_rank_spans; }

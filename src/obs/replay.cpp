@@ -125,6 +125,10 @@ void RecordingSink::on_recovery(const RecoveryEvent& e) {
   events_.push_back(copy);
 }
 
+void RecordingSink::on_fleet_admit(const FleetAdmitEvent& e) {
+  events_.push_back(e);
+}
+
 void RecordingSink::on_detection_span(const DetectionSpanEvent& e) {
   DetectionSpanEvent copy = e;
   copy.detector = intern(e.detector);
@@ -178,6 +182,9 @@ void RecordingSink::replay(TelemetrySink& target) const {
     void operator()(const RunStartEvent& e) const { target.on_run_start(e); }
     void operator()(const RunEndEvent& e) const { target.on_run_end(e); }
     void operator()(const RecoveryEvent& e) const { target.on_recovery(e); }
+    void operator()(const FleetAdmitEvent& e) const {
+      target.on_fleet_admit(e);
+    }
     void operator()(const DetectionSpanEvent& e) const {
       target.on_detection_span(e);
     }

@@ -58,6 +58,7 @@ class RecordingSink final : public TelemetrySink {
   void on_run_start(const RunStartEvent& e) override;
   void on_run_end(const RunEndEvent& e) override;
   void on_recovery(const RecoveryEvent& e) override;
+  void on_fleet_admit(const FleetAdmitEvent& e) override;
   void on_detection_span(const DetectionSpanEvent& e) override;
   void on_rank_span(const RankSpanEvent& e) override;
   bool wants_rank_spans() const override { return wants_rank_spans_; }
@@ -70,7 +71,7 @@ class RecordingSink final : public TelemetrySink {
                    MonitorCrashEvent, LeadFailoverEvent, TreeFailoverEvent,
                    SampleTimeoutEvent, DegradedModeEvent, PhaseChangeEvent,
                    FaultEvent, RunStartEvent, RunEndEvent, RecoveryEvent,
-                   DetectionSpanEvent, RankSpanEvent>;
+                   FleetAdmitEvent, DetectionSpanEvent, RankSpanEvent>;
 
   /// Copy `view` into the arena and return a view of the stable copy.
   std::string_view intern(std::string_view view);

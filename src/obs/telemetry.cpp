@@ -79,6 +79,9 @@ void MultiSink::on_run_end(const RunEndEvent& e) {
 void MultiSink::on_recovery(const RecoveryEvent& e) {
   for (auto* s : sinks_) s->on_recovery(e);
 }
+void MultiSink::on_fleet_admit(const FleetAdmitEvent& e) {
+  for (auto* s : sinks_) s->on_fleet_admit(e);
+}
 void MultiSink::on_detection_span(const DetectionSpanEvent& e) {
   for (auto* s : sinks_) s->on_detection_span(e);
 }

@@ -277,6 +277,20 @@ struct RecoveryEvent {
   std::string detail;          ///< policy-specific note
 };
 
+/// Fleet admission decision for one tenant: the arrival hit the bounded
+/// monitor pool and was either granted its per-node monitors or turned away
+/// (refusal-without-burn). Emitted only by multi-tenant fleet drivers —
+/// single-tenant fleets stay byte-identical to the legacy single-job path —
+/// and on the fleet timeline, bracketing the tenant's replayed job stream.
+struct FleetAdmitEvent {
+  sim::Time time = 0;       ///< arrival instant on the fleet timeline
+  int tenant = 0;           ///< tenant index (doubles as the run_index tag)
+  bool admitted = false;
+  int monitors = 0;         ///< per-node monitor slots requested
+  int pool_in_use = 0;      ///< pool occupancy after the decision
+  int pool_capacity = 0;    ///< 0 = unbounded
+};
+
 /// One leg of the detection-latency breakdown for a verified hang: how long
 /// the run spent between two milestones of the detection path. The harness
 /// emits the full set at end of run (fault-to-suspicion, suspicion-to-
@@ -336,6 +350,7 @@ class TelemetrySink {
   virtual void on_run_start(const RunStartEvent&) {}
   virtual void on_run_end(const RunEndEvent&) {}
   virtual void on_recovery(const RecoveryEvent&) {}
+  virtual void on_fleet_admit(const FleetAdmitEvent&) {}
   virtual void on_detection_span(const DetectionSpanEvent&) {}
   virtual void on_rank_span(const RankSpanEvent&) {}
 
@@ -380,6 +395,7 @@ class MultiSink final : public TelemetrySink {
   void on_run_start(const RunStartEvent& e) override;
   void on_run_end(const RunEndEvent& e) override;
   void on_recovery(const RecoveryEvent& e) override;
+  void on_fleet_admit(const FleetAdmitEvent& e) override;
   void on_detection_span(const DetectionSpanEvent& e) override;
   void on_rank_span(const RankSpanEvent& e) override;
   bool wants_rank_spans() const override;

@@ -24,6 +24,7 @@ std::string_view job_state_name(JobState state) noexcept {
     case JobState::kCompleted: return "completed";
     case JobState::kGaveUp: return "gave-up";
     case JobState::kExpired: return "expired";
+    case JobState::kRefused: return "refused";
   }
   return "?";
 }
@@ -36,6 +37,11 @@ void JobLifecycle::move_to(JobState to, sim::Time at) {
 void JobLifecycle::launch(sim::Time at) {
   PS_CHECK(state_ == JobState::kPending, "launch from non-pending state");
   move_to(JobState::kRunning, at);
+}
+
+void JobLifecycle::refuse(sim::Time at) {
+  PS_CHECK(state_ == JobState::kPending, "refuse after the job launched");
+  move_to(JobState::kRefused, at);
 }
 
 void JobLifecycle::suspect(sim::Time at) {
@@ -116,9 +122,49 @@ JobCharge settle_recovered(const JobTicket& ticket,
   JobCharge charge = settle(ticket, finish, ended);
   if (gave_up && charge.end == JobEnd::kKilledOnHangDetection) {
     charge.end = JobEnd::kGaveUp;
+    // A give-up saved nothing: the slot was abandoned, not reclaimed early.
+    charge.savings_fraction = 0.0;
   }
   charge.service_units *= su_multiplier;
   return charge;
+}
+
+bool MonitorPool::try_acquire(int monitors) {
+  PS_CHECK(monitors > 0, "acquire needs a positive monitor count");
+  if (capacity_ > 0 && in_use_ + monitors > capacity_) {
+    ++refusals_;
+    return false;
+  }
+  in_use_ += monitors;
+  high_water_ = std::max(high_water_, in_use_);
+  return true;
+}
+
+void MonitorPool::release(int monitors) {
+  PS_CHECK(monitors > 0, "release needs a positive monitor count");
+  PS_CHECK(monitors <= in_use_, "releasing monitors that were never acquired");
+  in_use_ -= monitors;
+}
+
+void FleetBill::add(const JobTicket& ticket, const JobCharge& charge) {
+  ++jobs;
+  switch (charge.end) {
+    case JobEnd::kCompleted: ++completed; break;
+    case JobEnd::kKilledOnHangDetection: ++killed; break;
+    case JobEnd::kWalltimeExpired: ++expired; break;
+    case JobEnd::kGaveUp: ++gave_up; break;
+  }
+  su_billed += charge.service_units;
+  if (charge.end == JobEnd::kKilledOnHangDetection) {
+    // The slot the scheduler would have billed had the hang burned it out,
+    // minus what the early kill actually charged.
+    su_saved += service_units(ticket, ticket.walltime) - charge.service_units;
+  }
+}
+
+double FleetBill::machine_hours_saved(int cores_per_node) const {
+  PS_CHECK(cores_per_node > 0, "cores_per_node must be positive");
+  return su_saved / static_cast<double>(cores_per_node);
 }
 
 std::string submission_command(BatchSystem system, const JobTicket& ticket,

@@ -34,7 +34,9 @@ enum class JobEnd {
 ///   pending -> running -> suspected -> killed -> restoring -> running ...
 ///
 /// with the terminal exits completed (app finished), gave-up (retry budget
-/// exhausted) and expired (walltime ran out in any non-terminal state).
+/// exhausted), expired (walltime ran out in any non-terminal state), and
+/// refused (fleet admission found no monitor capacity — the job never
+/// launched and is billed nothing, mirroring spare[:N] refusal semantics).
 enum class JobState : std::uint8_t {
   kPending,
   kRunning,
@@ -44,6 +46,7 @@ enum class JobState : std::uint8_t {
   kCompleted,
   kGaveUp,
   kExpired,
+  kRefused,    ///< admission denied before launch; no SUs ever burned
 };
 
 std::string_view job_state_name(JobState state) noexcept;
@@ -62,10 +65,11 @@ class JobLifecycle {
   int max_restarts() const noexcept { return max_restarts_; }
   bool terminal() const noexcept {
     return state_ == JobState::kCompleted || state_ == JobState::kGaveUp ||
-           state_ == JobState::kExpired;
+           state_ == JobState::kExpired || state_ == JobState::kRefused;
   }
 
   void launch(sim::Time at);           ///< pending -> running
+  void refuse(sim::Time at);           ///< pending -> refused (terminal)
   void suspect(sim::Time at);          ///< running -> suspected
   void clear_suspicion(sim::Time at);  ///< suspected -> running (transient)
   void kill(sim::Time at);             ///< running | suspected -> killed
@@ -126,6 +130,55 @@ JobCharge settle_recovered(const JobTicket& ticket,
                            std::optional<sim::Time> finish,
                            std::optional<sim::Time> ended, bool gave_up,
                            double su_multiplier);
+
+/// Bounded pool of monitor/lead slots a fleet's tenants contend for (one
+/// ParaStack monitor per allocated node, §5). `capacity <= 0` means an
+/// unbounded pool: every acquire succeeds and nothing is tracked beyond the
+/// high-water mark. Refusals are terminal, not queued — a tenant that finds
+/// no capacity is turned away without burning anything (the fleet analogue
+/// of spare[:N] running out of spares).
+class MonitorPool {
+ public:
+  explicit MonitorPool(int capacity = 0) : capacity_(capacity) {}
+
+  int capacity() const noexcept { return capacity_; }
+  bool bounded() const noexcept { return capacity_ > 0; }
+  int in_use() const noexcept { return in_use_; }
+  int high_water() const noexcept { return high_water_; }
+  std::uint64_t refusals() const noexcept { return refusals_; }
+
+  /// Claim `monitors` slots; false (and a counted refusal) when the pool
+  /// cannot hold them. Requires monitors > 0.
+  bool try_acquire(int monitors);
+  /// Return `monitors` previously acquired slots.
+  void release(int monitors);
+
+ private:
+  int capacity_ = 0;
+  int in_use_ = 0;
+  int high_water_ = 0;
+  std::uint64_t refusals_ = 0;
+};
+
+/// Fleet-level roll-up of per-tenant JobCharges: the machine-hours ledger
+/// behind bench_fleet's "SUs saved" headline (paper §7.1-V scaled from one
+/// job to a fleet). Refused tenants are counted but never billed.
+struct FleetBill {
+  int jobs = 0;         ///< admitted tenants folded in
+  int completed = 0;
+  int killed = 0;       ///< ended by kill-on-detection
+  int expired = 0;      ///< burned their whole slot
+  int gave_up = 0;      ///< recovery retry budget exhausted
+  int refused = 0;      ///< turned away at admission (billed nothing)
+  double su_billed = 0.0;   ///< SUs actually charged across the fleet
+  double su_saved = 0.0;    ///< full-slot SUs minus billed, killed jobs only
+  /// Fold one settled tenant into the ledger. `ticket` must be the
+  /// allocation the charge was settled against.
+  void add(const JobTicket& ticket, const JobCharge& charge);
+  void add_refusal() { ++refused; }
+  /// Node-hours the fleet did not burn thanks to early kills.
+  double machine_hours_saved(int cores_per_node) const;
+};
 
 /// The submission command the integration would generate (paper §5
 /// "Job submission": one ParaStack monitor per node, launched alongside the

@@ -74,6 +74,41 @@ TEST(Scenario, ParserRejectsGarbage) {
   EXPECT_FALSE(parse_repro("v1,ranks=1").has_value());
   EXPECT_FALSE(parse_repro("v1,loss=1.5").has_value());
   EXPECT_FALSE(parse_repro("v1,horizon-ms=0").has_value());
+  EXPECT_FALSE(parse_repro("v1,fleet=0").has_value());
+  EXPECT_FALSE(parse_repro("v1,arrival=bursty").has_value());
+}
+
+TEST(Scenario, FleetDimensionIsDrawnAndValid) {
+  int fleet_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    EXPECT_GE(s.fleet_jobs, 1) << "seed " << seed;
+    EXPECT_LE(s.fleet_jobs, 3) << "seed " << seed;
+    EXPECT_GE(s.fleet_arrival, 0);
+    EXPECT_LE(s.fleet_arrival, 1);
+    if (s.fleet_jobs > 1) {
+      ++fleet_seeds;
+    } else {
+      EXPECT_EQ(s.fleet_arrival, 0) << "seed " << seed;
+    }
+  }
+  // Roughly one seed in five lands in the fleet dimension: enough sweep
+  // coverage without dominating its cost.
+  EXPECT_GT(fleet_seeds, 10);
+  EXPECT_LT(fleet_seeds, 100);
+}
+
+TEST(Scenario, FleetReproKeysAppearOnlyWhenMultiTenant) {
+  Scenario s = tiny_scenario();
+  EXPECT_EQ(to_repro(s).find("fleet="), std::string::npos);
+  s.fleet_jobs = 3;
+  s.fleet_arrival = 1;
+  const std::string repro = to_repro(s);
+  EXPECT_NE(repro.find("fleet=3"), std::string::npos);
+  EXPECT_NE(repro.find("arrival=trace"), std::string::npos);
+  const auto back = parse_repro(repro);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == s);
 }
 
 TEST(InvariantSink, CleanOnAHealthyRun) {
@@ -122,6 +157,20 @@ TEST(Oracles, TinyScenarioPassesEveryOracle) {
   EXPECT_TRUE(report.ok()) << report.failures.front().oracle << ": "
                            << report.failures.front().detail;
   EXPECT_GT(report.runs_executed, 0);
+}
+
+TEST(Oracles, TinyFleetScenarioPassesTheFleetOracles) {
+  Scenario s = tiny_scenario();
+  s.fleet_jobs = 2;
+  OracleOptions options;
+  options.jobs = 2;
+  options.campaign_differential = false;  // isolate the fleet oracles' cost
+  const SeedReport report = check_scenario(s, options);
+  EXPECT_TRUE(report.ok()) << report.failures.front().oracle << ": "
+                           << report.failures.front().detail;
+  // base + determinism + fleet-identity, then the isolation differential's
+  // 2-tenant and 3-tenant fleets.
+  EXPECT_EQ(report.runs_executed, 8);
 }
 
 TEST(Oracles, PlantedClockWarpIsCaught) {

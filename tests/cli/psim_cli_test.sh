@@ -43,6 +43,10 @@ expect_reject garbage-tool-fault-value "bad --tool-faults value" \
   run --bench LU --ranks 32 --tool-faults loss=lots
 expect_reject unknown-batch-system "expected slurm|torque" \
   submit --bench LU --ranks 32 --system lsf
+expect_reject bad-fleet-jobs "bad --fleet value" \
+  run --bench LU --ranks 32 --fleet=0
+expect_reject bad-fleet-arrival "expected JOBS[,poisson|trace,POOL]" \
+  run --bench LU --ranks 32 --fleet=2,bursty
 
 # A valid faulty run with tool faults: exits 0 and reports the tool-fault
 # accounting line on stdout.
@@ -73,6 +77,43 @@ elif [[ $out == *"tool faults:"* ]]; then
   failures=$((failures + 1))
 else
   echo "ok clean-run"
+fi
+
+# --fleet=1 must write byte-identical journal/metrics/trace artifacts to
+# the legacy single-job path — the fleet layer's core compatibility bar.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+"$PSIM" run --bench LU --input C --ranks 32 --seed 11 --fault compute-hang \
+  --journal "$tmp/legacy.jsonl" --metrics-out "$tmp/legacy.json" \
+  --chrome-trace "$tmp/legacy.trace" >/dev/null 2>&1
+"$PSIM" run --bench LU --input C --ranks 32 --seed 11 --fault compute-hang \
+  --fleet=1 --journal "$tmp/fleet.jsonl" --metrics-out "$tmp/fleet.json" \
+  --chrome-trace "$tmp/fleet.trace" >/dev/null 2>&1
+for artifact in jsonl json trace; do
+  if ! cmp -s "$tmp/legacy.$artifact" "$tmp/fleet.$artifact"; then
+    echo "FAIL fleet-identity: .$artifact diverged under --fleet=1" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok fleet-identity-$artifact"
+  fi
+done
+
+# A multi-tenant fleet run exits 0 and reports the admission/ingest/bill
+# summary lines.
+out=$("$PSIM" run --bench LU --input C --ranks 32 --seed 11 \
+  --fault compute-hang --fleet=3,trace,4 2>&1)
+rc=$?
+if [[ $rc -ne 0 ]]; then
+  echo "FAIL fleet-run: exit code $rc, expected 0" >&2
+  echo "$out" >&2
+  failures=$((failures + 1))
+elif [[ $out != *"admission:"* || $out != *"ingest:"* || $out != *"bill:"* ]]
+then
+  echo "FAIL fleet-run: missing admission/ingest/bill summary" >&2
+  echo "$out" >&2
+  failures=$((failures + 1))
+else
+  echo "ok fleet-run"
 fi
 
 if [[ $failures -ne 0 ]]; then

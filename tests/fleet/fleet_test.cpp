@@ -1,0 +1,256 @@
+// Fleet mode end to end: the single-tenant fleet must be byte-identical to
+// the legacy single-job path, arrival schedules and per-tenant journals
+// must be invariant under co-tenants (the isolation oracle), and admission
+// against the bounded monitor pool must refuse without burning anything.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "fleet/fleet.hpp"
+#include "obs/journal.hpp"
+#include "obs/perf.hpp"
+
+namespace parastack::fleet {
+namespace {
+
+harness::RunConfig small_lu(std::uint64_t seed = 7) {
+  harness::RunConfig config;
+  config.bench = workloads::Bench::kLU;
+  config.input = "C";
+  config.nranks = 32;
+  config.platform = sim::Platform::tianhe2();
+  config.seed = seed;
+  config.fault = faults::FaultType::kComputeHang;
+  config.background_slowdowns = false;
+  return config;
+}
+
+int monitors_for(const harness::RunConfig& config) {
+  const int cores = config.platform.cores_per_node;
+  return (config.nranks + cores - 1) / cores;
+}
+
+TEST(Fleet, SingleTenantJournalIsByteIdenticalToTheLegacyPath) {
+  // The correctness anchor: --fleet=1 must not perturb a single byte of the
+  // legacy single-job journal — no fleet_admit lines, no reordering, no
+  // altered RNG stream.
+  std::ostringstream legacy_out;
+  {
+    obs::JsonlJournal journal(legacy_out);
+    harness::RunConfig config = small_lu();
+    config.telemetry = &journal;
+    harness::run_one(config);
+  }
+
+  std::ostringstream fleet_out;
+  FleetResult result;
+  {
+    obs::JsonlJournal journal(fleet_out);
+    FleetConfig config;
+    config.base = small_lu();
+    config.arrivals.jobs = 1;
+    config.telemetry = &journal;
+    result = run_fleet(config);
+  }
+
+  ASSERT_FALSE(legacy_out.str().empty());
+  EXPECT_EQ(legacy_out.str(), fleet_out.str());
+  EXPECT_EQ(fleet_out.str().find("fleet_admit"), std::string::npos);
+  ASSERT_EQ(result.tenants.size(), 1u);
+  EXPECT_TRUE(result.tenants[0].admitted);
+  EXPECT_EQ(result.bill.jobs, 1);
+}
+
+TEST(Fleet, SingleTenantRegistersNoFleetCounters) {
+  obs::perf::ProfileRegistry registry;
+  FleetConfig config;
+  config.base = small_lu();
+  config.arrivals.jobs = 1;
+  config.perf = &registry;
+  run_fleet(config);
+  for (const auto& [name, value] : registry.counter_snapshot()) {
+    EXPECT_EQ(name.rfind("fleet.", 0), std::string::npos)
+        << name << " leaked into a single-tenant fleet";
+  }
+}
+
+TEST(Fleet, MultiTenantRegistersFleetCounters) {
+  obs::perf::ProfileRegistry registry;
+  FleetConfig config;
+  config.base = small_lu();
+  config.arrivals.jobs = 2;
+  config.perf = &registry;
+  const FleetResult result = run_fleet(config);
+  const auto snapshot = registry.counter_snapshot();
+  EXPECT_EQ(snapshot.at("fleet.admitted"), 2u);
+  EXPECT_GT(snapshot.at("fleet.ingest.samples"), 0u);
+  EXPECT_EQ(snapshot.at("fleet.ingest.samples"), result.ingest.pushed);
+}
+
+TEST(Fleet, ArrivalPrefixIsInvariantUnderFleetSize) {
+  // Tenant K's seed, gap, and workload are tenant-indexed hashes, never a
+  // shared rolling stream: growing the fleet must not move earlier tenants.
+  const harness::RunConfig base = small_lu();
+  for (ArrivalModel model : {ArrivalModel::kPoisson, ArrivalModel::kTrace}) {
+    ArrivalConfig small;
+    small.jobs = 3;
+    small.model = model;
+    ArrivalConfig large = small;
+    large.jobs = 6;
+    const auto few = generate_arrivals(small, base);
+    const auto many = generate_arrivals(large, base);
+    ASSERT_EQ(few.size(), 3u);
+    ASSERT_EQ(many.size(), 6u);
+    for (std::size_t i = 0; i < few.size(); ++i) {
+      EXPECT_EQ(few[i].at, many[i].at) << arrival_model_name(model);
+      EXPECT_EQ(few[i].config.seed, many[i].config.seed);
+      EXPECT_EQ(few[i].config.bench, many[i].config.bench);
+      EXPECT_EQ(few[i].config.input, many[i].config.input);
+    }
+  }
+  // Tenant 0 is always the base job itself at t = 0.
+  const auto arrivals = generate_arrivals({}, base);
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0].at, 0);
+  EXPECT_EQ(arrivals[0].config.seed, base.seed);
+}
+
+TEST(Fleet, TenantJournalsAreInvariantUnderCoTenants) {
+  // The tenant-isolation oracle: a tenant's own journal bytes must not
+  // depend on who else shares the fleet.
+  const auto journals_of = [](int jobs) {
+    FleetConfig config;
+    config.base = small_lu();
+    config.arrivals.jobs = jobs;
+    config.jobs = 2;  // exercise the parallel tenant fan-out too
+    config.capture_tenant_journals = true;
+    return run_fleet(config).tenant_journals;
+  };
+  const auto two = journals_of(2);
+  const auto three = journals_of(3);
+  ASSERT_EQ(two.size(), 2u);
+  ASSERT_EQ(three.size(), 3u);
+  for (std::size_t i = 0; i < two.size(); ++i) {
+    ASSERT_FALSE(two[i].empty());
+    EXPECT_EQ(two[i], three[i]) << "tenant " << i;
+  }
+}
+
+TEST(Fleet, AdmissionRefusesWithoutBurnWhenThePoolIsExhausted) {
+  FleetConfig config;
+  config.base = small_lu();
+  config.arrivals.jobs = 2;
+  config.arrivals.model = ArrivalModel::kTrace;
+  config.arrivals.mean_interarrival = sim::kMillisecond;  // arrive mid-run
+  config.monitor_pool = monitors_for(config.base);  // room for one tenant
+  config.capture_tenant_journals = true;
+  std::ostringstream out;
+  obs::JsonlJournal journal(out);
+  config.telemetry = &journal;
+  const FleetResult result = run_fleet(config);
+
+  ASSERT_EQ(result.tenants.size(), 2u);
+  EXPECT_TRUE(result.tenants[0].admitted);
+  EXPECT_FALSE(result.tenants[1].admitted);
+  // Refusal-without-burn: the refused tenant is terminal at its arrival
+  // instant, billed nothing, and contributes no journal or ingest traffic.
+  EXPECT_EQ(result.bill.jobs, 1);
+  EXPECT_EQ(result.bill.refused, 1);
+  EXPECT_EQ(result.pool_refusals, 1u);
+  ASSERT_EQ(result.tenants[1].lifecycle.size(), 1u);
+  EXPECT_EQ(result.tenants[1].lifecycle[0].from, sched::JobState::kPending);
+  EXPECT_EQ(result.tenants[1].lifecycle[0].to, sched::JobState::kRefused);
+  EXPECT_EQ(result.tenants[1].lifecycle[0].at, result.tenants[1].arrival);
+  EXPECT_TRUE(result.tenant_journals[1].empty());
+  EXPECT_EQ(result.tenant_ingest[1].samples, 0u);
+  // The combined stream still narrates the refusal.
+  EXPECT_NE(out.str().find("fleet_admit"), std::string::npos);
+  EXPECT_NE(out.str().find("\"admitted\":false"), std::string::npos);
+}
+
+TEST(Fleet, PoolSlotsReleaseWhenTheOwningJobEnds) {
+  // Learn the first job's span, then schedule the second tenant after it:
+  // the same one-tenant pool must now admit both.
+  FleetConfig probe;
+  probe.base = small_lu();
+  probe.arrivals.jobs = 1;
+  const sim::Time span = run_fleet(probe).makespan;
+  ASSERT_GT(span, 0);
+
+  FleetConfig config;
+  config.base = small_lu();
+  config.arrivals.jobs = 2;
+  config.arrivals.model = ArrivalModel::kTrace;
+  config.arrivals.mean_interarrival = span + sim::kSecond;
+  config.monitor_pool = monitors_for(config.base);
+  const FleetResult result = run_fleet(config);
+  ASSERT_EQ(result.tenants.size(), 2u);
+  EXPECT_TRUE(result.tenants[0].admitted);
+  EXPECT_TRUE(result.tenants[1].admitted);
+  EXPECT_EQ(result.bill.jobs, 2);
+  EXPECT_EQ(result.pool_refusals, 0u);
+  EXPECT_EQ(result.pool_high_water, monitors_for(config.base));
+  EXPECT_GE(result.makespan, result.tenants[1].arrival);
+}
+
+TEST(Fleet, BillRollsUpEveryAdmittedTenant) {
+  FleetConfig config;
+  config.base = small_lu();
+  config.arrivals.jobs = 4;
+  const FleetResult result = run_fleet(config);
+  ASSERT_EQ(result.tenants.size(), 4u);
+  EXPECT_EQ(result.bill.jobs, 4);
+  EXPECT_EQ(result.bill.refused, 0);
+  EXPECT_EQ(result.bill.completed + result.bill.killed + result.bill.expired +
+                result.bill.gave_up,
+            4);
+  EXPECT_GT(result.bill.su_billed, 0.0);
+  // Every tenant carries an audited lifecycle that reached a terminal state
+  // on the fleet timeline.
+  for (const TenantResult& tenant : result.tenants) {
+    ASSERT_FALSE(tenant.lifecycle.empty());
+    EXPECT_EQ(tenant.lifecycle.front().from, sched::JobState::kPending);
+    const sched::JobState last = tenant.lifecycle.back().to;
+    // Recovery is off in this fleet, so a detected hang ends at the kill;
+    // otherwise the audited path must reach a terminal state.
+    EXPECT_TRUE(last == sched::JobState::kCompleted ||
+                last == sched::JobState::kGaveUp ||
+                last == sched::JobState::kExpired ||
+                last == sched::JobState::kKilled)
+        << sched::job_state_name(last);
+    EXPECT_GE(tenant.lifecycle.front().at, tenant.arrival);
+  }
+  // The fleet ingest ledger saw every admitted tenant's stream.
+  EXPECT_GT(result.ingest.pushed, 0u);
+  EXPECT_EQ(result.ingest.pushed, result.ingest.processed);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_GT(result.tenant_ingest[static_cast<std::size_t>(t)].samples, 0u);
+  }
+}
+
+TEST(Fleet, ResultIsDeterministicAcrossWorkerCounts) {
+  const auto run_with = [](int workers) {
+    FleetConfig config;
+    config.base = small_lu();
+    config.arrivals.jobs = 3;
+    config.jobs = workers;
+    config.capture_tenant_journals = true;
+    return run_fleet(config);
+  };
+  const FleetResult serial = run_with(1);
+  const FleetResult parallel = run_with(3);
+  ASSERT_EQ(serial.tenants.size(), parallel.tenants.size());
+  EXPECT_EQ(serial.makespan, parallel.makespan);
+  EXPECT_DOUBLE_EQ(serial.bill.su_billed, parallel.bill.su_billed);
+  EXPECT_EQ(serial.ingest.pushed, parallel.ingest.pushed);
+  EXPECT_EQ(serial.ingest.last_done, parallel.ingest.last_done);
+  for (std::size_t i = 0; i < serial.tenants.size(); ++i) {
+    EXPECT_EQ(serial.tenant_journals[i], parallel.tenant_journals[i]);
+    EXPECT_EQ(serial.tenants[i].end_at, parallel.tenants[i].end_at);
+  }
+}
+
+}  // namespace
+}  // namespace parastack::fleet

@@ -1,0 +1,255 @@
+// The fleet ingestion layer's edge cases: size-vs-tick batch triggers,
+// producer backpressure at the queue bound, the per-tenant starvation
+// guard, quorum state, and full determinism of the ledgers.
+
+#include <gtest/gtest.h>
+
+#include "fleet/ingest.hpp"
+#include "obs/perf.hpp"
+#include "util/rng.hpp"
+
+namespace parastack::fleet {
+namespace {
+
+constexpr sim::Time kMs = sim::kMillisecond;
+
+SampleRecord sample(int tenant, sim::Time at, double coverage = 1.0,
+                    bool verdict = false) {
+  SampleRecord r;
+  r.tenant = tenant;
+  r.at = at;
+  r.coverage = coverage;
+  r.verdict = verdict;
+  return r;
+}
+
+TEST(Ingest, SizeFlushTriggersWhenTheBatchFills) {
+  IngestConfig config;
+  config.queue_bound = 8;
+  config.batch_max = 4;
+  config.batch_tick = 250 * kMs;
+  config.service_per_sample = 1 * kMs;
+  Ingestor ingestor(config, 1);
+  for (sim::Time at : {10 * kMs, 20 * kMs, 30 * kMs, 40 * kMs}) {
+    ingestor.push(sample(0, at));
+  }
+  ingestor.finish();
+
+  const IngestStats& stats = ingestor.stats();
+  EXPECT_EQ(stats.pushed, 4u);
+  EXPECT_EQ(stats.processed, 4u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.size_flushes, 1u);
+  EXPECT_EQ(stats.tick_flushes, 0u);
+  // The batch became due when its 4th record arrived (40 ms), well before
+  // the 250 ms tick; records complete 1 ms apart behind the flush.
+  EXPECT_EQ(stats.first_at, 10 * kMs);
+  EXPECT_EQ(stats.last_done, 44 * kMs);
+  const TenantIngest& ledger = ingestor.tenant(0);
+  EXPECT_EQ(ledger.samples, 4u);
+  EXPECT_DOUBLE_EQ(ledger.latency_ms.max(), 31.0);  // 41 ms done - 10 ms at
+  EXPECT_DOUBLE_EQ(ledger.latency_ms.min(), 4.0);   // 44 ms done - 40 ms at
+}
+
+TEST(Ingest, TickFlushFiresOnTheBoundaryWhenTheBatchStaysSmall) {
+  IngestConfig config;
+  config.batch_max = 64;
+  config.batch_tick = 250 * kMs;
+  config.service_per_sample = 1 * kMs;
+  Ingestor ingestor(config, 1);
+  ingestor.push(sample(0, 10 * kMs));
+  ingestor.push(sample(0, 20 * kMs));
+  ingestor.finish();
+
+  const IngestStats& stats = ingestor.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.size_flushes, 0u);
+  EXPECT_EQ(stats.tick_flushes, 1u);
+  // The oldest record arrived at 10 ms, so the batch flushed at the first
+  // tick boundary after it: 250 ms. Completions follow 1 ms apart.
+  EXPECT_EQ(stats.last_done, 252 * kMs);
+}
+
+TEST(Ingest, RecordOnTheTickBoundaryFlushesImmediately) {
+  IngestConfig config;
+  config.batch_max = 64;
+  config.batch_tick = 250 * kMs;
+  config.service_per_sample = 1 * kMs;
+  Ingestor ingestor(config, 1);
+  ingestor.push(sample(0, 250 * kMs));
+  ingestor.finish();
+  EXPECT_EQ(ingestor.stats().tick_flushes, 1u);
+  EXPECT_EQ(ingestor.stats().last_done, 251 * kMs);
+}
+
+TEST(Ingest, BackpressureEngagesAtTheQueueBound) {
+  IngestConfig config;
+  config.queue_bound = 4;
+  config.batch_max = 2;
+  config.batch_tick = 1000 * kMs;  // keep the tick out of the way
+  config.service_per_sample = 10 * kMs;
+  Ingestor ingestor(config, 1);
+
+  // Seven records burst in at t = 1 ms. The first pair flushes on the spot
+  // (size trigger), occupying the server until 21 ms; the next four fill
+  // the queue to its bound while the server is busy.
+  for (int i = 0; i < 6; ++i) ingestor.push(sample(0, 1 * kMs));
+  EXPECT_EQ(ingestor.stats().backpressure_waits, 0u);
+  EXPECT_EQ(ingestor.stats().queue_high_water, 4u);
+
+  // The 7th push finds the queue full: the producer blocks until the next
+  // due flush (the size-triggered batch waiting on the busy server, due at
+  // 21 ms) drains a slot — a 20 ms stall charged to backpressure.
+  ingestor.push(sample(0, 1 * kMs));
+  const IngestStats& mid = ingestor.stats();
+  EXPECT_EQ(mid.backpressure_waits, 1u);
+  EXPECT_EQ(mid.backpressure_wait_total, 20 * kMs);
+
+  ingestor.finish();
+  const IngestStats& stats = ingestor.stats();
+  EXPECT_EQ(stats.pushed, 7u);
+  EXPECT_EQ(stats.processed, 7u);
+  EXPECT_EQ(stats.batches, 4u);
+  EXPECT_EQ(stats.size_flushes, 3u);
+  // The last record entered at the 21 ms flush, so its lone batch waits for
+  // the next tick boundary (1000 ms) and completes one service later.
+  EXPECT_EQ(stats.tick_flushes, 1u);
+  EXPECT_EQ(stats.last_done, 1010 * kMs);
+  EXPECT_EQ(stats.queue_high_water, 4u);
+}
+
+TEST(Ingest, StarvationGuardDefersTheFloodingTenantOnly) {
+  IngestConfig config;
+  config.queue_bound = 200;
+  config.batch_max = 100;       // no size flushes: the tick drives service
+  config.batch_tick = 100 * kMs;
+  config.service_per_sample = 1 * kMs;
+  config.tenant_window = 2;
+  Ingestor ingestor(config, 2);
+
+  // Tenant 0 floods five records; only its window of two reaches the
+  // central queue, the rest wait in its side queue.
+  for (int i = 0; i < 5; ++i) ingestor.push(sample(0, 1 * kMs));
+  // Tenant 1's single record still enters the central queue directly.
+  ingestor.push(sample(1, 2 * kMs));
+  ingestor.finish();
+
+  const IngestStats& stats = ingestor.stats();
+  EXPECT_EQ(stats.pushed, 6u);
+  EXPECT_EQ(stats.processed, 6u);
+  EXPECT_EQ(stats.deferred, 3u);
+  EXPECT_EQ(ingestor.tenant(0).deferred, 3u);
+  EXPECT_EQ(ingestor.tenant(1).deferred, 0u);
+  // The victim tenant's record rides the first tick flush — its latency is
+  // bounded by the tick plus its batch position, while the flooding
+  // tenant's tail waits through its own deferred promotions.
+  EXPECT_LE(ingestor.tenant(1).latency_ms.max(),
+            sim::to_seconds(config.batch_tick) * 1e3 + 3.0);
+  EXPECT_GT(ingestor.tenant(0).latency_ms.max(),
+            ingestor.tenant(1).latency_ms.max());
+}
+
+TEST(Ingest, QuorumStreakFlagsAndClearsDegradedState) {
+  IngestConfig config;
+  config.quorum = 0.5;
+  config.quorum_streak = 3;
+  Ingestor ingestor(config, 1);
+  sim::Time at = 0;
+  const auto low = [&] { ingestor.push(sample(0, at += kMs, 0.4)); };
+  const auto high = [&] { ingestor.push(sample(0, at += kMs, 0.9)); };
+
+  low(); low();
+  EXPECT_FALSE(ingestor.tenant(0).degraded);
+  low();  // third consecutive low-coverage record trips the flag
+  EXPECT_TRUE(ingestor.tenant(0).degraded);
+  EXPECT_EQ(ingestor.tenant(0).degraded_entries, 1u);
+  high();  // recovery clears the streak and the flag
+  EXPECT_FALSE(ingestor.tenant(0).degraded);
+  low(); low(); low();  // a second full streak is a second entry
+  EXPECT_EQ(ingestor.tenant(0).degraded_entries, 2u);
+  ingestor.finish();
+}
+
+TEST(Ingest, VerdictRecordsFeedTheDetectionLedger) {
+  IngestConfig config;
+  config.batch_max = 2;
+  config.service_per_sample = 1 * kMs;
+  Ingestor ingestor(config, 1);
+  ingestor.push(sample(0, 10 * kMs));
+  ingestor.push(sample(0, 20 * kMs, 1.0, true));
+  ingestor.push(sample(0, 30 * kMs, 1.0, true));
+  ingestor.finish();
+
+  const TenantIngest& ledger = ingestor.tenant(0);
+  EXPECT_EQ(ledger.verdicts, 2u);
+  EXPECT_EQ(ledger.verdict_delay_ms.count(), 2u);
+  ASSERT_TRUE(ledger.first_verdict_done.has_value());
+  // The first verdict rode the size-triggered pair flushed at 20 ms, in
+  // batch position 2.
+  EXPECT_EQ(*ledger.first_verdict_done, 22 * kMs);
+}
+
+TEST(Ingest, PerfCountersRegisterOnlyWhenARegistryIsGiven) {
+  IngestConfig config;
+  config.batch_max = 2;
+  obs::perf::ProfileRegistry registry;
+  Ingestor with(config, 2, &registry);
+  with.push(sample(0, kMs));
+  with.push(sample(1, kMs));
+  with.finish();
+  const auto snapshot = registry.counter_snapshot();
+  EXPECT_EQ(snapshot.at("fleet.ingest.samples"), 2u);
+  EXPECT_EQ(snapshot.at("fleet.ingest.batches"), 1u);
+  EXPECT_EQ(snapshot.at("fleet.ingest.queue_depth.hw"), 2u);
+
+  // Null registry: the same machine runs without any instrumentation.
+  Ingestor without(config, 2);
+  without.push(sample(0, kMs));
+  without.finish();
+  EXPECT_EQ(without.stats().processed, 1u);
+}
+
+TEST(Ingest, LedgersAreAPureFunctionOfTheInputStream) {
+  IngestConfig config;
+  config.queue_bound = 16;
+  config.batch_max = 4;
+  config.batch_tick = 50 * kMs;
+  config.service_per_sample = 3 * kMs;
+  config.tenant_window = 5;
+
+  const auto drive = [&](Ingestor& ingestor) {
+    util::Rng rng(2026);
+    sim::Time at = 0;
+    for (int i = 0; i < 500; ++i) {
+      at += static_cast<sim::Time>(rng.uniform_int(0, 4)) * kMs;
+      ingestor.push(sample(static_cast<int>(rng.uniform_int(0, 2)), at,
+                           rng.uniform(), rng.uniform_int(0, 20) == 0));
+    }
+    ingestor.finish();
+  };
+
+  Ingestor a(config, 3), b(config, 3);
+  drive(a);
+  drive(b);
+  EXPECT_EQ(a.stats().processed, 500u);
+  EXPECT_EQ(a.stats().batches, b.stats().batches);
+  EXPECT_EQ(a.stats().size_flushes, b.stats().size_flushes);
+  EXPECT_EQ(a.stats().tick_flushes, b.stats().tick_flushes);
+  EXPECT_EQ(a.stats().backpressure_waits, b.stats().backpressure_waits);
+  EXPECT_EQ(a.stats().backpressure_wait_total,
+            b.stats().backpressure_wait_total);
+  EXPECT_EQ(a.stats().deferred, b.stats().deferred);
+  EXPECT_EQ(a.stats().queue_high_water, b.stats().queue_high_water);
+  EXPECT_EQ(a.stats().last_done, b.stats().last_done);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(a.tenant(t).samples, b.tenant(t).samples);
+    EXPECT_EQ(a.tenant(t).deferred, b.tenant(t).deferred);
+    EXPECT_EQ(a.tenant(t).verdicts, b.tenant(t).verdicts);
+    EXPECT_DOUBLE_EQ(a.tenant(t).latency_ms.mean(),
+                     b.tenant(t).latency_ms.mean());
+    EXPECT_EQ(a.tenant(t).degraded_entries, b.tenant(t).degraded_entries);
+  }
+}
+
+}  // namespace
+}  // namespace parastack::fleet

@@ -9,6 +9,7 @@
 //                 [--tool-faults loss=P,crash=NODE@SEC,lead-crash=SEC,...]
 //                 [--journal FILE] [--metrics-out FILE] [--chrome-trace FILE]
 //                 [--trace-ranks N] [--log-level LEVEL]
+//                 [--fleet JOBS[,ARRIVAL,POOL]]
 //   psim campaign --bench LU --runs 20 --fault compute-hang [--jobs N]
 //                 [...run options]
 //   psim submit   --bench HPL --ranks 256 --platform Tardis [--system slurm]
@@ -26,6 +27,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fleet/fleet.hpp"
 #include "harness/campaign.hpp"
 #include "harness/runner.hpp"
 #include "obs/chrome_trace.hpp"
@@ -73,6 +75,13 @@ int usage() {
                "lead-crash|timeout-ms|retries|\n"
                "            backoff-ms|rereg-ms|seed|quorum|degraded-after|"
                "extra-streak|fallback\n"
+               "  fleet (run): --fleet JOBS[,ARRIVAL,POOL] runs JOBS tenants "
+               "through the shared detector\n"
+               "            service (ARRIVAL poisson|trace, default poisson; "
+               "POOL bounds the monitor pool,\n"
+               "            0 = unbounded; --jobs N parallelizes the tenant "
+               "simulations). --fleet=1 is\n"
+               "            byte-identical to the plain run\n"
                "  telemetry (run/campaign): --journal FILE --metrics-out FILE "
                "(alias --metrics) --chrome-trace FILE\n"
                "            --trace-ranks N --journal-spans "
@@ -408,7 +417,114 @@ harness::RunConfig build_config(const util::Args& args, bool& ok) {
   return config;
 }
 
+/// Parse the --fleet spec: JOBS[,ARRIVAL,POOL]. JOBS is the tenant count
+/// (>= 1), ARRIVAL the arrival model (poisson|trace), POOL the shared
+/// monitor-pool bound (0 = unbounded). Throws on non-numeric fields; the
+/// caller turns both paths into one diagnostic.
+bool parse_fleet(const std::string& spec, fleet::FleetConfig& config) {
+  std::size_t pos = 0;
+  int field = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string value = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    switch (field) {
+      case 0:
+        config.arrivals.jobs = static_cast<int>(std::stol(value));
+        if (config.arrivals.jobs < 1) return false;
+        break;
+      case 1:
+        if (value == "poisson") {
+          config.arrivals.model = fleet::ArrivalModel::kPoisson;
+        } else if (value == "trace") {
+          config.arrivals.model = fleet::ArrivalModel::kTrace;
+        } else {
+          return false;
+        }
+        break;
+      case 2:
+        config.monitor_pool = static_cast<int>(std::stol(value));
+        if (config.monitor_pool < 0) return false;
+        break;
+      default:
+        return false;  // trailing fields
+    }
+    ++field;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return field >= 1;
+}
+
+int cmd_run_fleet(const util::Args& args, const std::string& spec) {
+  bool ok = true;
+  fleet::FleetConfig fc;
+  fc.base = build_config(args, ok);
+  if (!ok) return 2;
+  try {
+    ok = parse_fleet(spec, fc);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bad --fleet value '%s' (expected JOBS[,poisson|trace,POOL], "
+                 "JOBS >= 1, POOL >= 0)\n",
+                 spec.c_str());
+    return 2;
+  }
+  Telemetry telemetry;
+  if (!telemetry.init(args)) return 2;
+  fc.telemetry = telemetry.sink();
+  fc.perf = telemetry.perf_registry();
+  fc.jobs = static_cast<int>(args.get_int("jobs", 0));
+  std::fprintf(telemetry.human(),
+               "fleet: %d tenant%s, %s arrivals, pool %s — base %s(%s) on "
+               "%d ranks (%s), seed %llu...\n",
+               fc.arrivals.jobs, fc.arrivals.jobs == 1 ? "" : "s",
+               std::string(fleet::arrival_model_name(fc.arrivals.model))
+                   .c_str(),
+               fc.monitor_pool > 0 ? std::to_string(fc.monitor_pool).c_str()
+                                   : "unbounded",
+               workloads::bench_name(fc.base.bench).data(),
+               fc.base.input.empty()
+                   ? workloads::default_input(fc.base.bench, fc.base.nranks)
+                         .c_str()
+                   : fc.base.input.c_str(),
+               fc.base.nranks, fc.base.platform.name.c_str(),
+               static_cast<unsigned long long>(fc.base.seed));
+  const auto result = fleet::run_fleet(fc);
+  const auto& bill = result.bill;
+  std::fprintf(telemetry.human(),
+               "admission: %d admitted, %d refused (pool high-water %d)\n",
+               bill.jobs, bill.refused, result.pool_high_water);
+  std::fprintf(telemetry.human(),
+               "outcomes: %d completed, %d killed on detection, %d expired, "
+               "%d gave up\n",
+               bill.completed, bill.killed, bill.expired, bill.gave_up);
+  std::fprintf(telemetry.human(),
+               "ingest: %llu samples in %llu batches, %.0f samples/s "
+               "sustained, %llu backpressure waits, %llu deferred\n",
+               static_cast<unsigned long long>(result.ingest.pushed),
+               static_cast<unsigned long long>(result.ingest.batches),
+               result.ingest.sustained_per_sec(),
+               static_cast<unsigned long long>(
+                   result.ingest.backpressure_waits),
+               static_cast<unsigned long long>(result.ingest.deferred));
+  std::fprintf(telemetry.human(),
+               "bill: %.1f SUs charged, %.1f SUs saved "
+               "(%.2f machine-hours at %d cores/node), makespan %.1fs\n",
+               bill.su_billed, bill.su_saved,
+               bill.machine_hours_saved(fc.base.platform.cores_per_node),
+               fc.base.platform.cores_per_node,
+               sim::to_seconds(result.makespan));
+  return telemetry.finish() ? 0 : 1;
+}
+
 int cmd_run(const util::Args& args) {
+  if (const std::string spec = args.get("fleet", ""); !spec.empty()) {
+    return cmd_run_fleet(args, spec);
+  }
   bool ok = true;
   auto config = build_config(args, ok);
   if (!ok) return 2;
